@@ -1,0 +1,76 @@
+"""Ablation: defence costs (paper Sections 5-6).
+
+The paper's closing argument: ORAM provably hides access patterns but
+multiplies memory traffic, and disabling/padding zero pruning seals the
+weight channel at the price of the saved bandwidth.  The bench measures
+both costs on LeNet and AlexNet-scale traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import AcceleratorSim, observe_structure
+from repro.attacks.structure import find_layer_boundaries
+from repro.defenses import OramConfig, apply_path_oram, measure_padding_overhead
+from repro.nn.zoo import build_alexnet, build_lenet
+from repro.report import render_table
+
+from benchmarks.common import emit, paper_scale
+
+
+def test_ablation_defense_costs(benchmark):
+    victims = {
+        "lenet": build_lenet(),
+        "alexnet": build_alexnet(
+            width_scale=1.0 if paper_scale() else 0.25
+        ),
+    }
+
+    def evaluate():
+        rows = []
+        for name, victim in victims.items():
+            sim = AcceleratorSim(victim)
+            obs = observe_structure(sim, seed=0)
+            oram = apply_path_oram(obs.trace, OramConfig(bucket_size=4))
+            plain = len(
+                find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
+            )
+            fooled = len(
+                find_layer_boundaries(
+                    oram.trace.addresses, oram.trace.is_write
+                )
+            )
+            run = sim.run(
+                np.random.default_rng(0).normal(
+                    size=(1, *victim.network.input_shape)
+                )
+            )
+            pad = measure_padding_overhead(sim, run)
+            rows.append(
+                (
+                    name,
+                    f"{oram.overhead_factor:.0f}x",
+                    f"{plain} -> {fooled}",
+                    f"{pad.dense_writes / max(1, pad.pruned_writes):.2f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    text = render_table(
+        [
+            "network",
+            "ORAM traffic overhead",
+            "layers found (plain -> ORAM)",
+            "pruning bandwidth saving lost by padding",
+        ],
+        rows,
+    )
+    emit("ablation_defense_costs", text)
+
+    for _, overhead, boundaries, lost in rows:
+        assert float(overhead.rstrip("x")) >= 20
+        before, after = boundaries.split(" -> ")
+        assert int(after) > int(before)  # structure reduced to noise
+        assert float(lost.rstrip("x")) >= 1.0

@@ -1,0 +1,78 @@
+"""Ablation: timing noise vs the timing filter (beyond the paper).
+
+The paper assumes clean per-layer timings; real devices jitter
+(DRAM refresh, arbitration).  This bench injects per-tile Gaussian
+timing noise into the simulator and measures the structure attack's
+behaviour: with a single observation, noise either drops the true
+structure (measured duration drifts outside the tolerance window) or
+admits junk; taking the minimum duration over a few inferences (noise
+only ever delays) restores the clean-trace result — the classic
+side-channel noise-filtering trade.
+"""
+
+from __future__ import annotations
+
+from repro.accel import AcceleratorConfig, AcceleratorSim, TimingModel
+from repro.attacks.structure import PracticalityRules, run_structure_attack
+from repro.nn.zoo import build_lenet
+from repro.report import render_table
+
+from benchmarks.common import emit
+
+RULES = PracticalityRules(exact_pool_division=True)
+TOLERANCE = 0.1
+
+
+def test_ablation_timing_noise(benchmark):
+    victim = build_lenet()
+    clean = run_structure_attack(
+        AcceleratorSim(victim), tolerance=TOLERANCE, rules=RULES
+    )
+    truth = tuple(g.canonical() for g in victim.geometries())
+
+    def found(result) -> bool:
+        return any(
+            tuple(g.canonical() for g in s.conv_geometries()) == truth
+            for s in result.candidates
+        )
+
+    def sweep():
+        rows = [("0.00 (clean)", 1, clean.count, "yes" if found(clean) else "NO")]
+        for jitter in (0.05, 0.15, 0.30):
+            for runs in (1, 9, 27):
+                sim = AcceleratorSim(
+                    victim,
+                    AcceleratorConfig(timing=TimingModel(jitter=jitter)),
+                )
+                result = run_structure_attack(
+                    sim, tolerance=TOLERANCE, rules=RULES, runs=runs
+                )
+                rows.append(
+                    (
+                        f"{jitter:.2f}",
+                        runs,
+                        result.count,
+                        "yes" if found(result) else "NO",
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["timing jitter (per-tile sigma)", "runs (min-filtered)",
+         "candidate count", "truth found"],
+        rows,
+    )
+    text += (
+        "\n\nper-layer durations are min-filtered across runs before the "
+        "Algorithm 1\nstep-4 filter; structural facts (addresses, sizes) "
+        "are noise-free by construction."
+    )
+    emit("ablation_timing_noise", text)
+
+    assert found(clean)
+    by_key = {(r[0], r[1]): r[3] for r in rows}
+    # Min-filtering restores the truth at every tested noise level.
+    for jitter in ("0.05", "0.15", "0.30"):
+        assert by_key[(jitter, 9)] == "yes"
+        assert by_key[(jitter, 27)] == "yes"

@@ -1,0 +1,88 @@
+"""Figure 4: top-1 accuracy of the possible AlexNet structures.
+
+The paper trains all 24 candidates on ImageNet and shows (a) a wide
+accuracy spread (best - worst = 12.3%), and (b) the original structure
+ranking near the top (4th).  The bench reconstructs the candidate set
+recovered by the structure attack and short-trains every candidate on
+the synthetic dataset at reduced channel width — the *relative* spread
+and the original's rank are the reproduced quantities; absolute
+accuracies differ by design (different dataset).
+
+``REPRO_BENCH_SCALE=paper`` trains every candidate at a larger width and
+for more epochs.
+"""
+
+from __future__ import annotations
+
+from repro.accel import AcceleratorSim
+from repro.attacks.structure import (
+    PracticalityRules,
+    rank_candidates,
+    run_structure_attack,
+)
+from repro.data import make_dataset
+from repro.nn.zoo import build_alexnet
+from repro.report import render_bars
+
+from benchmarks.common import emit, paper_scale
+
+
+def test_fig4_alexnet_candidate_accuracy(benchmark):
+    victim = build_alexnet()
+    sim = AcceleratorSim(victim)
+    # Small scale uses a tight timing tolerance (12 candidates) so the
+    # whole ranking fits a few minutes on one core; paper scale uses the
+    # Table-3 setting (roughly the paper's 24).
+    tolerance = 0.05 if paper_scale() else 0.02
+    attack = run_structure_attack(
+        sim, tolerance=tolerance,
+        rules=PracticalityRules(exact_pool_division=True),
+    )
+    candidates = attack.candidates
+    truth = tuple(g.canonical() for g in victim.geometries())
+    original_index = next(
+        i
+        for i, c in enumerate(candidates)
+        if tuple(g.canonical() for g in c.conv_geometries()) == truth
+    )
+
+    if paper_scale():
+        depth_scale, epochs, train_pc, val_pc = 0.08, 6, 10, 5
+    else:
+        depth_scale, epochs, train_pc, val_pc = 0.04, 3, 6, 3
+    ds = make_dataset(
+        num_classes=10, image_size=227, channels=3,
+        train_per_class=train_pc, val_per_class=val_pc, seed=1, noise=0.15,
+    )
+
+    ranked = benchmark.pedantic(
+        lambda: rank_candidates(
+            candidates, ds, (3, 227, 227), 10,
+            epochs=epochs, depth_scale=depth_scale, batch_size=10,
+            lr=3e-3, optimizer="adam",
+        ),
+        rounds=1, iterations=1,
+    )
+
+    labels = [
+        f"cand{r.index}{' *original*' if r.index == original_index else ''}"
+        for r in ranked
+    ]
+    text = render_bars(labels, [r.top1 for r in ranked])
+    rank_of_original = next(
+        k for k, r in enumerate(ranked) if r.index == original_index
+    ) + 1
+    spread = ranked[0].top1 - ranked[-1].top1
+    text += (
+        f"\n\ncandidates trained: {len(ranked)} (paper: 24)"
+        f"\noriginal structure rank: {rank_of_original}/{len(ranked)} (paper: 4/24)"
+        f"\nbest - worst top-1: {spread:.3f} (paper: 0.123)"
+    )
+    emit("fig4_alexnet_candidate_accuracy", text)
+
+    assert len(ranked) >= 10 if paper_scale() else len(ranked) >= 5
+    # The reproduced shape: candidates separate clearly, and the
+    # original is competitive (not at the bottom).  Small-scale proxy
+    # training is too noisy to pin an exact rank.
+    assert spread > 0.0
+    assert rank_of_original <= max(4, 3 * len(ranked) // 4)

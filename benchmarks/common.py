@@ -1,0 +1,40 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures and
+
+* prints the rendered result (visible with ``pytest -s``),
+* writes it to ``benchmarks/results/<name>.txt``,
+* asserts the reproduction properties that must hold regardless of
+  scale (ground truth among candidates, error bounds, orderings).
+
+``REPRO_BENCH_SCALE=paper`` switches from the fast defaults (minutes on
+one core) to the full paper-scale experiments; EXPERIMENTS.md records
+both.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """``small`` (default) or ``paper``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|paper, got {scale}")
+    return scale
+
+
+def paper_scale() -> bool:
+    return bench_scale() == "paper"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"===== {name} [scale={bench_scale()}] ====="
+    print(f"\n{banner}\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(f"{banner}\n{text}\n")

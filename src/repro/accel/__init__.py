@@ -1,0 +1,58 @@
+"""Cycle-approximate CNN inference accelerator simulator.
+
+Executes staged networks as the paper's Figure 1 accelerator would and
+emits the externally visible artefacts — the off-chip memory trace and
+per-stage timing — plus the dynamic zero-pruning write channel.
+Adversary access goes through :mod:`repro.accel.observe`.
+"""
+
+from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
+from repro.accel.observe import (
+    StructureObservation,
+    ZeroPruningChannel,
+    observe_structure,
+)
+from repro.accel.oracle import (
+    DenseStageOracle,
+    SparseStageOracle,
+    StageOracle,
+    make_stage_oracle,
+)
+from repro.accel.pruning import PrunedLayout, PruningConfig, pruned_region_elements
+from repro.accel.simulator import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    SimulationResult,
+    StageWindow,
+)
+from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
+from repro.accel.timing import TimingModel
+from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+
+__all__ = [
+    "MemoryConfig",
+    "MemoryRegion",
+    "DramAllocator",
+    "MemoryTrace",
+    "TraceBuilder",
+    "READ",
+    "WRITE",
+    "TimingModel",
+    "BufferConfig",
+    "plan_conv_tiles",
+    "plan_fc_tiles",
+    "PruningConfig",
+    "PrunedLayout",
+    "pruned_region_elements",
+    "AcceleratorConfig",
+    "AcceleratorSim",
+    "SimulationResult",
+    "StageWindow",
+    "StageOracle",
+    "DenseStageOracle",
+    "SparseStageOracle",
+    "make_stage_oracle",
+    "StructureObservation",
+    "ZeroPruningChannel",
+    "observe_structure",
+]

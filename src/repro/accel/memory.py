@@ -1,0 +1,145 @@
+"""Off-chip DRAM model: address space, regions, allocator.
+
+Feature maps and filters are stored as contiguous arrays in DRAM (paper
+Section 3.1: "FMAPs and filters are stored as arrays in memory, which
+means that each is stored in its own contiguous memory locations").  The
+allocator hands out bump-allocated, block-aligned regions; the simulator
+then issues block-granularity transactions against them.
+
+Data *values* are encrypted in the threat model, so regions never store
+values — only geometry.  The only value-dependent observable is which
+blocks get written under dynamic zero pruning, handled elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+
+__all__ = ["MemoryConfig", "MemoryRegion", "DramAllocator"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM geometry shared by simulator and (implicitly) attacker.
+
+    Attributes:
+        element_bytes: bytes per tensor element (2 = 16-bit fixed point,
+            the common CNN accelerator choice).
+        block_bytes: bytes per memory transaction (DRAM burst).  Must be
+            a multiple of ``element_bytes``.
+        base_address: first usable DRAM byte address.
+    """
+
+    element_bytes: int = 2
+    block_bytes: int = 64
+    base_address: int = 0x1000_0000
+
+    def __post_init__(self) -> None:
+        if self.element_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigError("element_bytes and block_bytes must be positive")
+        if self.block_bytes % self.element_bytes != 0:
+            raise ConfigError(
+                f"block_bytes {self.block_bytes} not a multiple of "
+                f"element_bytes {self.element_bytes}"
+            )
+        if self.base_address < 0 or self.base_address % self.block_bytes != 0:
+            raise ConfigError("base_address must be block aligned and >= 0")
+
+    @property
+    def elements_per_block(self) -> int:
+        return self.block_bytes // self.element_bytes
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous block-aligned DRAM range holding one tensor.
+
+    ``base`` and ``size_bytes`` are block aligned; ``num_elements`` is the
+    logical tensor size (the last block may be partially used).
+    """
+
+    name: str
+    purpose: str  # "fmap" | "weights"
+    base: int
+    num_elements: int
+    config: MemoryConfig
+
+    @property
+    def size_bytes(self) -> int:
+        epb = self.config.elements_per_block
+        blocks = -(-self.num_elements // epb)  # ceil division
+        return blocks * self.config.block_bytes
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.config.block_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def block_addresses(self) -> np.ndarray:
+        """Addresses of every block in the region, ascending."""
+        return np.arange(self.base, self.end, self.config.block_bytes, dtype=np.int64)
+
+    def element_block_address(self, element_index: int) -> int:
+        """Block address holding a given element of the tensor."""
+        if not 0 <= element_index < self.num_elements:
+            raise SimulationError(
+                f"element {element_index} out of range for {self.name} "
+                f"({self.num_elements} elements)"
+            )
+        byte = element_index * self.config.element_bytes
+        return self.base + (byte // self.config.block_bytes) * self.config.block_bytes
+
+    def element_addresses(self, element_indices: np.ndarray) -> np.ndarray:
+        """Block addresses of many elements (not deduplicated)."""
+        byte = np.asarray(element_indices, dtype=np.int64) * self.config.element_bytes
+        return self.base + (byte // self.config.block_bytes) * self.config.block_bytes
+
+
+class DramAllocator:
+    """Bump allocator placing each tensor in its own contiguous region.
+
+    Regions are laid out in allocation order, matching an accelerator
+    runtime that places layer weights and feature maps sequentially at
+    model-load time.
+    """
+
+    def __init__(self, config: MemoryConfig | None = None):
+        self.config = config or MemoryConfig()
+        self._next = self.config.base_address
+        self.regions: dict[str, MemoryRegion] = {}
+
+    def allocate(self, name: str, purpose: str, num_elements: int) -> MemoryRegion:
+        if name in self.regions:
+            raise SimulationError(f"region {name!r} allocated twice")
+        if purpose not in ("fmap", "weights"):
+            raise ConfigError(f"unknown region purpose {purpose!r}")
+        if num_elements <= 0:
+            raise SimulationError(
+                f"region {name!r} must have positive size, got {num_elements}"
+            )
+        region = MemoryRegion(name, purpose, self._next, num_elements, self.config)
+        self._next = region.end
+        self.regions[name] = region
+        return region
+
+    def region_of(self, address: int) -> MemoryRegion | None:
+        """The region containing ``address``, if any (linear scan)."""
+        for region in self.regions.values():
+            if region.contains(address):
+                return region
+        return None
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next - self.config.base_address

@@ -1,0 +1,192 @@
+"""Adversary-facing observation layer — the threat model as code.
+
+Table 1 of the paper gives each attack a different assumption set:
+
+=============================  =========  =======
+Assumption                     Structure  Weights
+=============================  =========  =======
+Observe memory access pattern  Y          y (writes only)
+Observe the input value        N          Y
+Control the input value        N          Y
+Possess training data          Y          N
+Know the network structure     n/a        Y
+=============================  =========  =======
+
+This module is the only sanctioned path from the simulator to an attack:
+:func:`observe_structure` hands over the memory trace, timing and the
+public I/O geometry — never values; :class:`ZeroPruningChannel` hands
+over per-substream write counts for attacker-chosen inputs — never
+addresses of anything else.  Attacks importing simulator internals
+directly would defeat the reproduction's point, and tests assert they
+don't need to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ThreatModelViolation
+from repro.accel.oracle import Pixel, StageOracle, make_stage_oracle
+from repro.accel.simulator import AcceleratorSim
+from repro.accel.trace import MemoryTrace
+
+__all__ = ["StructureObservation", "observe_structure", "ZeroPruningChannel"]
+
+
+@dataclass(frozen=True)
+class StructureObservation:
+    """Everything the structure attacker may use (paper Section 3).
+
+    Attributes:
+        trace: the off-chip memory trace (addresses, R/W, cycles).
+        total_cycles: wall-clock duration of the inference — the
+            adversary can always time the device end to end.
+        input_shape: the accelerator's input geometry ``(C, H, W)`` —
+            the adversary feeds the inputs, so their shape is known.
+        num_classes: size of the classification output the host reads.
+        element_bytes: public device parameter (data word size).
+        block_bytes: public device parameter (DRAM transaction size).
+    """
+
+    trace: MemoryTrace
+    input_shape: tuple[int, int, int]
+    num_classes: int
+    element_bytes: int
+    block_bytes: int
+    total_cycles: int
+
+
+def observe_structure(
+    sim: AcceleratorSim, x: np.ndarray | None = None, seed: int = 0
+) -> StructureObservation:
+    """Run one inference and capture the structure attacker's view.
+
+    The structure attack does not need to *choose* inputs (Table 1:
+    control = N), so by default a generic random image is used.
+    """
+    if sim.config.pruning.enabled:
+        raise ThreatModelViolation(
+            "the Section 3 structure attack is defined on a dense-write "
+            "accelerator; use the pruning ablation benches for the "
+            "pruned-trace variant"
+        )
+    if x is None:
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, *sim.staged.network.input_shape))
+    result = sim.run(x)
+    num_classes = int(result.output.shape[-1])
+    return StructureObservation(
+        trace=result.trace,
+        input_shape=sim.staged.network.input_shape,  # type: ignore[arg-type]
+        num_classes=num_classes,
+        element_bytes=sim.config.memory.element_bytes,
+        block_bytes=sim.config.memory.block_bytes,
+        total_cycles=result.total_cycles,
+    )
+
+
+class ZeroPruningChannel:
+    """The weight attacker's handle on the device (paper Section 4).
+
+    Wraps a stage oracle so the attacker can submit sparse inputs and
+    read back non-zero write counts: per output plane when the device
+    compresses each channel into its own substream, or the total count
+    in aggregate mode.  The count is exactly what an adversary tallies
+    from the *write* transactions of the pruned OFM region — no other
+    trace information is surfaced.
+
+    Args:
+        sim: the victim device; pruning must be enabled on it.
+        stage_name: the attacked (first) conv stage.
+        input_range: device input domain; queries outside it are rejected
+            (binary searches must bracket within physical input limits).
+    """
+
+    def __init__(
+        self,
+        sim: AcceleratorSim,
+        stage_name: str,
+        input_range: tuple[float, float] = (-256.0, 256.0),
+        prefer_sparse: bool = True,
+    ):
+        if not sim.config.pruning.enabled:
+            raise ThreatModelViolation(
+                "zero-pruning channel requires a device with dynamic zero "
+                "pruning enabled — a dense-write device leaks no counts"
+            )
+        self._granularity = sim.config.pruning.granularity
+        self._oracle: StageOracle = make_stage_oracle(
+            sim.staged, stage_name, prefer_sparse
+        )
+        self.input_range = input_range
+        self.stage_name = stage_name
+
+    @property
+    def d_ofm(self) -> int:
+        return self._oracle.d_ofm
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        return self._oracle.input_shape
+
+    @property
+    def per_plane(self) -> bool:
+        """Whether counts are per output plane (vs one aggregate total)."""
+        return self._granularity == "plane"
+
+    @property
+    def queries(self) -> int:
+        """Device invocations so far (attack cost metric)."""
+        return self._oracle.queries
+
+    def _check_values(self, values: np.ndarray) -> None:
+        lo, hi = self.input_range
+        if np.any(values < lo) or np.any(values > hi):
+            raise ThreatModelViolation(
+                f"input value outside device range [{lo}, {hi}]"
+            )
+
+    def query(self, pixels: list[Pixel], values) -> np.ndarray | int:
+        """Non-zero write counts for one crafted input.
+
+        Returns an array of per-plane counts, or a single total in
+        aggregate mode.
+        """
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        self._check_values(values)
+        counts = self._oracle.nnz(pixels, values)
+        if self.per_plane:
+            return counts
+        return int(counts.sum())
+
+    def query_per_filter(
+        self, pixels: list[Pixel], values: np.ndarray
+    ) -> np.ndarray:
+        """Batch of ``d_ofm`` runs, value column ``f`` read via plane ``f``.
+
+        Only meaningful with per-plane substreams; aggregate devices
+        cannot attribute counts to planes.
+        """
+        if not self.per_plane:
+            raise ThreatModelViolation(
+                "per-filter queries need per-plane substreams; this device "
+                "writes one aggregate stream"
+            )
+        values = np.asarray(values, dtype=float)
+        self._check_values(values)
+        return self._oracle.nnz_per_filter(pixels, values)
+
+    def set_threshold(self, threshold: float) -> None:
+        """Tune the device's pruning threshold (Minerva-style extension).
+
+        Only available when the victim uses a tunable rectifier; the
+        Section 4 bias-recovery extension relies on it.
+        """
+        try:
+            self._oracle.set_threshold(threshold)
+        except (ConfigError, NotImplementedError) as exc:
+            raise ThreatModelViolation(
+                "this device has no tunable activation threshold"
+            ) from exc

@@ -1,0 +1,369 @@
+"""Stage oracles: fast non-zero-count evaluation for crafted inputs.
+
+The Section 4 weight attack drives the accelerator with inputs that are
+all-zero except one or two pixels and observes the per-plane non-zero
+write counts.  Running the full trace simulator for each of the
+~10^5-10^6 binary-search queries would be needlessly slow, so this module
+provides two *semantically identical* evaluation paths:
+
+* :class:`DenseStageOracle` — runs the stage's actual layer objects on a
+  dense input and counts non-zeros per plane.  Ground truth; used for
+  validation and small cases.
+* :class:`SparseStageOracle` — exploits the input sparsity: a k-sparse
+  input only perturbs a small box of conv outputs around each pixel;
+  everything else equals the per-filter constant ``relu(b_f)`` (or its
+  pooled image).  The box is recomputed densely, the rest analytically.
+
+Equality of the two paths on random stages is enforced by tests — the
+sparse path is an optimisation of the simulator, not a shortcut through
+the threat model.  Oracles are *device-side* objects (they hold the
+secret weights); adversaries access them only through the counting
+channel in :mod:`repro.accel.observe`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.nn.layers.activations import ReLU, ThresholdReLU
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.shapes import pool_output_width
+from repro.nn.stages import StagedNetwork
+
+__all__ = [
+    "Pixel",
+    "StageOracle",
+    "DenseStageOracle",
+    "SparseStageOracle",
+    "make_stage_oracle",
+]
+
+# A pixel coordinate in the stage input: (channel, row, col).
+Pixel = tuple[int, int, int]
+
+
+def _stage_components(staged: StagedNetwork, stage_name: str):
+    """Extract (conv, activation, pool) layers of a conv stage."""
+    stage = staged.stage(stage_name)
+    if stage.kind != "conv":
+        raise ConfigError(f"stage {stage_name!r} is {stage.kind}, not conv")
+    conv = act = pool = None
+    for node_name in stage.node_names:
+        layer = staged.network.nodes[node_name].layer
+        if isinstance(layer, Conv2D):
+            conv = layer
+        elif isinstance(layer, (ReLU, ThresholdReLU)):
+            act = layer
+        elif isinstance(layer, (MaxPool2D, AvgPool2D)):
+            pool = layer
+    if conv is None:
+        raise SimulationError(f"stage {stage_name!r} has no conv layer")
+    if act is None:
+        raise SimulationError(
+            f"stage {stage_name!r} has no activation; the zero-pruning "
+            "channel requires a rectifier"
+        )
+    return stage, conv, act, pool
+
+
+class StageOracle:
+    """Per-plane non-zero counts of one conv stage's OFM for sparse inputs."""
+
+    d_ofm: int
+    input_shape: tuple[int, int, int]
+    queries: int
+
+    def nnz(self, pixels: list[Pixel], values: np.ndarray) -> np.ndarray:
+        """Counts for one input: ``values[k]`` at ``pixels[k]``, rest zero."""
+        raise NotImplementedError
+
+    def nnz_per_filter(
+        self, pixels: list[Pixel], values: np.ndarray
+    ) -> np.ndarray:
+        """Counts for ``d_ofm`` inputs evaluated in one vectorised call.
+
+        ``values`` has shape ``(len(pixels), d_ofm)``: column ``f`` is the
+        input used when reading plane ``f``'s count.  Physically this is
+        ``d_ofm`` separate device runs (and is charged as that many
+        queries); mathematically each plane only depends on its own
+        filter, so the whole batch is evaluated at once.
+        """
+        raise NotImplementedError
+
+    def set_threshold(self, threshold: float) -> None:
+        """Adjust the stage's tunable pruning threshold, if it has one."""
+        raise NotImplementedError
+
+    def _check_pixels(self, pixels: list[Pixel]) -> None:
+        c_max, h, w = self.input_shape
+        for c, i, j in pixels:
+            if not (0 <= c < c_max and 0 <= i < h and 0 <= j < w):
+                raise ConfigError(
+                    f"pixel {(c, i, j)} outside input {self.input_shape}"
+                )
+        if len(set(pixels)) != len(pixels):
+            raise ConfigError(f"duplicate pixels in {pixels}")
+
+
+class DenseStageOracle(StageOracle):
+    """Reference oracle: run the stage's real layers on a dense input."""
+
+    def __init__(self, staged: StagedNetwork, stage_name: str):
+        self._stage, self._conv, self._act, self._pool = _stage_components(
+            staged, stage_name
+        )
+        geom = self._stage.geometry
+        self.d_ofm = geom.d_ofm
+        self.input_shape = (geom.d_ifm, geom.w_ifm, geom.w_ifm)
+        self.queries = 0
+
+    def set_threshold(self, threshold: float) -> None:
+        if not isinstance(self._act, ThresholdReLU):
+            raise ConfigError("stage activation has no tunable threshold")
+        self._act.set_threshold(threshold)
+
+    def _run(self, x: np.ndarray) -> np.ndarray:
+        out = self._conv.forward(x[None])
+        out = self._act.forward(out)
+        if self._pool is not None:
+            out = self._pool.forward(out)
+        return out[0]
+
+    def nnz(self, pixels: list[Pixel], values: np.ndarray) -> np.ndarray:
+        self._check_pixels(pixels)
+        self.queries += 1
+        x = np.zeros(self.input_shape)
+        for (c, i, j), v in zip(pixels, np.atleast_1d(values)):
+            x[c, i, j] = v
+        out = self._run(x)
+        return np.count_nonzero(out.reshape(self.d_ofm, -1), axis=1)
+
+    def nnz_per_filter(
+        self, pixels: list[Pixel], values: np.ndarray
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(pixels), self.d_ofm):
+            raise ConfigError(
+                f"values must be (n_pixels, d_ofm) = "
+                f"({len(pixels)}, {self.d_ofm}), got {values.shape}"
+            )
+        counts = np.empty(self.d_ofm, dtype=np.int64)
+        for f in range(self.d_ofm):
+            counts[f] = self.nnz(pixels, values[:, f])[f]
+        return counts
+
+
+class SparseStageOracle(StageOracle):
+    """Fast oracle: analytic constant region + dense affected box.
+
+    Correct for any input that is zero outside the provided pixels.
+    """
+
+    def __init__(self, staged: StagedNetwork, stage_name: str):
+        self._stage, conv, act, pool = _stage_components(staged, stage_name)
+        self._act = act
+        geom = self._stage.geometry
+        self.d_ofm = geom.d_ofm
+        self.input_shape = (geom.d_ifm, geom.w_ifm, geom.w_ifm)
+        self.queries = 0
+
+        self._w = conv.weight.value  # (D, C, F, F)
+        self._b = (
+            conv.bias.value if conv.bias is not None else np.zeros(self.d_ofm)
+        )
+        self._f = conv.f
+        self._s = conv.stride
+        self._p = conv.pad
+        self._w_conv = geom.w_conv
+        self._thr = act.threshold if isinstance(act, ThresholdReLU) else 0.0
+
+        self._pool = pool
+        if pool is not None:
+            self._pool_is_max = isinstance(pool, MaxPool2D)
+            self._w_pool = pool_output_width(self._w_conv, pool.f, pool.stride, pool.pad)
+        # Constant plane value after activation (conv of all-zero input).
+        self._v0 = np.where(self._b > self._thr, self._b, 0.0)
+        self._base_nnz = self._compute_base_nnz()
+
+    def set_threshold(self, threshold: float) -> None:
+        if not isinstance(self._act, ThresholdReLU):
+            raise ConfigError("stage activation has no tunable threshold")
+        self._act.set_threshold(threshold)
+        self._thr = threshold
+        self._v0 = np.where(self._b > self._thr, self._b, 0.0)
+        self._base_nnz = self._compute_base_nnz()
+
+    # -- constant-input analysis ------------------------------------------
+    def _pool_window_cells(self, p_idx: int) -> tuple[int, int]:
+        """Valid conv-coordinate range [lo, hi) of pooled index ``p_idx``."""
+        pool = self._pool
+        lo = p_idx * pool.stride - pool.pad
+        hi = lo + pool.f
+        return max(0, lo), min(self._w_conv, hi)
+
+    def _compute_base_nnz(self) -> np.ndarray:
+        """Per-plane non-zero count for the all-zero input."""
+        if self._pool is None:
+            plane = self._w_conv * self._w_conv
+            return np.where(self._v0 > 0, plane, 0).astype(np.int64)
+        # Pooled plane of a constant v0: max pool gives v0 everywhere
+        # (ceil mode guarantees >= 1 valid cell per window); avg pool
+        # gives v0 * cells / F^2, zero iff v0 is zero.
+        plane = self._w_pool * self._w_pool
+        return np.where(self._v0 > 0, plane, 0).astype(np.int64)
+
+    # -- affected-box machinery ------------------------------------------------
+    def _conv_coord_range(self, padded: int) -> tuple[int, int]:
+        """Conv output indices [lo, hi] whose window covers ``padded``."""
+        lo = -(-(padded - self._f + 1) // self._s)  # ceil
+        hi = padded // self._s
+        return max(0, lo), min(self._w_conv - 1, hi)
+
+    def _affected_conv_box(
+        self, pixels: list[Pixel]
+    ) -> tuple[int, int, int, int]:
+        a0 = b0 = 10**9
+        a1 = b1 = -1
+        for _, i, j in pixels:
+            ra = self._conv_coord_range(i + self._p)
+            rb = self._conv_coord_range(j + self._p)
+            if ra[0] > ra[1] or rb[0] > rb[1]:
+                continue
+            a0, a1 = min(a0, ra[0]), max(a1, ra[1])
+            b0, b1 = min(b0, rb[0]), max(b1, rb[1])
+        if a1 < 0:  # no output affected at all
+            return 0, -1, 0, -1
+        return a0, a1, b0, b1
+
+    def _box_values(
+        self,
+        pixels: list[Pixel],
+        values: np.ndarray,
+        box: tuple[int, int, int, int],
+    ) -> np.ndarray:
+        """Post-activation conv outputs over the box, all filters.
+
+        ``values`` is ``(n_pixels, d_ofm)`` — per-filter input values.
+        Returns array (d_ofm, a1-a0+1, b1-b0+1).
+        """
+        a0, a1, b0, b1 = box
+        y = np.broadcast_to(
+            self._b[:, None, None], (self.d_ofm, a1 - a0 + 1, b1 - b0 + 1)
+        ).copy()
+        for (c, i, j), val in zip(pixels, values):
+            ip, jp = i + self._p, j + self._p
+            for a in range(a0, a1 + 1):
+                di = ip - a * self._s
+                if not 0 <= di < self._f:
+                    continue
+                for b in range(b0, b1 + 1):
+                    dj = jp - b * self._s
+                    if not 0 <= dj < self._f:
+                        continue
+                    y[:, a - a0, b - b0] += self._w[:, c, di, dj] * val
+        return np.where(y > self._thr, y, 0.0)
+
+    # -- queries -------------------------------------------------------------
+    def nnz(self, pixels: list[Pixel], values: np.ndarray) -> np.ndarray:
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        if values.shape != (len(pixels),):
+            raise ConfigError(
+                f"need one value per pixel, got {values.shape} for "
+                f"{len(pixels)} pixels"
+            )
+        return self._count(pixels, np.repeat(values[:, None], self.d_ofm, axis=1),
+                           charge=1)
+
+    def nnz_per_filter(
+        self, pixels: list[Pixel], values: np.ndarray
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(pixels), self.d_ofm):
+            raise ConfigError(
+                f"values must be (n_pixels, d_ofm) = "
+                f"({len(pixels)}, {self.d_ofm}), got {values.shape}"
+            )
+        return self._count(pixels, values, charge=self.d_ofm)
+
+    def _count(
+        self, pixels: list[Pixel], values: np.ndarray, charge: int
+    ) -> np.ndarray:
+        self._check_pixels(pixels)
+        self.queries += charge
+        box = self._affected_conv_box(pixels)
+        a0, a1, b0, b1 = box
+        if a1 < a0:
+            return self._base_nnz.copy()
+        act = self._box_values(pixels, values, box)
+
+        if self._pool is None:
+            box_area = (a1 - a0 + 1) * (b1 - b0 + 1)
+            base_in_box = np.where(self._v0 > 0, box_area, 0)
+            new_in_box = np.count_nonzero(act.reshape(self.d_ofm, -1), axis=1)
+            return self._base_nnz - base_in_box + new_in_box
+        return self._count_pooled(act, box)
+
+    def _count_pooled(
+        self, act: np.ndarray, box: tuple[int, int, int, int]
+    ) -> np.ndarray:
+        a0, a1, b0, b1 = box
+        pool = self._pool
+        # Pooled indices whose window intersects the box.
+        pa0, pa1 = self._pool_coord_range(a0, a1)
+        pb0, pb1 = self._pool_coord_range(b0, b1)
+        if pa1 < pa0 or pb1 < pb0:
+            return self._base_nnz.copy()
+
+        n_affected = (pa1 - pa0 + 1) * (pb1 - pb0 + 1)
+        base_in_affected = np.where(self._v0 > 0, n_affected, 0)
+        new_nonzero = np.zeros(self.d_ofm, dtype=np.int64)
+        for pa in range(pa0, pa1 + 1):
+            r_lo, r_hi = self._pool_window_cells(pa)
+            for pb in range(pb0, pb1 + 1):
+                c_lo, c_hi = self._pool_window_cells(pb)
+                total_cells = (r_hi - r_lo) * (c_hi - c_lo)
+                # Cells of this window inside the recomputed box.
+                br_lo, br_hi = max(r_lo, a0), min(r_hi, a1 + 1)
+                bc_lo, bc_hi = max(c_lo, b0), min(c_hi, b1 + 1)
+                in_box = max(0, br_hi - br_lo) * max(0, bc_hi - bc_lo)
+                outside = total_cells - in_box
+                if in_box > 0:
+                    patch = act[:, br_lo - a0 : br_hi - a0, bc_lo - b0 : bc_hi - b0]
+                    patch = patch.reshape(self.d_ofm, -1)
+                else:
+                    patch = np.zeros((self.d_ofm, 0))
+                if self._pool_is_max:
+                    box_max = (
+                        patch.max(axis=1)
+                        if patch.shape[1]
+                        else np.full(self.d_ofm, -np.inf)
+                    )
+                    if outside > 0:
+                        pooled = np.maximum(box_max, self._v0)
+                    else:
+                        pooled = box_max
+                else:
+                    pooled = (
+                        patch.sum(axis=1) + outside * self._v0
+                    ) / (pool.f * pool.f)
+                new_nonzero += pooled != 0
+        return self._base_nnz - base_in_affected + new_nonzero
+
+    def _pool_coord_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Pooled indices whose window intersects conv rows [lo, hi]."""
+        pool = self._pool
+        # window of pooled index p covers [p*s - pad, p*s - pad + f)
+        p_lo = -(-(lo + pool.pad - pool.f + 1) // pool.stride)
+        p_hi = (hi + pool.pad) // pool.stride
+        return max(0, p_lo), min(self._w_pool - 1, p_hi)
+
+
+def make_stage_oracle(
+    staged: StagedNetwork, stage_name: str, prefer_sparse: bool = True
+) -> StageOracle:
+    """Build the fast sparse oracle (default) or the dense reference."""
+    if prefer_sparse:
+        return SparseStageOracle(staged, stage_name)
+    return DenseStageOracle(staged, stage_name)

@@ -1,0 +1,155 @@
+"""Dynamic zero pruning of feature maps in DRAM.
+
+ReLU leaves CNN feature maps ~40-60% zero, so accelerators such as
+Cnvlutin, SCNN and Minerva (paper refs [1, 11, 12]) store OFMs in DRAM as
+a compressed stream of (index, value) pairs, skipping zeros.  This halves
+bandwidth — and creates the Section 4 side channel: the *number of write
+transactions* equals the number of non-zero pixels.
+
+Layout.  Each output channel plane gets its own fixed-capacity substream
+inside the OFM region (so the next layer — and the adversary — can
+locate each channel without decoding its predecessors).  Non-zero pixels
+of plane ``c`` are streamed as pairs from the substream base; every pair
+is one write transaction.  The adversary counting writes per substream
+learns the per-plane non-zero count exactly.  An ``aggregate`` mode packs
+all planes into one stream, leaking only the total (attacked separately
+via crossing-set differencing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.accel.memory import MemoryConfig, MemoryRegion
+
+__all__ = ["PruningConfig", "PrunedLayout", "encode_pruned_writes", "pruned_region_elements"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Dynamic zero pruning switches.
+
+    Attributes:
+        enabled: prune zero pixels from feature-map writes.
+        granularity: ``"plane"`` = one substream per output channel;
+            ``"aggregate"`` = one stream for the whole OFM.
+        index_bytes: bytes of index stored with each non-zero value.
+    """
+
+    enabled: bool = False
+    granularity: str = "plane"
+    index_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("plane", "aggregate"):
+            raise ConfigError(f"unknown pruning granularity {self.granularity!r}")
+        if self.index_bytes <= 0:
+            raise ConfigError("index_bytes must be positive")
+
+    def pair_bytes(self, mem: MemoryConfig) -> int:
+        return mem.element_bytes + self.index_bytes
+
+
+@dataclass(frozen=True)
+class PrunedLayout:
+    """Where a pruned tensor's non-zero pairs live inside its region.
+
+    ``plane_pairs[c]`` is the number of (index, value) pairs written to
+    substream ``c`` (one substream total in aggregate mode).
+    """
+
+    region_name: str
+    plane_capacity_bytes: int
+    plane_pairs: np.ndarray  # int64 per substream
+    pair_bytes: int
+
+    @property
+    def total_pairs(self) -> int:
+        return int(self.plane_pairs.sum())
+
+    def read_block_addresses(self, region: MemoryRegion) -> np.ndarray:
+        """Block addresses a consumer must fetch to decode the tensor."""
+        mem = region.config
+        spans = []
+        for c, pairs in enumerate(self.plane_pairs):
+            if pairs == 0:
+                continue
+            base = region.base + c * self.plane_capacity_bytes
+            end = base + int(pairs) * self.pair_bytes
+            first = (base // mem.block_bytes) * mem.block_bytes
+            spans.append(np.arange(first, end, mem.block_bytes, dtype=np.int64))
+        if not spans:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(spans)
+
+
+def _ceil_blocks(byte_count: int, mem: MemoryConfig) -> int:
+    return -(-byte_count // mem.block_bytes)
+
+
+def pruned_region_elements(
+    shape: tuple[int, ...], cfg: PruningConfig, mem: MemoryConfig
+) -> int:
+    """Worst-case region size (in elements) for a pruned tensor.
+
+    Plane mode reserves a block-aligned substream able to hold every
+    pixel of the plane as a pair; aggregate mode reserves one such stream
+    for the whole tensor.
+    """
+    pair = cfg.pair_bytes(mem)
+    if cfg.granularity == "plane" and len(shape) == 3:
+        planes, h, w = shape
+        cap_bytes = _ceil_blocks(h * w * pair, mem) * mem.block_bytes
+        return planes * cap_bytes // mem.element_bytes
+    total = int(np.prod(shape))
+    cap_bytes = _ceil_blocks(total * pair, mem) * mem.block_bytes
+    return cap_bytes // mem.element_bytes
+
+
+def encode_pruned_writes(
+    region: MemoryRegion,
+    values: np.ndarray,
+    cfg: PruningConfig,
+    mem: MemoryConfig,
+) -> tuple[np.ndarray, PrunedLayout]:
+    """Write addresses (one per non-zero pixel) and the resulting layout.
+
+    ``values`` is the stage output: ``(C, H, W)`` for feature maps or a
+    flat vector for FC outputs.  Plane granularity applies only to 3-D
+    tensors; everything else falls back to a single aggregate stream.
+    """
+    pair = cfg.pair_bytes(mem)
+    if cfg.granularity == "plane" and values.ndim == 3:
+        planes = values.shape[0]
+        per_plane = values.reshape(planes, -1)
+        cap_bytes = _ceil_blocks(per_plane.shape[1] * pair, mem) * mem.block_bytes
+        pairs = np.count_nonzero(per_plane, axis=1).astype(np.int64)
+    else:
+        planes = 1
+        flat = values.reshape(1, -1)
+        cap_bytes = _ceil_blocks(flat.shape[1] * pair, mem) * mem.block_bytes
+        pairs = np.array([np.count_nonzero(flat)], dtype=np.int64)
+
+    addr_spans = []
+    for c in range(planes):
+        n = int(pairs[c])
+        if n == 0:
+            continue
+        base = region.base + c * cap_bytes
+        offsets = np.arange(n, dtype=np.int64) * pair
+        addr_spans.append(
+            base + (offsets // mem.block_bytes) * mem.block_bytes
+        )
+    addresses = (
+        np.concatenate(addr_spans) if addr_spans else np.empty(0, dtype=np.int64)
+    )
+    layout = PrunedLayout(
+        region_name=region.name,
+        plane_capacity_bytes=cap_bytes,
+        plane_pairs=pairs,
+        pair_bytes=pair,
+    )
+    return addresses, layout

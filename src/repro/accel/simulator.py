@@ -1,0 +1,378 @@
+"""The CNN inference accelerator simulator.
+
+:class:`AcceleratorSim` executes a :class:`~repro.nn.stages.StagedNetwork`
+stage by stage in forward order, exactly as the paper's Figure 1
+accelerator does: per stage it fetches IFM tiles and filter tiles from
+DRAM into on-chip buffers, runs the PE array, and writes the activated
+(and pooled) OFM back to DRAM at the end of the stage.  The numerical
+result comes from the underlying :class:`~repro.nn.graph.Network`; the
+simulator's job is to produce the two externally visible artefacts:
+
+* the off-chip **memory trace** — block address, read/write, cycle — and
+* the **execution timing** per stage (compute-bound per the paper).
+
+With dynamic zero pruning enabled, OFM writes are compressed per
+:mod:`repro.accel.pruning`, producing the Section 4 leak.
+
+Nothing here exposes data values to the adversary; attacker-facing
+access goes through :mod:`repro.accel.observe`, which enforces the
+threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
+from repro.accel.pruning import (
+    PrunedLayout,
+    PruningConfig,
+    encode_pruned_writes,
+    pruned_region_elements,
+)
+from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
+from repro.accel.timing import TimingModel
+from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+from repro.nn.graph import INPUT
+from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.nn.stages import Stage, StagedNetwork
+
+__all__ = ["AcceleratorConfig", "StageWindow", "SimulationResult", "AcceleratorSim"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Full accelerator configuration (memory, buffers, timing, pruning)."""
+
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    buffers: BufferConfig = field(default_factory=BufferConfig)
+    timing: TimingModel = field(default_factory=TimingModel)
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+
+
+@dataclass(frozen=True)
+class StageWindow:
+    """Ground-truth bookkeeping of one executed stage (not attacker-visible)."""
+
+    name: str
+    kind: str
+    start_cycle: int
+    end_cycle: int
+    macs: int
+    num_reads: int
+    num_writes: int
+
+    @property
+    def duration(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class SimulationResult:
+    """Everything one inference produced.
+
+    ``trace`` plus the wall-clock ``total_cycles`` are what the threat
+    model exposes; ``windows``, ``nnz`` and ``output`` are ground truth
+    used by tests, oracles and the host (the host legitimately sees the
+    classification output).
+    """
+
+    trace: MemoryTrace
+    windows: list[StageWindow]
+    output: np.ndarray
+    nnz: dict[str, np.ndarray]
+    total_cycles: int
+
+    def window(self, name: str) -> StageWindow:
+        for w in self.windows:
+            if w.name == name:
+                return w
+        raise SimulationError(f"no stage window named {name!r}")
+
+
+def _blocks_for_element_ranges(
+    region: MemoryRegion, starts: list[int], ends: list[int]
+) -> np.ndarray:
+    """Block addresses covering element ranges [start, end) of a region."""
+    mem = region.config
+    spans = []
+    for e0, e1 in zip(starts, ends):
+        if e1 <= e0:
+            continue
+        b0 = region.base + (e0 * mem.element_bytes // mem.block_bytes) * mem.block_bytes
+        b1 = region.base + -(-(e1 * mem.element_bytes) // mem.block_bytes) * mem.block_bytes
+        spans.append(np.arange(b0, b1, mem.block_bytes, dtype=np.int64))
+    if not spans:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(spans)
+
+
+class AcceleratorSim:
+    """Trace-emitting simulator of the Figure 1 accelerator.
+
+    Args:
+        staged: the victim network with its stage decomposition.
+        config: accelerator configuration.
+
+    DRAM layout is fixed at construction: the input feature map first,
+    then per stage (in execution order) its filter weights (if any)
+    followed by its OFM — the natural layout of a runtime loading a model
+    once and reusing buffers across inferences.
+    """
+
+    def __init__(self, staged: StagedNetwork, config: AcceleratorConfig | None = None):
+        self.staged = staged
+        self.config = config or AcceleratorConfig()
+        self.allocator = DramAllocator(self.config.memory)
+        self._shapes = staged.network.infer_shapes()
+        self._allocate_regions()
+        self._run_counter = 0
+
+    # -- DRAM layout -------------------------------------------------------
+    def _fmap_elements(self, shape: tuple[int, ...]) -> int:
+        dense = int(np.prod(shape))
+        if self.config.pruning.enabled:
+            return max(
+                dense,
+                pruned_region_elements(shape, self.config.pruning, self.config.memory),
+            )
+        return dense
+
+    def _allocate_regions(self) -> None:
+        in_elems = int(np.prod(self.staged.network.input_shape))
+        self.allocator.allocate("input", "fmap", in_elems)
+        for stage in self.staged.stages:
+            geom = stage.geometry
+            if isinstance(geom, (LayerGeometry, FCGeometry)):
+                self.allocator.allocate(
+                    f"{stage.name}.weights", "weights", geom.size_fltr
+                )
+            out_shape = self._shapes[stage.output_node]
+            self.allocator.allocate(
+                f"{stage.name}.ofm", "fmap", self._fmap_elements(out_shape)
+            )
+
+    def region(self, name: str) -> MemoryRegion:
+        return self.allocator.regions[name]
+
+    def ofm_region(self, stage_name: str) -> MemoryRegion:
+        if stage_name == INPUT:
+            return self.region("input")
+        return self.region(f"{stage_name}.ofm")
+
+    # -- execution -----------------------------------------------------------
+    def run(self, x: np.ndarray) -> SimulationResult:
+        """Execute one inference and emit its memory trace.
+
+        ``x`` is a single sample ``(C, H, W)`` or batch-of-one
+        ``(1, C, H, W)`` — the accelerator processes one image at a time.
+        """
+        if x.ndim == 3:
+            x = x[None]
+        if x.shape[0] != 1 or tuple(x.shape[1:]) != self.staged.network.input_shape:
+            raise SimulationError(
+                f"expected input (1, {self.staged.network.input_shape}), "
+                f"got {x.shape}"
+            )
+        output = self.staged.network.forward(x)
+        acts = self.staged.network.activations
+        self._run_counter += 1
+        self._jitter_rng = np.random.default_rng(self._run_counter)
+
+        builder = TraceBuilder()
+        windows: list[StageWindow] = []
+        nnz: dict[str, np.ndarray] = {}
+        layouts: dict[str, PrunedLayout | None] = {INPUT: None}
+        cycle = 0
+
+        for stage in self.staged.stages:
+            cycle += self.config.timing.stage_overhead
+            start_cycle = cycle
+            reads_before = builder.num_events
+            if stage.kind == "conv":
+                cycle = self._run_conv_stage(stage, builder, cycle, layouts)
+            elif stage.kind == "fc":
+                cycle = self._run_fc_stage(stage, builder, cycle, layouts)
+            else:  # eltwise / concat: pure DRAM-to-DRAM merge
+                cycle = self._run_merge_stage(stage, builder, cycle, layouts)
+            num_reads = builder.num_events - reads_before
+
+            values = acts[stage.output_node][0]
+            nnz[stage.name] = self._plane_nnz(values)
+            cycle, num_writes = self._write_ofm(stage, values, builder, cycle, layouts)
+
+            windows.append(
+                StageWindow(
+                    name=stage.name,
+                    kind=stage.kind,
+                    start_cycle=start_cycle,
+                    end_cycle=cycle,
+                    macs=self._stage_macs(stage),
+                    num_reads=num_reads,
+                    num_writes=num_writes,
+                )
+            )
+
+        return SimulationResult(
+            trace=builder.build(),
+            windows=windows,
+            output=output,
+            nnz=nnz,
+            total_cycles=cycle,
+        )
+
+    # -- per-kind stage execution ------------------------------------------
+    def _input_read_blocks(
+        self, source: str, layouts: dict[str, PrunedLayout | None]
+    ) -> np.ndarray:
+        """Blocks needed to fetch a whole input tensor (dense or pruned)."""
+        region = self.ofm_region(source)
+        layout = layouts.get(source)
+        if layout is not None:
+            return layout.read_block_addresses(region)
+        return region.block_addresses()
+
+    def _run_conv_stage(
+        self,
+        stage: Stage,
+        builder: TraceBuilder,
+        cycle: int,
+        layouts: dict[str, PrunedLayout | None],
+    ) -> int:
+        geom = stage.geometry
+        assert isinstance(geom, LayerGeometry)
+        source = stage.input_stages[0]
+        in_region = self.ofm_region(source)
+        w_region = self.region(f"{stage.name}.weights")
+        timing = self.config.timing
+        pruned_input = layouts.get(source) is not None
+
+        if pruned_input:
+            # Compressed IFMs are fetched whole at stage start (RLE streams
+            # are not row-addressable) and decoded into the on-chip buffer.
+            addrs = self._input_read_blocks(source, layouts)
+            cycle = builder.add_span(
+                cycle, addrs, READ, timing.cycles_per_block
+            )
+
+        h = geom.w_ifm
+        plane = h * h
+        per_filter = geom.f_conv * geom.f_conv * geom.d_ifm
+        for tile in plan_conv_tiles(geom, self.config.buffers):
+            spans = []
+            if tile.fetch_ifm and not pruned_input:
+                starts = [
+                    c * plane + tile.ifm_row_start * h for c in range(geom.d_ifm)
+                ]
+                ends = [c * plane + tile.ifm_row_end * h for c in range(geom.d_ifm)]
+                spans.append(_blocks_for_element_ranges(in_region, starts, ends))
+            spans.append(
+                _blocks_for_element_ranges(
+                    w_region,
+                    [tile.oc_start * per_filter],
+                    [tile.oc_end * per_filter],
+                )
+            )
+            addrs = np.concatenate(spans)
+            tile_dur = self._jittered(timing.tile_cycles(tile.macs, len(addrs)))
+            spacing = max(1, tile_dur // max(1, len(addrs)))
+            end = builder.add_span(cycle, addrs, READ, spacing)
+            cycle = max(cycle + tile_dur, end)
+        return cycle
+
+    def _jittered(self, cycles: int) -> int:
+        """Apply the configured per-tile timing noise.
+
+        Noise is one-sided (half-normal): contention, refresh and
+        arbitration only ever *delay* a tile past its deterministic
+        minimum — which is also why an adversary filters noise with the
+        minimum over runs rather than the mean.
+        """
+        jitter = self.config.timing.jitter
+        if jitter == 0.0:
+            return cycles
+        factor = 1.0 + jitter * abs(float(self._jitter_rng.standard_normal()))
+        return max(1, int(round(cycles * factor)))
+
+    def _run_fc_stage(
+        self,
+        stage: Stage,
+        builder: TraceBuilder,
+        cycle: int,
+        layouts: dict[str, PrunedLayout | None],
+    ) -> int:
+        geom = stage.geometry
+        assert isinstance(geom, FCGeometry)
+        source = stage.input_stages[0]
+        w_region = self.region(f"{stage.name}.weights")
+        timing = self.config.timing
+
+        for tile in plan_fc_tiles(geom, self.config.buffers):
+            spans = []
+            if tile.fetch_ifm:
+                spans.append(self._input_read_blocks(source, layouts))
+            spans.append(
+                _blocks_for_element_ranges(
+                    w_region,
+                    [tile.out_start * geom.in_features],
+                    [tile.out_end * geom.in_features],
+                )
+            )
+            addrs = np.concatenate(spans)
+            tile_dur = self._jittered(timing.tile_cycles(tile.macs, len(addrs)))
+            spacing = max(1, tile_dur // max(1, len(addrs)))
+            end = builder.add_span(cycle, addrs, READ, spacing)
+            cycle = max(cycle + tile_dur, end)
+        return cycle
+
+    def _run_merge_stage(
+        self,
+        stage: Stage,
+        builder: TraceBuilder,
+        cycle: int,
+        layouts: dict[str, PrunedLayout | None],
+    ) -> int:
+        timing = self.config.timing
+        for source in stage.input_stages:
+            addrs = self._input_read_blocks(source, layouts)
+            cycle = builder.add_span(cycle, addrs, READ, timing.cycles_per_block)
+        return cycle
+
+    # -- OFM write ------------------------------------------------------------
+    def _write_ofm(
+        self,
+        stage: Stage,
+        values: np.ndarray,
+        builder: TraceBuilder,
+        cycle: int,
+        layouts: dict[str, PrunedLayout | None],
+    ) -> tuple[int, int]:
+        region = self.region(f"{stage.name}.ofm")
+        timing = self.config.timing
+        if self.config.pruning.enabled:
+            addrs, layout = encode_pruned_writes(
+                region, values, self.config.pruning, self.config.memory
+            )
+            layouts[stage.name] = layout
+        else:
+            addrs = region.block_addresses()
+            layouts[stage.name] = None
+        cycle = builder.add_span(cycle, addrs, WRITE, timing.cycles_per_block)
+        return cycle, len(addrs)
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _plane_nnz(values: np.ndarray) -> np.ndarray:
+        """Non-zero pixel count per output channel (or per whole vector)."""
+        if values.ndim == 3:
+            return np.count_nonzero(values.reshape(values.shape[0], -1), axis=1)
+        return np.array([np.count_nonzero(values)])
+
+    def _stage_macs(self, stage: Stage) -> int:
+        geom = stage.geometry
+        if isinstance(geom, (LayerGeometry, FCGeometry)):
+            return geom.macs
+        return 0

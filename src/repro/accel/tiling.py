@@ -1,0 +1,148 @@
+"""Tile scheduling: fitting feature maps and filters into on-chip buffers.
+
+The accelerator of the paper's Figure 1 partitions IFMs and filters into
+tiles that fit its on-chip buffers, convolves tile by tile, and writes
+the OFM back to DRAM once per layer ("After computing over all tiles,
+the accelerator combines the intermediate results and writes an output
+feature map back to DRAM after activation and pooling").
+
+The planner here is output-stationary: the conv output rows are split
+into horizontal bands whose input footprint fits the IFM buffer, and the
+filters into output-channel groups that fit the weight buffer.  Per band
+the IFM rows are fetched once; each channel group's weights are fetched
+per band (weights are re-read across bands, as in any real accelerator
+whose weight buffer cannot hold the whole layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.nn.spec import FCGeometry, LayerGeometry
+
+__all__ = ["BufferConfig", "ConvTile", "FCTile", "plan_conv_tiles", "plan_fc_tiles"]
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """On-chip buffer capacities, in elements."""
+
+    ifm_buffer_elements: int = 64 * 1024
+    weight_buffer_elements: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.ifm_buffer_elements <= 0 or self.weight_buffer_elements <= 0:
+            raise ConfigError("buffer sizes must be positive")
+
+
+@dataclass(frozen=True)
+class ConvTile:
+    """One unit of conv work: an output-row band x an output-channel group.
+
+    Attributes:
+        out_row_start/out_row_end: conv-output rows computed (pre-pool).
+        ifm_row_start/ifm_row_end: input rows fetched (if first group of
+            the band; later groups reuse the buffered band).
+        oc_start/oc_end: filters whose weights are fetched.
+        fetch_ifm: whether this tile re-fetches the IFM band from DRAM.
+        macs: multiply-accumulates performed by this tile.
+    """
+
+    out_row_start: int
+    out_row_end: int
+    ifm_row_start: int
+    ifm_row_end: int
+    oc_start: int
+    oc_end: int
+    fetch_ifm: bool
+    macs: int
+
+
+@dataclass(frozen=True)
+class FCTile:
+    """One output-feature group of a fully connected layer."""
+
+    out_start: int
+    out_end: int
+    fetch_ifm: bool
+    macs: int
+
+
+def _band_rows(geom: LayerGeometry, buffers: BufferConfig) -> int:
+    """Conv-output rows per band such that the input footprint fits.
+
+    A band of ``r`` output rows needs ``(r - 1) * S + F`` input rows of
+    all ``D_ifm`` channels.  Always returns at least one row — a buffer
+    too small for even one row's footprint is modelled as streaming (the
+    trace still reads every needed element).
+    """
+    w_padded = geom.w_ifm + 2 * geom.p_conv
+    per_row_elements = w_padded * geom.d_ifm
+    max_rows = buffers.ifm_buffer_elements // max(1, per_row_elements)
+    if max_rows < geom.f_conv:
+        return 1
+    band = (max_rows - geom.f_conv) // geom.s_conv + 1
+    return max(1, min(band, geom.w_conv))
+
+
+def _oc_group(geom: LayerGeometry, buffers: BufferConfig) -> int:
+    """Filters per weight-buffer group (at least one)."""
+    per_filter = geom.f_conv * geom.f_conv * geom.d_ifm
+    return max(1, min(buffers.weight_buffer_elements // max(1, per_filter),
+                      geom.d_ofm))
+
+
+def plan_conv_tiles(
+    geom: LayerGeometry, buffers: BufferConfig
+) -> list[ConvTile]:
+    """Tile schedule of one conv stage, in execution order."""
+    w_conv = geom.w_conv
+    band = _band_rows(geom, buffers)
+    group = _oc_group(geom, buffers)
+    macs_per_out_row = w_conv * geom.f_conv * geom.f_conv * geom.d_ifm
+    tiles: list[ConvTile] = []
+    for row0 in range(0, w_conv, band):
+        row1 = min(row0 + band, w_conv)
+        # Input rows covering conv output rows [row0, row1), unpadded coords.
+        in0 = max(0, row0 * geom.s_conv - geom.p_conv)
+        in1 = min(geom.w_ifm, (row1 - 1) * geom.s_conv - geom.p_conv + geom.f_conv)
+        for oc0 in range(0, geom.d_ofm, group):
+            oc1 = min(oc0 + group, geom.d_ofm)
+            tiles.append(
+                ConvTile(
+                    out_row_start=row0,
+                    out_row_end=row1,
+                    ifm_row_start=in0,
+                    ifm_row_end=in1,
+                    oc_start=oc0,
+                    oc_end=oc1,
+                    fetch_ifm=(oc0 == 0),
+                    macs=(row1 - row0) * macs_per_out_row * (oc1 - oc0),
+                )
+            )
+    return tiles
+
+
+def plan_fc_tiles(
+    geom: FCGeometry, buffers: BufferConfig
+) -> list[FCTile]:
+    """Tile schedule of one FC stage: output-feature groups.
+
+    The input vector is fetched once (it fits the IFM buffer or is
+    streamed); each group's weight rows are fetched once — FC weights
+    have no reuse, which is what makes big FC layers memory-bound.
+    """
+    group = max(1, buffers.weight_buffer_elements // max(1, geom.in_features))
+    tiles: list[FCTile] = []
+    for o0 in range(0, geom.out_features, group):
+        o1 = min(o0 + group, geom.out_features)
+        tiles.append(
+            FCTile(
+                out_start=o0,
+                out_end=o1,
+                fetch_ifm=(o0 == 0),
+                macs=(o1 - o0) * geom.in_features,
+            )
+        )
+    return tiles

@@ -1,0 +1,67 @@
+"""Cycle model of the accelerator.
+
+The paper's timing side channel rests on one property: CNN inference on
+the accelerator is compute-bound, so per-layer execution time is roughly
+proportional to the layer's MAC count.  The model here reproduces that
+while staying honest about memory: each tile's duration is the max of
+its compute time (MACs / PE throughput, double-buffered against DRAM
+traffic) and its memory time (transactions x cycles-per-block).  Conv
+layers come out compute-bound; big FC layers come out memory-bound —
+both as on real hardware, and neither hurts the attack because FC
+configurations are always unique (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Latency parameters of the PE array and the DRAM interface.
+
+    Attributes:
+        pe_macs_per_cycle: MAC throughput of the PE array (e.g. a 16x16
+            array = 256 MACs/cycle).
+        cycles_per_block: DRAM cycles consumed per block transaction.
+        stage_overhead: fixed cycles per stage (control, drain, flush).
+        jitter: relative per-tile delay noise (scale of a half-normal
+            factor — contention only ever slows a tile down).  Real
+            devices show run-to-run timing variation from DRAM refresh,
+            arbitration and clock domain crossings; the structure
+            attack's timing filter must survive it (see the noise
+            ablation bench).  0 disables noise.
+    """
+
+    pe_macs_per_cycle: int = 256
+    cycles_per_block: int = 4
+    stage_overhead: int = 100
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pe_macs_per_cycle <= 0:
+            raise ConfigError("pe_macs_per_cycle must be positive")
+        if self.cycles_per_block <= 0:
+            raise ConfigError("cycles_per_block must be positive")
+        if self.stage_overhead < 0:
+            raise ConfigError("stage_overhead must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    def compute_cycles(self, macs: int) -> int:
+        """Cycles the PE array needs for ``macs`` multiply-accumulates."""
+        return -(-macs // self.pe_macs_per_cycle)  # ceil division
+
+    def memory_cycles(self, num_transactions: int) -> int:
+        """Cycles the DRAM interface needs for ``num_transactions`` blocks."""
+        return num_transactions * self.cycles_per_block
+
+    def tile_cycles(self, macs: int, num_transactions: int) -> int:
+        """Duration of one tile: compute and memory overlap (double buffer)."""
+        return max(
+            self.compute_cycles(macs), self.memory_cycles(num_transactions), 1
+        )

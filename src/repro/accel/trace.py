@@ -1,0 +1,163 @@
+"""Off-chip memory trace: what the adversary records.
+
+Each trace event is ``(cycle, address, is_write)`` — exactly the
+information the paper's threat model exposes (Figure 2: the adversary
+observes "the address and the type (read or write) for each off-chip
+memory access", plus wall-clock timing).  Values are encrypted and never
+appear here.
+
+Traces can run to millions of events (AlexNet's FC weights alone are
+~2M block reads), so events are stored as parallel numpy arrays and
+builders append whole vectorised spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["MemoryTrace", "TraceBuilder", "READ", "WRITE"]
+
+READ = False
+WRITE = True
+
+
+@dataclass(frozen=True)
+class MemoryTrace:
+    """An immutable sequence of off-chip memory transactions.
+
+    Attributes:
+        cycles: monotonically non-decreasing issue cycles, int64.
+        addresses: block-aligned byte addresses, int64.
+        is_write: True for writes, False for reads.
+    """
+
+    cycles: np.ndarray
+    addresses: np.ndarray
+    is_write: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.cycles)
+        if len(self.addresses) != n or len(self.is_write) != n:
+            raise TraceError("trace arrays have mismatched lengths")
+        if n and np.any(np.diff(self.cycles) < 0):
+            raise TraceError("trace cycles must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    # -- queries ---------------------------------------------------------
+    def reads(self) -> "MemoryTrace":
+        return self.filter(~self.is_write)
+
+    def writes(self) -> "MemoryTrace":
+        return self.filter(self.is_write)
+
+    def filter(self, mask: np.ndarray) -> "MemoryTrace":
+        return MemoryTrace(
+            self.cycles[mask], self.addresses[mask], self.is_write[mask]
+        )
+
+    def slice(self, start: int, stop: int) -> "MemoryTrace":
+        """Events with index in [start, stop)."""
+        return MemoryTrace(
+            self.cycles[start:stop],
+            self.addresses[start:stop],
+            self.is_write[start:stop],
+        )
+
+    def in_address_range(self, lo: int, hi: int) -> "MemoryTrace":
+        """Events touching [lo, hi)."""
+        mask = (self.addresses >= lo) & (self.addresses < hi)
+        return self.filter(mask)
+
+    @property
+    def duration(self) -> int:
+        """Cycles spanned by the trace."""
+        if len(self) == 0:
+            return 0
+        return int(self.cycles[-1] - self.cycles[0])
+
+    def unique_addresses(self, writes_only: bool | None = None) -> np.ndarray:
+        if writes_only is None:
+            addrs = self.addresses
+        else:
+            addrs = self.addresses[self.is_write == writes_only]
+        return np.unique(addrs)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            cycles=self.cycles,
+            addresses=self.addresses,
+            is_write=self.is_write,
+        )
+
+    @staticmethod
+    def load(path: str) -> "MemoryTrace":
+        with np.load(path) as data:
+            return MemoryTrace(
+                data["cycles"].astype(np.int64),
+                data["addresses"].astype(np.int64),
+                data["is_write"].astype(bool),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MemoryTrace({len(self)} events, {self.duration} cycles)"
+
+
+class TraceBuilder:
+    """Accumulates vectorised event spans, then freezes to a trace."""
+
+    def __init__(self) -> None:
+        self._cycles: list[np.ndarray] = []
+        self._addresses: list[np.ndarray] = []
+        self._is_write: list[np.ndarray] = []
+        self._last_cycle = 0
+
+    def add_span(
+        self, start_cycle: int, addresses: np.ndarray, is_write: bool,
+        cycles_per_access: int = 1,
+    ) -> int:
+        """Append one transaction per address starting at ``start_cycle``.
+
+        Returns the cycle after the last appended transaction.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = len(addresses)
+        if n == 0:
+            return start_cycle
+        if start_cycle < self._last_cycle:
+            raise TraceError(
+                f"span at cycle {start_cycle} precedes trace end "
+                f"{self._last_cycle}"
+            )
+        cyc = start_cycle + np.arange(n, dtype=np.int64) * cycles_per_access
+        self._cycles.append(cyc)
+        self._addresses.append(addresses)
+        self._is_write.append(np.full(n, is_write, dtype=bool))
+        self._last_cycle = int(cyc[-1])
+        return self._last_cycle + cycles_per_access
+
+    @property
+    def last_cycle(self) -> int:
+        return self._last_cycle
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(a) for a in self._addresses)
+
+    def build(self) -> MemoryTrace:
+        if not self._cycles:
+            return MemoryTrace(
+                np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, bool)
+            )
+        return MemoryTrace(
+            np.concatenate(self._cycles),
+            np.concatenate(self._addresses),
+            np.concatenate(self._is_write),
+        )

@@ -1,0 +1,7 @@
+"""Reverse-engineering attacks: network structure (Section 3), weights
+via the zero-pruning channel (Section 4), and end-to-end model cloning
+combining the two (the Section 2 objective)."""
+
+from repro.attacks.clone import CloneResult, clone_model, prediction_agreement
+
+__all__ = ["clone_model", "prediction_agreement", "CloneResult"]

@@ -1,0 +1,276 @@
+"""End-to-end model duplication (the paper's stated objective).
+
+Section 2: "The objective of the reverse-engineering attacks ... is to
+construct a duplicated CNN model that has comparable accuracy to the
+target model."  This module wires everything together into that final
+artefact:
+
+1. the **structure attack** on a dense-mode trace recovers the victim's
+   architecture (candidate set; the clone uses the candidate whose
+   first-layer geometry survives the weight phase);
+2. the **threshold weight attack** on the pruned deployment recovers the
+   first convolution's exact weights and biases (deeper layers are not
+   reachable through the input — the paper's limitation too);
+3. the remaining layers are **distilled from the device itself**: the
+   classification output is returned to the user (Figure 2), so the
+   adversary labels its own images with the victim's predictions and
+   trains the clone's unstolen parameters against them, keeping the
+   stolen first layer frozen.
+
+The result is a runnable clone whose first layer equals the victim's to
+binary-search precision and whose end-to-end predictions are measured
+against the victim's (``prediction_agreement``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.accel.observe import ZeroPruningChannel
+from repro.accel.simulator import AcceleratorSim
+from repro.attacks.structure.attack import run_structure_attack
+from repro.attacks.structure.pipeline import CandidateStructure
+from repro.attacks.structure.reconstruct import reconstruct_network
+from repro.attacks.structure.solver import PracticalityRules
+from repro.attacks.weights.target import AttackTarget
+from repro.attacks.weights.threshold_attack import ThresholdWeightAttack
+from repro.nn.layers.conv import Conv2D
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.optim import Adam
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork
+
+__all__ = ["CloneResult", "clone_model", "prediction_agreement"]
+
+
+@dataclass
+class CloneResult:
+    """A duplicated model plus provenance of the theft."""
+
+    network: StagedNetwork
+    geometry: LayerGeometry
+    structure_candidates: int
+    weights_resolved_fraction: float
+    channel_queries: int
+    labeling_queries: int
+
+
+def _first_conv_geometries(
+    candidates: list[CandidateStructure],
+) -> list[LayerGeometry]:
+    geoms: dict[LayerGeometry, None] = {}
+    for cand in candidates:
+        layer = cand.layers[0]
+        if isinstance(layer.geometry, LayerGeometry):
+            geoms[layer.geometry.canonical()] = None
+    return list(geoms)
+
+
+def _counts_for(
+    geometry: LayerGeometry,
+    weights: np.ndarray,
+    biases: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Attacker-side prediction of per-plane non-zero counts.
+
+    The adversary holds a hypothesised (geometry, weights, biases) and
+    can compute what the device would write for any input — the check
+    that separates the true geometry from trace-equivalent impostors.
+    """
+    from repro.nn.layers.activations import ReLU
+    from repro.nn.layers.pool import MaxPool2D
+
+    conv = Conv2D(
+        geometry.d_ifm, geometry.d_ofm, geometry.f_conv,
+        geometry.s_conv, geometry.p_conv, name="hypothesis",
+    )
+    conv.weight.value[:] = weights
+    conv.bias.value[:] = biases
+    out = ReLU().forward(conv.forward(x[None]))
+    if geometry.has_pool:
+        out = MaxPool2D(
+            geometry.f_pool, geometry.s_pool, geometry.p_pool
+        ).forward(out)
+    return np.count_nonzero(out[0].reshape(geometry.d_ofm, -1), axis=1)
+
+
+def _verify_stolen_layer(
+    channel: ZeroPruningChannel,
+    geometry: LayerGeometry,
+    weights: np.ndarray,
+    biases: np.ndarray,
+    trials: int = 8,
+    seed: int = 0,
+) -> bool:
+    """Cross-check recovered parameters against fresh device queries.
+
+    A geometry that merely fits the trace but differs from the real
+    layer produces recovered parameters that mispredict the device's
+    counts on random sparse probes.
+    """
+    rng = np.random.default_rng(seed)
+    c, h, w = channel.input_shape
+    for _ in range(trials):
+        x = np.zeros((c, h, w))
+        pixels = []
+        for _ in range(3):
+            px = (
+                int(rng.integers(0, c)),
+                int(rng.integers(0, h)),
+                int(rng.integers(0, w)),
+            )
+            if px not in pixels:
+                pixels.append(px)
+                x[px] = float(rng.normal() * 3)
+        values = [x[px] for px in pixels]
+        measured = np.asarray(channel.query(pixels, values))
+        predicted = _counts_for(geometry, weights, biases, x)
+        if not np.array_equal(measured, predicted):
+            return False
+    return True
+
+
+def _steal_first_layer(
+    pruned_sim: AcceleratorSim,
+    geometries: list[LayerGeometry],
+    t1: float = 0.0,
+    t2: float = 1.0,
+):
+    """Try each candidate geometry against the weight channel.
+
+    Several geometries can be consistent with the structure trace; each
+    is attacked in turn and the recovered parameters are verified
+    against fresh device queries, so only the true geometry survives.
+    """
+    stage_name = pruned_sim.staged.stages[0].name
+    last_error: Exception | None = None
+    for geometry in geometries:
+        try:
+            target = AttackTarget.from_geometry(geometry)
+            channel = ZeroPruningChannel(pruned_sim, stage_name)
+            recovery = ThresholdWeightAttack(channel, target, t1=t1, t2=t2).run()
+        except AttackError as exc:
+            last_error = exc
+            continue
+        if not recovery.resolved.all() or np.isnan(recovery.biases).any():
+            last_error = AttackError("incomplete weight recovery")
+            continue
+        canonical = geometry if geometry.p_conv == 0 else geometry.canonical()
+        if _verify_stolen_layer(
+            channel, canonical, recovery.weights, recovery.biases
+        ):
+            return canonical, recovery
+        last_error = AttackError(
+            f"recovered parameters for {geometry} failed device verification"
+        )
+    raise AttackError(
+        f"no candidate geometry survived weight recovery: {last_error}"
+    )
+
+
+def clone_model(
+    dense_sim: AcceleratorSim,
+    pruned_sim: AcceleratorSim,
+    probe_images: np.ndarray,
+    t1: float = 0.0,
+    t2: float = 1.0,
+    tolerance: float = 0.1,
+    distill_epochs: int = 10,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> CloneResult:
+    """Duplicate a victim model end to end.
+
+    Args:
+        dense_sim: the victim without pruning (structure phase).
+        pruned_sim: the victim deployed with per-plane zero pruning and
+            a tunable threshold rectifier (weights phase).
+        probe_images: attacker-owned images used to query the victim for
+            labels and distill the clone's unstolen layers.
+        t1, t2: thresholds for the exact weight recovery.
+        tolerance: structure-attack timing tolerance.
+        distill_epochs: training epochs on the victim-labelled probes.
+    """
+    structure = run_structure_attack(
+        dense_sim, tolerance=tolerance,
+        rules=PracticalityRules(exact_pool_division=True),
+    )
+    if not structure.candidates:
+        raise AttackError("structure attack produced no candidates")
+    geometries = _first_conv_geometries(structure.candidates)
+    if not geometries:
+        raise AttackError("no conv interpretation of the first layer")
+
+    geometry, recovery = _steal_first_layer(pruned_sim, geometries, t1, t2)
+    clone_cand = next(
+        c
+        for c in structure.candidates
+        if isinstance(c.layers[0].geometry, LayerGeometry)
+        and c.layers[0].geometry.canonical() == geometry
+    )
+    staged = reconstruct_network(
+        clone_cand,
+        dense_sim.staged.network.input_shape,  # type: ignore[arg-type]
+        structure.analysis.num_classes,
+        name="clone",
+    )
+    first_stage = staged.stages[0].name
+    conv = staged.network.nodes[f"{first_stage}/conv"].layer
+    conv.weight.value[:] = recovery.weights
+    conv.bias.value[:] = recovery.biases
+
+    # Distil the unstolen layers against the victim's own predictions.
+    labels = np.array(
+        [
+            int(np.argmax(dense_sim.run(img[None]).output))
+            for img in probe_images
+        ]
+    )
+    trainable = [
+        p
+        for name, layer in staged.network.layers()
+        for p in layer.parameters()
+        if not isinstance(layer, Conv2D) or not name.startswith(first_stage)
+    ]
+    if trainable:
+        optimizer = Adam(trainable, lr=lr)
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(seed)
+        net = staged.network
+        net.train(True)
+        for _ in range(distill_epochs):
+            order = rng.permutation(len(probe_images))
+            for start in range(0, len(order), 16):
+                batch = order[start : start + 16]
+                optimizer.zero_grad()
+                logits = net.forward(probe_images[batch])
+                loss.forward(logits, labels[batch])
+                net.backward(loss.backward())
+                optimizer.step()
+        net.train(False)
+
+    return CloneResult(
+        network=staged,
+        geometry=geometry,
+        structure_candidates=structure.count,
+        weights_resolved_fraction=float(recovery.resolved.mean()),
+        channel_queries=recovery.queries,
+        labeling_queries=len(probe_images),
+    )
+
+
+def prediction_agreement(
+    victim: StagedNetwork,
+    clone: StagedNetwork,
+    images: np.ndarray,
+) -> float:
+    """Fraction of images on which victim and clone predict alike."""
+    if len(images) == 0:
+        raise AttackError("need at least one evaluation image")
+    v = np.argmax(victim.network.forward(images), axis=1)
+    c = np.argmax(clone.network.forward(images), axis=1)
+    return float((v == c).mean())

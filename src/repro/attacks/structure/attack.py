@@ -1,0 +1,96 @@
+"""High-level orchestration of the complete structure attack.
+
+One call runs the paper's Algorithm 1 end to end against a simulated
+device: observe a trace, analyse it, (optionally) detect repeated
+modules, and enumerate/count the candidate structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.observe import StructureObservation, observe_structure
+from repro.accel.simulator import AcceleratorSim
+from repro.attacks.structure.constraints import DeviceKnowledge
+from repro.attacks.structure.modules import detect_fire_modules
+from repro.attacks.structure.pipeline import CandidateStructure, StructureSearch
+from repro.attacks.structure.solver import PracticalityRules
+from repro.attacks.structure.trace_analysis import (
+    TraceAnalysis,
+    analyse_trace,
+    average_analyses,
+)
+
+__all__ = ["StructureAttackResult", "run_structure_attack"]
+
+
+@dataclass
+class StructureAttackResult:
+    """Everything the structure attack produced for one victim device."""
+
+    observation: StructureObservation
+    analysis: TraceAnalysis
+    candidates: list[CandidateStructure]
+    count: int
+    module_roles: dict[int, str]
+
+    @property
+    def num_layers(self) -> int:
+        return self.analysis.num_layers
+
+
+def run_structure_attack(
+    sim: AcceleratorSim,
+    x: np.ndarray | None = None,
+    tolerance: float = 0.25,
+    rules: PracticalityRules | None = None,
+    use_modular_assumption: bool = True,
+    enumerate_limit: int = 100_000,
+    seed: int = 0,
+    runs: int = 1,
+) -> StructureAttackResult:
+    """Run Algorithm 1 against a victim accelerator.
+
+    Args:
+        sim: the victim device (pruning must be off; Section 3 assumes a
+            dense-write accelerator).
+        x: optional input image; a generic random image by default.
+        tolerance: timing-filter tolerance.
+        rules: practicality rules (defaults per
+            :class:`~repro.attacks.structure.solver.PracticalityRules`).
+        use_modular_assumption: apply identical-module role constraints
+            when repeated fire modules are detected (Section 3.2).
+        enumerate_limit: abort enumeration past this many candidates
+            (the count is still computed exactly by DP).
+        runs: number of inferences to observe; per-layer durations are
+            averaged, countering device timing noise.
+    """
+    observation = observe_structure(sim, x, seed=seed)
+    analysis = analyse_trace(observation)
+    if runs > 1:
+        extra = [
+            analyse_trace(observe_structure(sim, x, seed=seed + k))
+            for k in range(1, runs)
+        ]
+        analysis = average_analyses([analysis] + extra)
+    roles = detect_fire_modules(analysis) if use_modular_assumption else {}
+    search = StructureSearch(
+        analysis,
+        DeviceKnowledge.from_timing(sim.config.timing),
+        tolerance=tolerance,
+        module_roles=roles,
+        rules=rules,
+    )
+    count = search.count()
+    candidates = (
+        search.enumerate(enumerate_limit) if count <= enumerate_limit else []
+    )
+    return StructureAttackResult(
+        observation=observation,
+        analysis=analysis,
+        candidates=candidates,
+        count=count,
+        module_roles=roles,
+    )

@@ -1,0 +1,85 @@
+"""The paper's Eq. (1)-(8) constraint system and timing filter.
+
+A merged CONV(+POOL) layer has the 11 structural parameters of Table 2.
+Given the observed sizes (to block granularity), the known input geometry
+(chained from the previous layer), and the measured duration, a candidate
+parameter assignment must satisfy:
+
+* Eq. (1)  ``SIZE_IFM  = W_IFM^2  * D_IFM``
+* Eq. (2)  ``SIZE_OFM  = W_OFM^2  * D_OFM``
+* Eq. (3)  ``SIZE_FLTR = F_conv^2 * D_IFM * D_OFM``
+* Eq. (4)  the IFM->OFM width relation (floor-mode conv, ceil-mode pool;
+  see :mod:`repro.nn.shapes`)
+* Eq. (5)  ``S_conv <= F_conv <= W_IFM / 2``
+* Eq. (6)  ``S_pool <= F_pool <= W_conv``
+* Eq. (7)  ``P_conv < F_conv``
+* Eq. (8)  ``P_pool < F_pool``
+
+plus the timing filter of Algorithm 1 step 4: the measured duration must
+match the duration the known device model predicts for the candidate's
+MAC count.  The device's PE throughput and DRAM latency are public
+parameters (the adversary owns or can profile the device), and the
+per-layer transaction count is read off the trace — that is what lets
+the filter stay valid for memory-bound layers (big FC) as well as
+compute-bound convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.timing import TimingModel
+from repro.errors import ConfigError
+
+__all__ = ["DeviceKnowledge", "timing_consistent", "MAX_TIMING_TOLERANCE"]
+
+MAX_TIMING_TOLERANCE = 10.0
+
+
+@dataclass(frozen=True)
+class DeviceKnowledge:
+    """Public device parameters the adversary uses for the timing filter."""
+
+    pe_macs_per_cycle: int = 256
+    cycles_per_block: int = 4
+    stage_overhead: int = 100
+
+    @staticmethod
+    def from_timing(model: TimingModel) -> "DeviceKnowledge":
+        return DeviceKnowledge(
+            pe_macs_per_cycle=model.pe_macs_per_cycle,
+            cycles_per_block=model.cycles_per_block,
+            stage_overhead=model.stage_overhead,
+        )
+
+    def predicted_duration(
+        self, macs: int, reads: int, writes: int, final: bool = False
+    ) -> int:
+        """Predicted layer duration for a candidate's MAC count.
+
+        Reads overlap with compute (double buffering); the OFM write-back
+        happens after the last tile, and the per-layer control overhead
+        elapses between a layer's write-back and the next layer's first
+        fetch (so it lands in the *preceding* boundary-to-boundary
+        window; the final layer, measured against the wall clock, has no
+        trailing overhead).  Read/write transaction counts come straight
+        off the trace — this is what keeps the filter correct for
+        memory-bound layers (big FC) where duration is unrelated to MACs.
+        """
+        compute = -(-macs // self.pe_macs_per_cycle)
+        read_time = reads * self.cycles_per_block
+        write_time = writes * self.cycles_per_block
+        base = max(compute, read_time, 1) + write_time
+        return base if final else base + self.stage_overhead
+
+
+def timing_consistent(
+    measured: int, predicted: int, tolerance: float
+) -> bool:
+    """Accept when measured/predicted lies within [1/(1+tol), 1+tol]."""
+    if tolerance < 0 or tolerance > MAX_TIMING_TOLERANCE:
+        raise ConfigError(f"tolerance out of range: {tolerance}")
+    if predicted <= 0 or measured <= 0:
+        return False
+    ratio = measured / predicted
+    return 1.0 / (1.0 + tolerance) <= ratio <= 1.0 + tolerance

@@ -1,0 +1,79 @@
+"""Module detection: the Section 3.2 modular-network assumption.
+
+SqueezeNet-class networks repeat one building block (the fire module:
+a 1x1 squeeze convolution feeding two parallel expand convolutions whose
+outputs are depth-concatenated).  The paper reduces its 329 theoretical
+SqueezeNet combinations to 9 by assuming "the structures of all fire
+modules are identical".
+
+The adversary can *detect* the repetition from the connection graph
+alone: a compute layer whose OFM is read by exactly two compute layers
+that merge into one concatenation is a fire instance.  Instances are
+then given shared *roles* (squeeze / small-filter expand / large-filter
+expand, split by whether the instance downsamples, since merged pooling
+is a genuine structural difference); the structure search constrains all
+layers of one role to identical micro-parameters.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.structure.pipeline import _merge_kind
+from repro.attacks.structure.trace_analysis import TraceAnalysis
+
+__all__ = ["detect_fire_modules"]
+
+
+def detect_fire_modules(analysis: TraceAnalysis) -> dict[int, str]:
+    """Map layer indices to shared fire-module roles.
+
+    Returns an empty dict when the network has no fire-like modules
+    (plain sequential networks).  Roles:
+
+    * ``fire/squeeze`` — the shared producer of both expand layers.
+    * ``fire/expand_a`` / ``fire/expand_b`` — the two expand layers,
+      ordered by observed filter size (the attacker cannot name them
+      1x1/3x3 yet, but can order them consistently across instances).
+    * A ``+pool`` suffix marks instances whose expands shrink the map
+      (merged pooling) — those genuinely differ structurally and are
+      constrained as their own role group.
+    """
+    layers = analysis.layers
+    instances: list[tuple] = []  # (squeeze, small, large, ratio)
+    for merge in layers:
+        if merge.kind != "merge" or len(merge.sources) != 2:
+            continue
+        if _merge_kind(merge) != "concat":
+            continue
+        e1, e2 = (layers[s] for s in merge.sources)
+        if e1.kind != "compute" or e2.kind != "compute":
+            continue
+        if e1.sources != e2.sources or len(e1.sources) != 1:
+            continue
+        squeeze = layers[e1.sources[0]]
+        if squeeze.kind != "compute":
+            continue
+        assert e1.size_fltr is not None and e2.size_fltr is not None
+        if e1.size_fltr.hi <= e2.size_fltr.hi:
+            small, large = e1, e2
+        else:
+            small, large = e2, e1
+        instances.append(
+            (squeeze, small, large, e1.size_ofm.hi / squeeze.size_ofm.hi)
+        )
+
+    # Pooled instances shrink the expand OFM relative to the squeeze OFM
+    # (merged pooling divides the spatial area by ~4 while the channel
+    # counts scale uniformly across fires).  The attacker separates the
+    # two groups by clustering the ratio — only meaningful when the
+    # ratios actually split.
+    roles: dict[int, str] = {}
+    ratios = [r for (_, _, _, r) in instances]
+    split = None
+    if ratios and max(ratios) / min(ratios) > 2.5:
+        split = (max(ratios) * min(ratios)) ** 0.5
+    for squeeze, small, large, ratio in instances:
+        suffix = "+pool" if split is not None and ratio < split else ""
+        roles[squeeze.index] = "fire/squeeze"
+        roles[small.index] = f"fire/expand_a{suffix}"
+        roles[large.index] = f"fire/expand_b{suffix}"
+    return roles

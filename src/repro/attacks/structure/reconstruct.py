@@ -1,0 +1,117 @@
+"""Rebuild runnable networks from candidate structures.
+
+The last step of the paper's attack trains each candidate structure and
+keeps the most accurate one.  This module turns a
+:class:`~repro.attacks.structure.pipeline.CandidateStructure` back into a
+:class:`~repro.nn.stages.StagedNetwork` via the same builder the model
+zoo uses, so a candidate can be trained, evaluated — or even run through
+the simulator again to verify it produces the observed trace shape.
+
+``depth_scale`` shrinks channel depths (and FC widths) uniformly for
+proxy training on small synthetic datasets; geometric relations between
+candidates are preserved, which is all the ranking experiments compare.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttackError
+from repro.attacks.structure.pipeline import CandidateStructure
+from repro.attacks.structure.trace_analysis import INPUT_SOURCE
+from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo.common import scale_depth
+
+__all__ = ["reconstruct_network"]
+
+
+def _scaled_geometry(geom: LayerGeometry, in_depth: int, scale: float) -> LayerGeometry:
+    d_ofm = scale_depth(geom.d_ofm, scale)
+    return LayerGeometry(
+        w_ifm=geom.w_ifm, d_ifm=in_depth, w_ofm=geom.w_ofm, d_ofm=d_ofm,
+        f_conv=geom.f_conv, s_conv=geom.s_conv, p_conv=geom.p_conv,
+        has_pool=geom.has_pool, f_pool=geom.f_pool,
+        s_pool=geom.s_pool, p_pool=geom.p_pool,
+    )
+
+
+def reconstruct_network(
+    candidate: CandidateStructure,
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    name: str = "candidate",
+    depth_scale: float = 1.0,
+    dropout: float = 0.0,
+) -> StagedNetwork:
+    """Build a trainable staged network from a candidate structure.
+
+    Args:
+        candidate: solver output (layer kinds, geometries, wiring).
+        input_shape: the known accelerator input ``(C, H, W)``.
+        num_classes: classifier width; the final layer keeps this width
+            even under ``depth_scale`` (class count is observed, not a
+            free parameter).
+        name: network name.
+        depth_scale: uniform channel-depth scale for proxy training.
+        dropout: dropout rate on hidden FC stages.
+    """
+    builder = StagedNetworkBuilder(name, input_shape)
+    stage_names: dict[int, str] = {}
+
+    def source_stage(src: int) -> str | None:
+        if src == INPUT_SOURCE:
+            return None  # builder default: the network input
+        return stage_names[src]
+
+    n = len(candidate.layers)
+    for i, layer in enumerate(candidate.layers):
+        is_last = i == n - 1
+        sname = f"L{i}_{layer.kind}"
+        if layer.kind == "conv":
+            assert isinstance(layer.geometry, LayerGeometry)
+            src = source_stage(layer.sources[0])
+            in_depth, _ = builder.output_shape(src)
+            geom = (
+                layer.geometry
+                if is_last or depth_scale == 1.0
+                else _scaled_geometry(layer.geometry, in_depth, depth_scale)
+            )
+            if geom.d_ifm != in_depth:
+                geom = _scaled_geometry(geom, in_depth, 1.0)
+            builder.add_conv(
+                sname, geom, input_stage=src,
+                pool_kind="avg" if is_last and geom.has_pool else "max",
+            )
+        elif layer.kind == "fc":
+            assert isinstance(layer.geometry, FCGeometry)
+            out = layer.geometry.out_features
+            if not is_last:
+                out = scale_depth(out, depth_scale)
+            builder.add_fc(
+                sname, out,
+                input_stage=source_stage(layer.sources[0]),
+                activation=not is_last,
+                dropout=0.0 if is_last else dropout,
+            )
+        elif layer.kind == "eltwise":
+            builder.add_eltwise(
+                sname, [source_stage(s) or "input" for s in layer.sources]
+            )
+        elif layer.kind == "concat":
+            builder.add_concat(
+                sname, [source_stage(s) or "input" for s in layer.sources]
+            )
+        else:
+            raise AttackError(f"unknown candidate layer kind {layer.kind!r}")
+        stage_names[i] = sname
+
+    staged = builder.build()
+    out_depth, out_width = builder.output_shape(None)
+    if out_width > 1:
+        raise AttackError(
+            f"candidate output is {out_width} wide; expected a classifier"
+        )
+    if out_width == 1:
+        from repro.nn.layers.activations import Flatten
+
+        staged.network.add("output/flatten", Flatten())
+    return staged

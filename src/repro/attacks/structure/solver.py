@@ -1,0 +1,266 @@
+"""Per-layer integer enumeration of structural parameters.
+
+Given one layer's observed facts (sizes to block granularity, duration,
+transaction count) and its input geometry chained from the previous
+layer's candidate, enumerate every (F_conv, S_conv, P_conv, pooling)
+assignment satisfying Eq. (1)-(8) and the timing filter — Algorithm 1
+steps 3-4.
+
+The search is exhaustive but ordered to prune early:
+
+1. ``F_conv`` ranges over Eq. (5); each value pins the feasible
+   ``D_OFM`` interval via the filter-size equation (3).
+2. Each ``D_OFM`` pins the few feasible ``W_OFM`` values via the OFM
+   size equation (2).
+3. ``(S_conv, P_conv)`` enumeration yields ``W_conv``; the timing filter
+   (which depends only on ``W_conv``, ``F_conv``, ``D_IFM``, ``D_OFM``)
+   rejects most assignments before pooling is ever considered.
+4. Pooling parameters are *solved*, not searched: for each
+   ``(F_pool, S_pool)`` the ceil-mode width relation pins ``P_pool`` to
+   an interval of at most ``ceil(S_pool / 2)`` integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.attacks.structure.constraints import DeviceKnowledge, timing_consistent
+from repro.attacks.structure.trace_analysis import SizeRange
+from repro.nn.spec import FCGeometry, LayerGeometry
+
+__all__ = [
+    "LayerProblem",
+    "PracticalityRules",
+    "solve_conv_layer",
+    "solve_fc_layer",
+]
+
+
+@dataclass(frozen=True)
+class PracticalityRules:
+    """Canonicalisation rules implicit in the paper's Table 4.
+
+    Eq. (1)-(8) alone admit many structurally redundant assignments
+    (paddings that change nothing, oversized overlapping pool windows).
+    Every configuration the paper reports obeys the rules below, and
+    without them the candidate count explodes by orders of magnitude:
+
+    * ``minimal_conv_padding`` — drop ``P_conv`` values that produce the
+      same ``W_conv`` as ``P_conv - 1``: the extra padding ring is dead
+      pixels, functionally identical to the smaller padding (this is the
+      paper's own redundancy argument for Eq. (7)).
+    * ``zero_pool_padding`` — pooling layers use no padding; all 13 rows
+      of Table 4 have ``P_pool = 0``.  Disable to fall back to Eq. (8)'s
+      weaker ``P_pool < F_pool``.
+    * ``minimal_pool_window`` — per ``(W_conv, S_pool)``, keep only the
+      smallest ``F_pool`` reaching the observed ``W_OFM``; a larger
+      window differs only in how far it hangs off the edge.  Off by
+      default because it can drop the true configuration when ceil-mode
+      pooling makes two windows equivalent (e.g. both 2x2 and 3x3
+      stride-2 pool a 32-wide map to 16).
+    * ``exact_pool_division`` — keep only pools whose span divides the
+      stride exactly (``(W_conv - F_pool) mod S_pool == 0``).  Every row
+      of the paper's Table 4 has this property, and enabling it
+      reproduces the paper's per-layer candidate sets most closely; it
+      is off by default because ceil-mode accelerators can genuinely run
+      inexact configurations.
+    * ``pool_window_cap`` — require ``F_pool <= cap_a * S_pool + cap_b``
+      (default 2s+2): pooling windows overlap at most their stride plus
+      a small margin, ruling out degenerate stride-1 windows that span
+      half the feature map.  The cap admits every pool in Table 4
+      (including the 4x4/stride-1 of CONV5_4) and SqueezeNet's global
+      average pool (F = S = W_conv).
+    """
+
+    minimal_conv_padding: bool = True
+    zero_pool_padding: bool = True
+    minimal_pool_window: bool = False
+    exact_pool_division: bool = False
+    pool_window_cap: tuple[int, int] | None = (2, 2)
+
+    def pool_window_ok(self, f_pool: int, s_pool: int) -> bool:
+        if self.pool_window_cap is None:
+            return True
+        a, b = self.pool_window_cap
+        return f_pool <= a * s_pool + b
+
+
+@dataclass(frozen=True)
+class LayerProblem:
+    """One layer's observed facts plus the chained input geometry.
+
+    ``w_ifm``/``d_ifm`` come from the candidate output of the producing
+    layer (or from the known network input for the first layer);
+    everything else is read off the trace.
+    """
+
+    w_ifm: int
+    d_ifm: int
+    size_ofm: SizeRange
+    size_fltr: SizeRange
+    duration: int
+    read_transactions: int
+    write_transactions: int
+    final: bool = False
+
+    def __post_init__(self) -> None:
+        if self.w_ifm <= 0 or self.d_ifm <= 0:
+            raise SolverError(
+                f"bad chained input geometry {self.w_ifm}x{self.d_ifm}"
+            )
+
+
+def _w_ofm_candidates(size_ofm: SizeRange, d_ofm: int) -> list[int]:
+    """Widths with ``w^2 * d_ofm`` inside the observed OFM size range."""
+    lo = math.isqrt(max(0, size_ofm.lo - 1) // d_ofm) if d_ofm else 0
+    hi = math.isqrt(size_ofm.hi // d_ofm)
+    return [
+        w
+        for w in range(max(1, lo), hi + 1)
+        if size_ofm.contains(w * w * d_ofm)
+    ]
+
+
+def _pool_paddings(
+    w_conv: int, w_ofm: int, f_pool: int, s_pool: int
+) -> list[int]:
+    """P_pool values with ``ceil((W_conv - F_pool + 2P)/S) + 1 == W_ofm``.
+
+    The ceil-mode relation holds iff
+    ``(W_ofm - 2) * S < W_conv - F_pool + 2P <= (W_ofm - 1) * S`` with a
+    non-negative span; Eq. (8) further requires ``P < F_pool``.
+    """
+    span_hi = (w_ofm - 1) * s_pool
+    span_lo = (w_ofm - 2) * s_pool + 1  # exclusive bound made inclusive
+    base = w_conv - f_pool
+    # span = base + 2P  =>  P in [(span_lo - base)/2, (span_hi - base)/2]
+    p_lo = -(-(span_lo - base) // 2)
+    p_hi = (span_hi - base) // 2
+    p_lo = max(p_lo, 0, -(-(-base) // 2))  # span >= 0  =>  2P >= -base
+    return [p for p in range(p_lo, p_hi + 1) if p < f_pool]
+
+
+def _pool_options(
+    w_conv: int, w_ofm: int, rules: PracticalityRules
+) -> list[tuple[int, int, int]]:
+    """(F_pool, S_pool, P_pool) assignments pooling W_conv down to W_ofm.
+
+    Enumerates strides, solving for windows/paddings; applies Eq. (6),
+    Eq. (8) and the practicality rules.  Identity pooling (W unchanged,
+    F = S = 1) is excluded — it is indistinguishable from no pooling.
+    """
+    options: list[tuple[int, int, int]] = []
+    for s_pool in range(1, w_conv + 1):
+        per_stride: list[tuple[int, int, int]] = []
+        for f_pool in range(s_pool, w_conv + 1):  # Eq. (6)
+            if not rules.pool_window_ok(f_pool, s_pool):
+                continue
+            for p_pool in _pool_paddings(w_conv, w_ofm, f_pool, s_pool):
+                if rules.zero_pool_padding and p_pool != 0:
+                    continue
+                if (f_pool, s_pool, p_pool) == (1, 1, 0):
+                    continue  # identity pooling = no pooling
+                if (
+                    rules.exact_pool_division
+                    and (w_conv - f_pool + 2 * p_pool) % s_pool != 0
+                ):
+                    continue
+                per_stride.append((f_pool, s_pool, p_pool))
+        if rules.minimal_pool_window and per_stride:
+            per_stride = [min(per_stride, key=lambda t: (t[2], t[0]))]
+        options.extend(per_stride)
+    return options
+
+
+def solve_conv_layer(
+    problem: LayerProblem,
+    device: DeviceKnowledge,
+    tolerance: float = 0.25,
+    rules: PracticalityRules | None = None,
+) -> list[LayerGeometry]:
+    """All CONV(+POOL) geometries satisfying Eq. (1)-(8) + timing.
+
+    Returned geometries are validated and de-duplicated, ordered by
+    (F_conv, S_conv, P_conv, pooling).
+    """
+    rules = rules or PracticalityRules()
+    w_ifm, d_ifm = problem.w_ifm, problem.d_ifm
+    results: dict[LayerGeometry, None] = {}
+    f_max = w_ifm // 2  # Eq. (5) upper bound
+    for f in range(1, f_max + 1):
+        per_filter = f * f * d_ifm
+        d_lo = -(-problem.size_fltr.lo // per_filter)
+        d_hi = problem.size_fltr.hi // per_filter
+        for d_ofm in range(max(1, d_lo), d_hi + 1):
+            w_ofm_cands = _w_ofm_candidates(problem.size_ofm, d_ofm)
+            if not w_ofm_cands:
+                continue
+            for s in range(1, f + 1):  # Eq. (5) lower bound
+                prev_w_conv = None
+                for p in range(0, f):  # Eq. (7)
+                    span = w_ifm - f + 2 * p
+                    if span < 0:
+                        continue
+                    w_conv = span // s + 1
+                    if rules.minimal_conv_padding and w_conv == prev_w_conv:
+                        continue  # redundant padding ring
+                    prev_w_conv = w_conv
+                    macs = w_conv * w_conv * d_ofm * f * f * d_ifm
+                    predicted = device.predicted_duration(
+                        macs, problem.read_transactions,
+                        problem.write_transactions, problem.final,
+                    )
+                    if not timing_consistent(
+                        problem.duration, predicted, tolerance
+                    ):
+                        continue
+                    for w_ofm in w_ofm_cands:
+                        if w_ofm == w_conv:
+                            geom = LayerGeometry(
+                                w_ifm=w_ifm, d_ifm=d_ifm,
+                                w_ofm=w_ofm, d_ofm=d_ofm,
+                                f_conv=f, s_conv=s, p_conv=p,
+                            )
+                            results[geom] = None
+                        for f_pool, s_pool, p_pool in _pool_options(
+                            w_conv, w_ofm, rules
+                        ):
+                            geom = LayerGeometry(
+                                w_ifm=w_ifm, d_ifm=d_ifm,
+                                w_ofm=w_ofm, d_ofm=d_ofm,
+                                f_conv=f, s_conv=s, p_conv=p,
+                                has_pool=True, f_pool=f_pool,
+                                s_pool=s_pool, p_pool=p_pool,
+                            )
+                            results[geom] = None
+    return [g.validate() for g in results]
+
+
+def solve_fc_layer(
+    problem: LayerProblem,
+    device: DeviceKnowledge,
+    tolerance: float = 0.25,
+) -> list[FCGeometry]:
+    """FC interpretations of a layer: filter covers the whole IFM.
+
+    ``in_features`` is pinned by the chained input geometry; ``D_OFM``
+    ranges over the observed OFM size (``W_OFM = 1`` by definition for a
+    flattened output).  Per Section 3.2 this almost always yields zero or
+    one candidate.
+    """
+    in_features = problem.w_ifm * problem.w_ifm * problem.d_ifm
+    candidates = []
+    for d_ofm in range(max(1, problem.size_ofm.lo), problem.size_ofm.hi + 1):
+        if not problem.size_fltr.contains(in_features * d_ofm):
+            continue
+        macs = in_features * d_ofm
+        predicted = device.predicted_duration(
+            macs, problem.read_transactions, problem.write_transactions,
+            problem.final,
+        )
+        if not timing_consistent(problem.duration, predicted, tolerance):
+            continue
+        candidates.append(FCGeometry(in_features, d_ofm))
+    return candidates

@@ -1,0 +1,407 @@
+"""Memory-trace analysis: layers, connections, sizes, timing.
+
+Implements steps 1-2 of the paper's Algorithm 1 from nothing but the
+attacker-visible trace:
+
+1. **Layer boundaries** via read-after-write dependencies: "the beginning
+   of a new convolutional/fully connected layer is revealed by the first
+   read access on a memory address that was previously written".
+   Concretely, a boundary is a read of an address written *since the last
+   boundary* — within a layer the accelerator reads only IFMs written by
+   earlier layers and read-only weights, and writes its OFM exactly once.
+2. **Region classification** per layer: reads landing in an earlier
+   layer's write range are IFM fetches (and identify the producing layer
+   — the connection graph, including bypass paths); remaining reads are
+   filter fetches; writes delimit the OFM.  Sizes follow from the extents
+   of each contiguous range, exact to one memory block.
+3. **Timing**: per-layer cycle counts between boundaries, plus the
+   per-layer transaction count (used to model memory-bound layers).
+
+Merge layers (element-wise bypass additions and depth concatenations)
+read previously written data but no filters; they are classified by
+comparing their OFM size against their operand sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.accel.observe import StructureObservation
+
+__all__ = [
+    "SizeRange",
+    "LayerObservation",
+    "TraceAnalysis",
+    "find_layer_boundaries",
+    "find_layer_boundaries_raw",
+    "analyse_trace",
+    "average_analyses",
+]
+
+INPUT_SOURCE = -1  # pseudo-index for the network input feature map
+
+
+@dataclass(frozen=True)
+class SizeRange:
+    """Inclusive element-count interval for a tensor observed at
+    block granularity: the true size lies in [lo, hi]."""
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def from_byte_extent(byte_extent: int, element_bytes: int, block_bytes: int) -> "SizeRange":
+        if byte_extent <= 0 or byte_extent % block_bytes != 0:
+            raise TraceError(
+                f"region extent {byte_extent} not a positive block multiple"
+            )
+        hi = byte_extent // element_bytes
+        epb = block_bytes // element_bytes
+        return SizeRange(lo=hi - epb + 1, hi=hi)
+
+    def contains(self, n: int) -> bool:
+        return self.lo <= n <= self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+@dataclass(frozen=True)
+class LayerObservation:
+    """Attacker-extracted facts about one accelerator layer.
+
+    Attributes:
+        index: layer position in execution order (0-based).
+        kind: ``compute`` (conv or FC — reads filters) or ``merge``
+            (reads only prior OFMs).
+        sources: producing layer indices of the feature maps read
+            (:data:`INPUT_SOURCE` for the network input).
+        size_ifm_per_source: observed IFM size per source, same order.
+        size_ofm: observed OFM size.
+        size_fltr: observed filter size (None for merge layers).
+        duration: cycles from this layer's first transaction to the next
+            layer's first (or trace end).
+        read_transactions: memory read transactions in the layer window.
+        write_transactions: memory write transactions in the layer window.
+    """
+
+    index: int
+    kind: str
+    sources: tuple[int, ...]
+    size_ifm_per_source: tuple[SizeRange, ...]
+    size_ofm: SizeRange
+    size_fltr: SizeRange | None
+    duration: int
+    read_transactions: int
+    write_transactions: int
+
+    @property
+    def transactions(self) -> int:
+        return self.read_transactions + self.write_transactions
+
+    def source_size(self, source: int) -> SizeRange:
+        return self.size_ifm_per_source[self.sources.index(source)]
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """The full structure-attack view of one inference trace."""
+
+    layers: tuple[LayerObservation, ...]
+    input_shape: tuple[int, int, int]
+    num_classes: int
+    element_bytes: int
+    block_bytes: int
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def consumers(self, index: int) -> list[int]:
+        return [l.index for l in self.layers if index in l.sources]
+
+
+def _previous_write_index(addresses: np.ndarray, is_write: np.ndarray) -> np.ndarray:
+    """For each event, the index of the latest earlier write to the same
+    address (-1 if none).  Vectorised via per-address running maxima."""
+    n = len(addresses)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    order = np.lexsort((idx, addresses))
+    addr_s = addresses[order]
+    write_idx_s = np.where(is_write[order], idx[order], -1)
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    group_start[1:] = addr_s[1:] != addr_s[:-1]
+    group_id = np.cumsum(group_start) - 1
+    # Running max within groups via per-group offsets (values < n + 2).
+    big = np.int64(n + 2)
+    lifted = write_idx_s + group_id * big
+    cummax = np.maximum.accumulate(lifted)
+    prev_excl = np.empty(n, dtype=np.int64)
+    prev_excl[0] = -1
+    prev_excl[1:] = cummax[:-1] - group_id[1:] * big
+    prev_excl[group_start] = -1
+    prev_excl = np.where(prev_excl >= 0, prev_excl, -1)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = prev_excl
+    return out
+
+
+def find_layer_boundaries_raw(
+    addresses: np.ndarray, is_write: np.ndarray
+) -> list[int]:
+    """Event indices at which a new layer begins — literal RAW rule.
+
+    This is the paper's Section 3.1 rule verbatim: a boundary is a read
+    whose address was written since the previous boundary.  It is exact
+    for sequential networks but under-segments at branch fan-out (a
+    second consumer re-reading an already-consumed OFM produces no fresh
+    RAW edge); use :func:`find_layer_boundaries` for general DAGs.
+    """
+    n = len(addresses)
+    if n == 0:
+        raise TraceError("empty trace")
+    prev_write = _previous_write_index(addresses, is_write)
+    is_read = ~is_write
+    candidate = is_read & (prev_write >= 0)
+    cand_idx = np.flatnonzero(candidate)
+    boundaries = [0]
+    start = 0
+    pos = 0
+    while pos < len(cand_idx):
+        # First candidate read >= start whose producing write is >= start.
+        sub = cand_idx[pos:]
+        hits = sub[(sub >= start) & (prev_write[sub] >= start)]
+        if len(hits) == 0:
+            break
+        start = int(hits[0])
+        boundaries.append(start)
+        pos = int(np.searchsorted(cand_idx, start + 1))
+    return boundaries
+
+
+def find_layer_boundaries(
+    addresses: np.ndarray, is_write: np.ndarray
+) -> list[int]:
+    """Event indices at which a new layer begins — protocol rule.
+
+    The Figure 1 accelerator reads a layer's IFM tiles and filters, then
+    writes the whole OFM back at the end of the layer ("after computing
+    over all tiles ... writes an output feature map back to DRAM").  A
+    read following any write in the current window therefore belongs to
+    the *next* layer.  For this write-at-end protocol the rule strictly
+    subsumes the RAW rule (every fresh RAW read follows the producing
+    write) and additionally segments branch fan-out, where a second
+    consumer re-reads an OFM the first consumer already read.
+    """
+    n = len(addresses)
+    if n == 0:
+        raise TraceError("empty trace")
+    boundaries = [0]
+    write_idx = np.flatnonzero(is_write)
+    read_idx = np.flatnonzero(~is_write)
+    start = 0
+    while True:
+        wpos = np.searchsorted(write_idx, start)
+        if wpos == len(write_idx):
+            break
+        first_write = write_idx[wpos]
+        rpos = np.searchsorted(read_idx, first_write)
+        if rpos == len(read_idx):
+            break
+        start = int(read_idx[rpos])
+        boundaries.append(start)
+    return boundaries
+
+
+def _contiguous_extent(addresses: np.ndarray, block_bytes: int) -> tuple[int, int]:
+    """(lo, hi_exclusive) byte extent of a set of block addresses.
+
+    Raises if the blocks do not form one contiguous region — regions are
+    contiguous arrays per the paper, so a gap means misclassification.
+    """
+    unique = np.unique(addresses)
+    lo, hi = int(unique[0]), int(unique[-1]) + block_bytes
+    if (hi - lo) // block_bytes != len(unique):
+        raise TraceError(
+            f"address set is not contiguous: {len(unique)} blocks across "
+            f"{(hi - lo) // block_bytes} block slots"
+        )
+    return lo, hi
+
+
+def _split_first_layer_reads(
+    read_addrs: np.ndarray,
+    input_elements: int,
+    element_bytes: int,
+    block_bytes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Separate the first layer's reads into (input fmap, filters).
+
+    The input feature map's size is known to the adversary (they feed the
+    inputs): ``W_IFM^2 * D_IFM`` elements.  Runtimes place the input
+    buffer at the low end of the model's address range, so the first
+    ``ceil(input_elements / epb)`` read blocks are the input; the rest
+    are the first layer's filters.
+    """
+    unique = np.unique(read_addrs)
+    input_bytes = -(-input_elements * element_bytes // block_bytes) * block_bytes
+    base = int(unique[0])
+    input_mask = read_addrs < base + input_bytes
+    return read_addrs[input_mask], read_addrs[~input_mask]
+
+
+def analyse_trace(obs: StructureObservation) -> TraceAnalysis:
+    """Run the full trace analysis on a structure-attack observation."""
+    trace = obs.trace
+    addresses, is_write, cycles = trace.addresses, trace.is_write, trace.cycles
+    boundaries = find_layer_boundaries(addresses, is_write)
+    n_events = len(addresses)
+    edges = boundaries + [n_events]
+
+    c, h, w = obs.input_shape
+    input_elements = c * h * w
+
+    layers: list[LayerObservation] = []
+    write_ranges: list[tuple[int, int]] = []  # per-layer OFM byte extents
+    for li in range(len(boundaries)):
+        lo_e, hi_e = edges[li], edges[li + 1]
+        addr = addresses[lo_e:hi_e]
+        wmask = is_write[lo_e:hi_e]
+        read_addrs = addr[~wmask]
+        write_addrs = addr[wmask]
+        if len(write_addrs) == 0:
+            raise TraceError(f"layer {li} wrote no OFM")
+        ofm_lo, ofm_hi = _contiguous_extent(write_addrs, obs.block_bytes)
+        size_ofm = SizeRange.from_byte_extent(
+            ofm_hi - ofm_lo, obs.element_bytes, obs.block_bytes
+        )
+
+        # Attribute reads to earlier layers' OFMs (or the input).
+        sources: list[int] = []
+        ifm_sizes: list[SizeRange] = []
+        unattributed = np.ones(len(read_addrs), dtype=bool)
+        for src_idx, (w_lo, w_hi) in enumerate(write_ranges):
+            mask = (read_addrs >= w_lo) & (read_addrs < w_hi)
+            if mask.any():
+                sources.append(src_idx)
+                ifm_sizes.append(
+                    SizeRange.from_byte_extent(
+                        w_hi - w_lo, obs.element_bytes, obs.block_bytes
+                    )
+                )
+                unattributed &= ~mask
+        remaining = read_addrs[unattributed]
+        if li == 0 and len(remaining):
+            ifm_reads, remaining = _split_first_layer_reads(
+                remaining, input_elements, obs.element_bytes, obs.block_bytes
+            )
+            if len(ifm_reads):
+                sources.insert(0, INPUT_SOURCE)
+                ifm_sizes.insert(
+                    0, SizeRange(lo=input_elements, hi=input_elements)
+                )
+
+        if len(remaining):
+            f_lo, f_hi = _contiguous_extent(remaining, obs.block_bytes)
+            size_fltr: SizeRange | None = SizeRange.from_byte_extent(
+                f_hi - f_lo, obs.element_bytes, obs.block_bytes
+            )
+            kind = "compute"
+        else:
+            size_fltr = None
+            kind = "merge"
+
+        start_cycle = int(cycles[lo_e])
+        if edges[li + 1] < n_events:
+            end_cycle = int(cycles[edges[li + 1]])
+        else:
+            # Final layer: no next boundary — use the wall clock, which
+            # covers the OFM write-back drain the adversary observes.
+            end_cycle = obs.total_cycles
+        
+        layers.append(
+            LayerObservation(
+                index=li,
+                kind=kind,
+                sources=tuple(sources),
+                size_ifm_per_source=tuple(ifm_sizes),
+                size_ofm=size_ofm,
+                size_fltr=size_fltr,
+                duration=max(1, end_cycle - start_cycle),
+                read_transactions=int(len(read_addrs)),
+                write_transactions=int(len(write_addrs)),
+            )
+        )
+        write_ranges.append((ofm_lo, ofm_hi))
+
+    return TraceAnalysis(
+        layers=tuple(layers),
+        input_shape=obs.input_shape,
+        num_classes=obs.num_classes,
+        element_bytes=obs.element_bytes,
+        block_bytes=obs.block_bytes,
+    )
+
+
+def average_analyses(
+    analyses: list[TraceAnalysis], mode: str = "min"
+) -> TraceAnalysis:
+    """Combine repeated observations of the same device.
+
+    Addresses and sizes are deterministic across runs, but real devices
+    show run-to-run timing noise.  Contention noise is one-sided (it
+    only delays), so the adversary's standard filter is the *minimum*
+    per-layer duration over several inferences — it converges to the
+    deterministic execution time (``mode="mean"`` is also available for
+    symmetric-noise devices).  All runs must agree on the structural
+    facts — a mismatch means the traces came from different devices.
+    """
+    if mode not in ("min", "mean"):
+        raise TraceError(f"unknown aggregation mode {mode!r}")
+    if not analyses:
+        raise TraceError("no analyses to average")
+    first = analyses[0]
+    for other in analyses[1:]:
+        if other.num_layers != first.num_layers:
+            raise TraceError("runs disagree on the number of layers")
+        for a, b in zip(first.layers, other.layers):
+            if (a.sources, a.size_ofm, a.size_fltr) != (
+                b.sources, b.size_ofm, b.size_fltr,
+            ):
+                raise TraceError(
+                    f"runs disagree on layer {a.index}'s structural facts"
+                )
+    layers = []
+    for idx in range(first.num_layers):
+        obs = [a.layers[idx] for a in analyses]
+        base = obs[0]
+        layers.append(
+            LayerObservation(
+                index=base.index,
+                kind=base.kind,
+                sources=base.sources,
+                size_ifm_per_source=base.size_ifm_per_source,
+                size_ofm=base.size_ofm,
+                size_fltr=base.size_fltr,
+                duration=(
+                    int(min(o.duration for o in obs))
+                    if mode == "min"
+                    else int(round(np.mean([o.duration for o in obs])))
+                ),
+                read_transactions=base.read_transactions,
+                write_transactions=base.write_transactions,
+            )
+        )
+    return TraceAnalysis(
+        layers=tuple(layers),
+        input_shape=first.input_shape,
+        num_classes=first.num_classes,
+        element_bytes=first.element_bytes,
+        block_bytes=first.block_bytes,
+    )

@@ -1,0 +1,33 @@
+"""The Section 4 weight reverse-engineering attack (zero pruning)."""
+
+from repro.attacks.weights.aggregate import (
+    AggregateAttackResult,
+    Crossing,
+    recover_crossing_multiset,
+)
+from repro.attacks.weights.recovery import (
+    FilterRecovery,
+    WeightAttack,
+    WeightAttackResult,
+    WeightStatus,
+)
+from repro.attacks.weights.target import AttackTarget
+from repro.attacks.weights.threshold_attack import (
+    ThresholdAttackResult,
+    ThresholdWeightAttack,
+    recover_positive_biases,
+)
+
+__all__ = [
+    "AttackTarget",
+    "WeightAttack",
+    "WeightAttackResult",
+    "FilterRecovery",
+    "WeightStatus",
+    "ThresholdWeightAttack",
+    "ThresholdAttackResult",
+    "recover_positive_biases",
+    "recover_crossing_multiset",
+    "AggregateAttackResult",
+    "Crossing",
+]

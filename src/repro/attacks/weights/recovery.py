@@ -1,0 +1,663 @@
+"""Weight recovery through the zero-pruning channel (paper Section 4).
+
+Everything is expressed in *normalised ratios* ``rho = w / b``: a conv
+cell computes ``w*x + b = b * (1 + rho*x)``, so with the bias sign known
+(one baseline query: are the all-zero-input outputs non-zero?) the
+activation state of any cell at any probe value is a function of its
+ratio alone.  The attack recovers ``rho`` for every weight of every
+filter — the paper's "each weight can be expressed as a function of one
+bias value".
+
+Algorithm (generalising the paper's Algorithm 2 and its pooling
+extension):
+
+1. Probe pixels walk the top-left ``F x F`` corner in lexicographic
+   order; with an unpadded convolution, pixel ``(i, j)`` touches weight
+   ``(i, j)`` through conv output ``(0, 0)`` and otherwise only weights
+   already recovered at earlier pixels (Figure 6b's connection counts).
+2. The attacker *models* the expected non-zero count from the recovered
+   ratios; the residual measured-minus-modelled count isolates the new
+   weight's activation, which flips exactly once — a binary search on
+   each side of zero pins the crossing ``x* = -1/rho``.
+3. With a merged pooling stage (max or average — the channel only sees
+   zero vs non-zero, so both behave identically), a window can mask the
+   new cell behind an already-known cell (the paper's Eq. 10 scenario).
+   Masked weights are resolved in follow-up rounds by (a) re-probing the
+   weight through a different conv output whose pooled window has a
+   visible region — pixel ``(i + a*S, j + b*S)`` reaches weight
+   ``(i, j)`` via output ``(a, b)`` — and (b) the paper's two-pixel
+   technique: hold probe ``(i, j)`` at an anchor ``v`` that keeps every
+   known cell of the corner window inactive and search pixel ``(0, 0)``
+   (which influences only the corner output); the crossing of
+   ``b*(1 + rho00*x + rho_ij*v)`` yields
+   ``rho_ij = -(1 + rho00*x*) / v``.
+4. Missing crossings identify zero weights (paper: "zero-valued weights
+   can be identified from missing zero-crossing points").
+
+Binary searches for all ``D_OFM`` filters advance in lockstep through
+batched per-filter queries, so the whole 96-filter AlexNet CONV1 case
+study runs in minutes on one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.accel.observe import ZeroPruningChannel
+from repro.attacks.weights.target import AttackTarget
+
+__all__ = [
+    "WeightStatus",
+    "FilterRecovery",
+    "WeightAttackResult",
+    "WeightAttack",
+]
+
+
+class WeightStatus:
+    """Per-weight recovery outcomes."""
+
+    UNKNOWN = "unknown"  # not yet attempted / dependencies unresolved
+    RECOVERED = "recovered"
+    ZERO = "zero"  # no crossing anywhere visible: w = 0 (or |w/b| < 1/x_max)
+    MASKED = "masked"  # pooling hides it and no technique unmasked it
+    SATURATED = "saturated"  # positive bias + pooling: channel is silent
+
+
+_RESOLVED = (WeightStatus.RECOVERED, WeightStatus.ZERO)
+
+
+@dataclass
+class FilterRecovery:
+    """Recovered ratios of one filter: ``ratios[c, i, j] = w / b``."""
+
+    filter_index: int
+    bias_positive: bool
+    ratios: np.ndarray  # (d_ifm, f, f) float
+    status: np.ndarray  # (d_ifm, f, f) object (status strings)
+
+    @property
+    def num_recovered(self) -> int:
+        return int((self.status == WeightStatus.RECOVERED).sum())
+
+    @property
+    def num_zero(self) -> int:
+        return int((self.status == WeightStatus.ZERO).sum())
+
+
+@dataclass
+class WeightAttackResult:
+    """Outcome of the full layer attack."""
+
+    target: AttackTarget
+    filters: list[FilterRecovery] = field(default_factory=list)
+    queries: int = 0
+
+    def ratio_tensor(self) -> np.ndarray:
+        """Recovered ``w/b`` ratios, shape ``(d_ofm, d_ifm, f, f)``."""
+        return np.stack([f.ratios for f in self.filters])
+
+    def status_tensor(self) -> np.ndarray:
+        return np.stack([f.status for f in self.filters])
+
+    def resolved_mask(self) -> np.ndarray:
+        status = self.status_tensor()
+        return (status == WeightStatus.RECOVERED) | (status == WeightStatus.ZERO)
+
+    def max_ratio_error(self, weights: np.ndarray, biases: np.ndarray) -> float:
+        """Max |recovered - true| over resolved weights (Figure 7 metric)."""
+        true_ratio = weights / biases[:, None, None, None]
+        mask = self.resolved_mask()
+        if not mask.any():
+            raise AttackError("no weights were recovered")
+        return float(np.abs(self.ratio_tensor() - true_ratio)[mask].max())
+
+    def recovery_fraction(self) -> float:
+        return float(self.resolved_mask().mean())
+
+
+class WeightAttack:
+    """Recover every ``w/b`` ratio of one conv stage via write counts.
+
+    Args:
+        channel: the device's zero-pruning observation channel (must be
+            per-plane; aggregate devices are attacked with
+            :mod:`repro.attacks.weights.aggregate`).
+        target: structural knowledge of the attacked stage.
+        search_steps: bisection iterations per crossing (64 reaches
+            float64 resolution over any practical input range).
+        max_resolution_rounds: extra passes resolving pooling-masked
+            weights through alternate probes.
+    """
+
+    def __init__(
+        self,
+        channel: ZeroPruningChannel,
+        target: AttackTarget,
+        search_steps: int = 64,
+        max_resolution_rounds: int = 4,
+    ):
+        if not channel.per_plane:
+            raise AttackError(
+                "per-filter recovery needs per-plane write counts; use the "
+                "aggregate attack for single-stream devices"
+            )
+        if channel.input_shape != (target.d_ifm, target.w_ifm, target.w_ifm):
+            raise AttackError(
+                f"target geometry {target} does not match device input "
+                f"{channel.input_shape}"
+            )
+        if channel.d_ofm != target.d_ofm:
+            # The adversary can count the OFM substreams directly, so a
+            # candidate with the wrong output depth is rejected up front.
+            raise AttackError(
+                f"target d_ofm {target.d_ofm} does not match the device's "
+                f"{channel.d_ofm} output substreams"
+            )
+        self.channel = channel
+        self.target = target
+        self.search_steps = search_steps
+        self.max_resolution_rounds = max_resolution_rounds
+        self.x_max = float(min(abs(channel.input_range[0]), channel.input_range[1]))
+        if self.x_max <= 0:
+            raise AttackError("device input range does not straddle zero")
+        self._d = target.d_ofm
+
+    # ------------------------------------------------------------------
+    # Count model: everything in terms of rho = w/b and the bias sign.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cell_active(
+        rho: np.ndarray, x: np.ndarray, bias_positive: np.ndarray
+    ) -> np.ndarray:
+        """Activation of a cell ``b*(1 + rho*x)`` after ReLU, elementwise."""
+        v = 1.0 + rho * x
+        return np.where(bias_positive, v > 0, v < 0)
+
+    def _measure(self, pixels, values_per_filter: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            self.channel.query_per_filter(pixels, values_per_filter)
+        )
+
+    def _model_counts(
+        self,
+        x: np.ndarray,
+        known_rho: np.ndarray,
+        bias_pos: np.ndarray,
+        base: np.ndarray,
+        window_groups: list[list[int]] | None,
+    ) -> np.ndarray:
+        """Expected counts if the new weight were zero.
+
+        ``known_rho`` is (d_ofm, n_known).  Without pooling each cell
+        contributes its own pixel; with pooling, ``window_groups`` lists,
+        per affected window, the indices (into the known list) of its
+        known member cells — a window is active iff any member is (the
+        channel only distinguishes zero from non-zero, so max and
+        average pooling behave identically here).
+        """
+        if known_rho.shape[1] == 0 and window_groups is None:
+            return base.astype(np.int64)
+        act = self._cell_active(known_rho, x[:, None], bias_pos[:, None])
+        act0 = np.broadcast_to(bias_pos[:, None], act.shape)
+        if window_groups is None:
+            return base + (act.astype(np.int64) - act0.astype(np.int64)).sum(axis=1)
+        # Pooled path is only reachable for negative-bias filters
+        # (positive bias saturates the channel), so windows are inactive
+        # at x = 0 and activate when any known member does.
+        delta = np.zeros(self._d, dtype=np.int64)
+        for members in window_groups:
+            if members:
+                delta += act[:, members].any(axis=1).astype(np.int64)
+        return base + delta
+
+    # ------------------------------------------------------------------
+    # Geometry helpers for one probe
+    # ------------------------------------------------------------------
+    def _probe_plan(
+        self, c: int, wi: int, wj: int, a: int, b: int
+    ) -> tuple[list[tuple[int, int, int]], list[tuple[int, int, int, int]]]:
+        """Pixel and connections probing weight (wi, wj) via output (a, b).
+
+        Returns ``(pixels, known_cells)`` where known_cells are the other
+        (output, weight) pairs the pixel influences.
+        """
+        t = self.target
+        pi = wi + a * t.s_conv
+        pj = wj + b * t.s_conv
+        if pi >= t.w_ifm or pj >= t.w_ifm:
+            raise AttackError("probe pixel outside input")
+        connected = t.outputs_seeing_pixel(pi, pj)
+        known = [cell for cell in connected if (cell[0], cell[1]) != (a, b)]
+        return [(c, pi, pj)], known
+
+    def _window_groups(
+        self,
+        known: list[tuple[int, int, int, int]],
+        a: int,
+        b: int,
+    ) -> tuple[list[list[int]], list[int]]:
+        """Known cells grouped by affected window + new-cell window ids."""
+        windows: dict[tuple[int, int], list[int]] = {}
+        for k, (oa, ob, _, _) in enumerate(known):
+            for w in self.target.windows_of_output(oa, ob):
+                windows.setdefault(w, []).append(k)
+        new_windows = self.target.windows_of_output(a, b)
+        for w in new_windows:
+            windows.setdefault(w, [])
+        keys = sorted(windows)
+        groups = [windows[k] for k in keys]
+        new_idx = [keys.index(w) for w in new_windows]
+        return groups, new_idx
+
+    def _side_limit(
+        self,
+        groups: list[list[int]],
+        new_idx: list[int],
+        known_rho: np.ndarray,
+        sign: float,
+    ) -> np.ndarray:
+        """Per-filter |x| bound before every new-cell window is masked.
+
+        Beyond the bound, each window containing the new cell is already
+        active through a known member, hiding the new crossing.  Without
+        pooling this is simply the input range.
+        """
+        if not self.target.has_pool:
+            return np.full(self._d, self.x_max)
+        # The new cell may sit in several (overlapping) windows; its
+        # crossing stays observable while *at least one* of them is
+        # known-inactive, so the bound is the max over windows of each
+        # window's own masking point (min over that window's known
+        # members' crossings on this side).
+        limit = np.zeros(self._d)
+        for w in new_idx:
+            window_mask = np.full(self._d, self.x_max)
+            for k in groups[w]:
+                rho = known_rho[:, k]
+                with np.errstate(divide="ignore"):
+                    crossing = np.where(rho != 0.0, -1.0 / rho, np.inf)
+                on_side = np.isfinite(crossing) & (np.sign(crossing) == sign)
+                window_mask = np.where(
+                    on_side, np.minimum(window_mask, np.abs(crossing)), window_mask
+                )
+            limit = np.maximum(limit, window_mask)
+        return limit * (1.0 - 1e-9)
+
+    # ------------------------------------------------------------------
+    # Core search: residual bisection for one probe configuration
+    # ------------------------------------------------------------------
+    def _residual_search(
+        self,
+        pixels,
+        known_rho: np.ndarray,
+        bias_pos: np.ndarray,
+        base: np.ndarray,
+        groups: list[list[int]] | None,
+        new_idx: list[int],
+        todo: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Search both sides of zero for the new weight's crossing.
+
+        Returns ``(found, crossing, fully_visible)`` — ``fully_visible``
+        marks filters whose search covered the whole input range on both
+        sides (so a missing crossing proves the weight is zero).
+        """
+        found = np.zeros(self._d, dtype=bool)
+        crossing = np.zeros(self._d)
+        visible_p = self._side_limit(groups or [], new_idx, known_rho, 1.0)
+        visible_n = self._side_limit(groups or [], new_idx, known_rho, -1.0)
+        for sign, limit in ((1.0, visible_p), (-1.0, visible_n)):
+            live = todo & ~found & (limit > 0)
+            if not live.any():
+                continue
+            hi = sign * limit
+            probe = np.where(live, hi, 0.0)
+            measured = self._measure(pixels, probe[None, :])
+            modeled = self._model_counts(probe, known_rho, bias_pos, base, groups)
+            moved = live & ((measured - modeled) != 0)
+            if not moved.any():
+                continue
+            lo = np.zeros(self._d)
+            cur_hi = hi.copy()
+            for _ in range(self.search_steps):
+                mid = np.where(moved, 0.5 * (lo + cur_hi), 0.0)
+                measured = self._measure(pixels, mid[None, :])
+                modeled = self._model_counts(
+                    mid, known_rho, bias_pos, base, groups
+                )
+                flipped = (measured - modeled) != 0
+                cur_hi = np.where(moved & flipped, mid, cur_hi)
+                lo = np.where(moved & ~flipped, mid, lo)
+            crossing = np.where(moved & ~found, 0.5 * (lo + cur_hi), crossing)
+            found |= moved
+        full = self.x_max * (1 - 1e-6)
+        fully_visible = (visible_p >= full) & (visible_n >= full)
+        return found, crossing, fully_visible
+
+    def _attempt_probe(
+        self,
+        c: int,
+        wi: int,
+        wj: int,
+        a: int,
+        b: int,
+        ratios: np.ndarray,
+        status: np.ndarray,
+        bias_pos: np.ndarray,
+        base: np.ndarray,
+        todo: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One probe of weight (wi, wj) via output (a, b).
+
+        Only filters whose other connected weights are all resolved are
+        attempted.  Returns (found, rho, proven_zero).
+        """
+        pixels, known = self._probe_plan(c, wi, wj, a, b)
+        if known:
+            dep_ok = np.ones(self._d, dtype=bool)
+            for (_, _, ki, kj) in known:
+                dep_ok &= np.isin(status[:, c, ki, kj], _RESOLVED)
+            known_rho = np.stack(
+                [ratios[:, c, ki, kj] for (_, _, ki, kj) in known], axis=1
+            )
+        else:
+            dep_ok = np.ones(self._d, dtype=bool)
+            known_rho = np.zeros((self._d, 0))
+        attempt = todo & dep_ok
+        if not attempt.any():
+            return (
+                np.zeros(self._d, dtype=bool),
+                np.zeros(self._d),
+                np.zeros(self._d, dtype=bool),
+            )
+        if self.target.has_pool:
+            groups, new_idx = self._window_groups(known, a, b)
+        else:
+            groups, new_idx = None, []
+        found, crossing, fully_visible = self._residual_search(
+            pixels, known_rho, bias_pos, base, groups, new_idx, attempt
+        )
+        with np.errstate(divide="ignore"):
+            rho = np.where(found, -1.0 / crossing, 0.0)
+        proven_zero = attempt & ~found & fully_visible
+        return found & attempt, rho, proven_zero
+
+    # ------------------------------------------------------------------
+    # Two-pixel unmasking (paper Eq. 10/11 generalised)
+    # ------------------------------------------------------------------
+    def _isolated_rows(self, far: bool) -> list[int]:
+        """Pixel rows read by exactly one conv output row (a corner row).
+
+        Near corner: rows ``< S_conv`` are read only by output row 0.
+        Far corner: rows past ``(w_conv - 2) * S + F - 1`` are read only
+        by the last output row.
+        """
+        t = self.target
+        if not far:
+            return list(range(min(t.s_conv, t.f_conv)))
+        last_start = (t.w_conv - 1) * t.s_conv
+        lo = max(last_start, (t.w_conv - 2) * t.s_conv + t.f_conv)
+        return list(range(lo, min(last_start + t.f_conv, t.w_ifm)))
+
+    def _corner_searchers(self) -> list[tuple[tuple[int, int], list[tuple[int, int]]]]:
+        """Per corner output, the pixels influencing only that output.
+
+        Returns ``[((A, B), [(r, c), ...]), ...]`` where each pixel
+        ``(r, c)`` reaches output ``(A, B)`` through weight
+        ``(r - A*S, c - B*S)``.  The paper's technique uses the (0, 0)
+        corner; the other three give fallback searchers when the
+        corner's weight happens to be zero.
+        """
+        t = self.target
+        a_last = t.w_conv - 1
+        corners = []
+        for far_a in (False, True):
+            for far_b in (False, True):
+                corner = (a_last if far_a else 0, a_last if far_b else 0)
+                pix = [
+                    (r, c)
+                    for r in self._isolated_rows(far_a)
+                    for c in self._isolated_rows(far_b)
+                ]
+                if pix:
+                    corners.append((corner, pix))
+        return corners
+
+    def _two_pixel(
+        self,
+        c: int,
+        wi: int,
+        wj: int,
+        ratios: np.ndarray,
+        status: np.ndarray,
+        todo: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Recover masked (wi, wj) via anchored probe + corner search.
+
+        Pixel (wi, wj) is held at an anchor ``v``; a searcher pixel
+        (r, c) influencing only conv output (0, 0) through a recovered
+        weight ``rho_s`` is swept: the corner output is
+        ``b * (1 + rho_s*x + rho_ij*v)``, so its crossing gives
+        ``rho_ij = -(1 + rho_s*x*) / v``.  Every other cell the anchor
+        drives — including cells whose ratios are still unresolved — is
+        *constant* in ``x``, so the count's only discontinuity in ``x``
+        is the corner output's crossing.  Anchors are tried at several
+        magnitudes on both sides because an unfortunate anchor can leave
+        the corner window saturated by a companion cell.
+        """
+        found = np.zeros(self._d, dtype=bool)
+        rho_new = np.zeros(self._d)
+        for (corner, searcher_pixels) in self._corner_searchers():
+            if not (todo & ~found).any():
+                break
+            ca, cb = corner
+            try:
+                pixels, known = self._probe_plan(c, wi, wj, ca, cb)
+            except AttackError:
+                continue
+            known_rho = (
+                np.stack(
+                    [ratios[:, c, ki, kj] for (_, _, ki, kj) in known], axis=1
+                )
+                if known
+                else np.zeros((self._d, 0))
+            )
+            groups, new_idx = self._window_groups(known, ca, cb)
+            for (pr, pc) in searcher_pixels:
+                if (c, pr, pc) == pixels[0]:
+                    continue
+                sr = pr - ca * self.target.s_conv
+                sc = pc - cb * self.target.s_conv
+                if (sr, sc) == (wi, wj):
+                    continue
+                rho_s = ratios[:, c, sr, sc]
+                ok_s = (status[:, c, sr, sc] == WeightStatus.RECOVERED) & (
+                    rho_s != 0.0
+                )
+                if not (todo & ok_s & ~found).any():
+                    continue
+                self._two_pixel_with_searcher(
+                    pixels, (c, pr, pc), rho_s, todo & ok_s,
+                    known_rho, groups, new_idx, found, rho_new,
+                )
+        return found, rho_new
+
+    def _two_pixel_with_searcher(
+        self,
+        pixels,
+        searcher_pixel,
+        rho_s: np.ndarray,
+        eligible: np.ndarray,
+        known_rho: np.ndarray,
+        groups: list[list[int]],
+        new_idx: list[int],
+        found: np.ndarray,
+        rho_new: np.ndarray,
+    ) -> None:
+        """Anchor + searcher sweep; updates ``found``/``rho_new`` in place."""
+        two_pixels = pixels + [searcher_pixel]
+        for v_sign in (1.0, -1.0):
+            # Unresolved companions have ratio 0 in known_rho, which
+            # the limit treats as never-masking; if they do mask at
+            # this anchor, detection simply fails and a smaller
+            # anchor is tried.
+            v_limit = self._side_limit(groups, new_idx, known_rho, v_sign)
+            for scale in (0.9, 0.45, 0.2, 0.08):
+                remaining = eligible & ~found
+                if not remaining.any():
+                    break
+                anchor = np.where(remaining, v_sign * scale * v_limit, 0.0)
+                for x_sign in (1.0, -1.0):
+                    live = remaining & ~found & (np.abs(anchor) > 0)
+                    if not live.any():
+                        break
+                    hi = np.where(live, x_sign * self.x_max, 0.0)
+                    g0 = self._measure(
+                        two_pixels, np.stack([anchor, np.zeros(self._d)])
+                    )
+                    g1 = self._measure(two_pixels, np.stack([anchor, hi]))
+                    moved = live & (g0 != g1)
+                    if not moved.any():
+                        continue
+                    lo = np.zeros(self._d)
+                    cur_hi = hi.copy()
+                    for _ in range(self.search_steps):
+                        mid = np.where(moved, 0.5 * (lo + cur_hi), 0.0)
+                        gm = self._measure(
+                            two_pixels, np.stack([anchor, mid])
+                        )
+                        flipped = gm != g0
+                        cur_hi = np.where(moved & flipped, mid, cur_hi)
+                        lo = np.where(moved & ~flipped, mid, lo)
+                    x_star = 0.5 * (lo + cur_hi)
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        rho = -(1.0 + rho_s * x_star) / anchor
+                    rho_new[moved & ~found] = rho[moved & ~found]
+                    found |= moved
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+    def run(self) -> WeightAttackResult:
+        """Run the full attack over every input channel and position."""
+        t = self.target
+        base = np.asarray(self.channel.query([(0, 0, 0)], [0.0]))
+        plane = (t.w_pool if t.has_pool else t.w_conv) ** 2
+        bias_pos = base >= plane
+        ratios = np.zeros((self._d, t.d_ifm, t.f_conv, t.f_conv))
+        status = np.full(
+            (self._d, t.d_ifm, t.f_conv, t.f_conv),
+            WeightStatus.UNKNOWN,
+            dtype=object,
+        )
+        if t.has_pool:
+            # A positive bias keeps every pooled window non-zero for any
+            # input: the count never changes and the channel is silent.
+            status[bias_pos] = WeightStatus.SATURATED
+
+        positions = [
+            (c, i, j)
+            for c in range(t.d_ifm)
+            for i in range(t.f_conv)
+            for j in range(t.f_conv)
+        ]
+
+        # Main pass + resolution rounds over alternate probes.
+        for round_no in range(1 + self.max_resolution_rounds):
+            progress = False
+            for (c, i, j) in positions:
+                todo = np.isin(
+                    status[:, c, i, j],
+                    (WeightStatus.UNKNOWN, WeightStatus.MASKED),
+                )
+                if not todo.any():
+                    continue
+                progress |= self._resolve_weight(
+                    c, i, j, ratios, status, bias_pos, base, todo,
+                    deep=round_no > 0,
+                )
+            if not progress:
+                break
+
+        unknown = status == WeightStatus.UNKNOWN
+        status[unknown] = WeightStatus.MASKED
+
+        filters = [
+            FilterRecovery(
+                filter_index=f,
+                bias_positive=bool(bias_pos[f]),
+                ratios=ratios[f],
+                status=status[f],
+            )
+            for f in range(self._d)
+        ]
+        return WeightAttackResult(
+            target=t, filters=filters, queries=self.channel.queries
+        )
+
+    def _alternate_outputs(self, wi: int, wj: int) -> list[tuple[int, int]]:
+        """Conv outputs usable to probe weight (wi, wj), nearest first."""
+        t = self.target
+        outs = [(0, 0)]
+        max_a = min(3, (t.w_ifm - 1 - wi) // t.s_conv, t.w_conv - 1)
+        max_b = min(3, (t.w_ifm - 1 - wj) // t.s_conv, t.w_conv - 1)
+        for a in range(max_a + 1):
+            for b in range(max_b + 1):
+                if (a, b) != (0, 0):
+                    outs.append((a, b))
+        return outs
+
+    def _resolve_weight(
+        self,
+        c: int,
+        i: int,
+        j: int,
+        ratios: np.ndarray,
+        status: np.ndarray,
+        bias_pos: np.ndarray,
+        base: np.ndarray,
+        todo: np.ndarray,
+        deep: bool,
+    ) -> bool:
+        """Attempt to resolve weight (c, i, j) for all ``todo`` filters."""
+        progress = False
+        pending = todo.copy()
+        outputs = self._alternate_outputs(i, j) if deep else [(0, 0)]
+        zero_evidence = np.zeros(self._d, dtype=bool)
+        for (a, b) in outputs:
+            if not pending.any():
+                break
+            found, rho, proven_zero = self._attempt_probe(
+                c, i, j, a, b, ratios, status, bias_pos, base, pending
+            )
+            if found.any():
+                ratios[found, c, i, j] = rho[found]
+                status[found, c, i, j] = WeightStatus.RECOVERED
+                pending &= ~found
+                progress = True
+            zero_evidence |= proven_zero
+        newly_zero = pending & zero_evidence
+        if newly_zero.any():
+            ratios[newly_zero, c, i, j] = 0.0
+            status[newly_zero, c, i, j] = WeightStatus.ZERO
+            pending &= ~newly_zero
+            progress = True
+        if deep and pending.any() and self.target.has_pool and (i, j) != (0, 0):
+            found, rho = self._two_pixel(c, i, j, ratios, status, pending)
+            if found.any():
+                ratios[found, c, i, j] = rho[found]
+                status[found, c, i, j] = WeightStatus.RECOVERED
+                pending &= ~found
+                progress = True
+        if deep and pending.any():
+            # Every technique exhausted this round: the weight is either
+            # zero with partial visibility or genuinely masked.  Mark
+            # masked; a later round may still flip it via new knowledge.
+            mark = pending & (status[:, c, i, j] == WeightStatus.UNKNOWN)
+            if mark.any():
+                status[mark, c, i, j] = WeightStatus.MASKED
+        return progress

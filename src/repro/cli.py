@@ -1,0 +1,252 @@
+"""Command-line interface: drive the simulator and the attacks.
+
+Four subcommands cover the repo's story end to end::
+
+    python -m repro simulate  --model lenet [--pruned] [--save-trace t.npz]
+    python -m repro structure --model alexnet [--tolerance 0.05] [--runs 3]
+    python -m repro weights   [--filters 8] [--size 43] [--threshold]
+    python -m repro clone     [--probes 80] [--epochs 15]
+
+Every command targets the bundled simulator — there is no code here
+that touches real hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    PruningConfig,
+    TimingModel,
+    ZeroPruningChannel,
+    observe_structure,
+)
+from repro.attacks.clone import clone_model, prediction_agreement
+from repro.attacks.structure import (
+    PracticalityRules,
+    analyse_trace,
+    find_layer_boundaries,
+    run_structure_attack,
+)
+from repro.attacks.weights import (
+    AttackTarget,
+    ThresholdWeightAttack,
+    WeightAttack,
+)
+from repro.data import make_dataset
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetworkBuilder
+from repro.nn.zoo import MODEL_BUILDERS, build_model
+from repro.report import render_table
+from repro.report.traceviz import render_access_pattern, render_layer_timeline
+
+__all__ = ["main"]
+
+
+def _build_victim_model(args) -> "StagedNetworkBuilder":
+    kwargs = {}
+    if args.model in ("alexnet", "squeezenet") and args.width_scale is None:
+        kwargs["width_scale"] = 0.25
+        kwargs["num_classes"] = 100
+    elif args.width_scale is not None:
+        kwargs["width_scale"] = args.width_scale
+    return build_model(args.model, **kwargs)
+
+
+def cmd_simulate(args) -> int:
+    staged = _build_victim_model(args)
+    config = AcceleratorConfig(
+        pruning=PruningConfig(enabled=args.pruned),
+        timing=TimingModel(jitter=args.jitter),
+    )
+    sim = AcceleratorSim(staged, config)
+    x = np.random.default_rng(args.seed).normal(
+        size=(1, *staged.network.input_shape)
+    )
+    result = sim.run(x)
+    print(f"model: {staged.name}  stages: {len(staged.stages)}  "
+          f"parameters: {staged.network.num_parameters:,}")
+    print(f"trace: {len(result.trace):,} transactions over "
+          f"{result.total_cycles:,} cycles "
+          f"({'pruned' if args.pruned else 'dense'} writes)\n")
+    names = [w.name for w in result.windows]
+    durations = [w.duration for w in result.windows]
+    print(render_layer_timeline(names, durations))
+    print()
+    print(render_access_pattern(result.trace, rows=18, cols=72))
+    if args.save_trace:
+        result.trace.save(args.save_trace)
+        print(f"\ntrace saved to {args.save_trace}")
+    return 0
+
+
+def cmd_structure(args) -> int:
+    staged = _build_victim_model(args)
+    sim = AcceleratorSim(staged)
+    rules = PracticalityRules(exact_pool_division=not args.loose_rules)
+    result = run_structure_attack(
+        sim, tolerance=args.tolerance, rules=rules, runs=args.runs
+    )
+    obs = result.observation
+    boundaries = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
+    print(f"layers detected: {len(boundaries)}")
+    rows = [
+        (l.index, l.kind, l.sources, str(l.size_ofm), str(l.size_fltr),
+         f"{l.duration:,}")
+        for l in result.analysis.layers
+    ]
+    print(render_table(
+        ["layer", "kind", "reads-from", "SIZE_OFM", "SIZE_FLTR", "cycles"],
+        rows,
+    ))
+    if result.module_roles:
+        print(f"\nrepeated-module roles detected on "
+              f"{len(result.module_roles)} layers (fire modules)")
+    print(f"\ncandidate structures: {result.count}")
+    for i, cand in enumerate(result.candidates[: args.show]):
+        print(f"\ncandidate {i}:")
+        print(cand.describe())
+    return 0
+
+
+def _demo_weight_victim(size: int, filters: int, seed: int):
+    rng = np.random.default_rng(seed)
+    builder = StagedNetworkBuilder(
+        "victim", (3, size, size), relu_threshold=0.0
+    )
+    geom = LayerGeometry.from_conv(
+        size, 3, filters, 11, 4, 0, pool=PoolSpec(3, 2, 0)
+    )
+    builder.add_conv("conv1", geom)
+    staged = builder.build()
+    conv = staged.network.nodes["conv1/conv"].layer
+    weights = rng.normal(size=conv.weight.value.shape) * 0.1
+    weights[np.abs(weights) < 0.03] = 0.0
+    conv.weight.value[:] = weights
+    conv.bias.value[:] = -rng.uniform(0.05, 0.3, size=filters)
+    return staged, geom, weights, conv.bias.value.copy()
+
+
+def cmd_weights(args) -> int:
+    staged, geom, weights, biases = _demo_weight_victim(
+        args.size, args.filters, args.seed
+    )
+    sim = AcceleratorSim(
+        staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    channel = ZeroPruningChannel(sim, "conv1")
+    target = AttackTarget.from_geometry(geom)
+    print(f"victim conv layer: {weights.shape} "
+          f"({(weights == 0).mean():.0%} zero weights), pool 3x3/2")
+    if args.threshold:
+        result = ThresholdWeightAttack(channel, target, t1=0.0, t2=0.5).run()
+        print(f"threshold attack: resolved {result.resolved.mean():.1%}")
+        print(f"max |w| error: {result.max_weight_error(weights):.3e}")
+        print(f"max |b| error: {result.max_bias_error(biases):.3e}")
+    else:
+        result = WeightAttack(channel, target).run()
+        print(f"ratio attack: resolved {result.recovery_fraction():.1%} "
+              f"in {result.queries:,} queries")
+        print(f"max |w/b| error: "
+              f"{result.max_ratio_error(weights, biases):.3e} "
+              f"(paper bound 2^-10 = {2**-10:.3e})")
+    return 0
+
+
+def cmd_clone(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    builder = StagedNetworkBuilder("victim", (1, 14, 14), relu_threshold=0.0)
+    geom = LayerGeometry.from_conv(14, 1, 6, 3, 1, 0, pool=PoolSpec(2, 2, 0))
+    builder.add_conv("conv1", geom)
+    builder.add_fc("fc2", 10, activation=False)
+    victim = builder.build()
+    conv = victim.network.nodes["conv1/conv"].layer
+    conv.weight.value[:] = rng.normal(size=conv.weight.value.shape)
+    conv.bias.value[:] = -rng.uniform(0.2, 0.8, size=6)
+
+    per_class = max(1, args.probes // 10)
+    ds = make_dataset(
+        num_classes=10, image_size=14, channels=1,
+        train_per_class=per_class, val_per_class=max(1, per_class // 2),
+        seed=args.seed,
+    )
+    dense = AcceleratorSim(victim)
+    pruned = AcceleratorSim(
+        victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    result = clone_model(
+        dense, pruned, ds.train_images, distill_epochs=args.epochs
+    )
+    stolen = result.network.network.nodes[
+        f"{result.network.stages[0].name}/conv"
+    ].layer
+    weight_err = float(
+        np.abs(stolen.weight.value - conv.weight.value).max()
+    )
+    print(f"structure candidates: {result.structure_candidates}")
+    print(f"stolen conv1 max weight error: {weight_err:.3e}")
+    print(f"channel queries: {result.channel_queries:,}; "
+          f"labeling queries: {result.labeling_queries}")
+    print("prediction agreement with victim: "
+          f"{prediction_agreement(victim, result.network, ds.train_images):.1%} "
+          f"(probe set), "
+          f"{prediction_agreement(victim, result.network, ds.val_images):.1%} "
+          f"(held out)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'18 CNN side-channel reverse engineering, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a model on the accelerator")
+    sim.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="lenet")
+    sim.add_argument("--width-scale", type=float, default=None)
+    sim.add_argument("--pruned", action="store_true")
+    sim.add_argument("--jitter", type=float, default=0.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--save-trace", default=None)
+    sim.set_defaults(func=cmd_simulate)
+
+    st = sub.add_parser("structure", help="run the Section 3 attack")
+    st.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="lenet")
+    st.add_argument("--width-scale", type=float, default=None)
+    st.add_argument("--tolerance", type=float, default=0.1)
+    st.add_argument("--runs", type=int, default=1)
+    st.add_argument("--loose-rules", action="store_true")
+    st.add_argument("--show", type=int, default=1,
+                    help="candidates to print in full")
+    st.set_defaults(func=cmd_structure)
+
+    wt = sub.add_parser("weights", help="run the Section 4 attack (demo victim)")
+    wt.add_argument("--size", type=int, default=43)
+    wt.add_argument("--filters", type=int, default=8)
+    wt.add_argument("--threshold", action="store_true",
+                    help="exact recovery via the tunable threshold")
+    wt.add_argument("--seed", type=int, default=0)
+    wt.set_defaults(func=cmd_weights)
+
+    cl = sub.add_parser("clone", help="duplicate a demo victim end to end")
+    cl.add_argument("--probes", type=int, default=120)
+    cl.add_argument("--epochs", type=int, default=20)
+    cl.add_argument("--seed", type=int, default=4)
+    cl.set_defaults(func=cmd_clone)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Synthetic datasets standing in for the paper's ImageNet workloads."""
+
+from repro.data.synthetic import Dataset, SyntheticImageTask, make_dataset
+
+__all__ = ["Dataset", "SyntheticImageTask", "make_dataset"]

@@ -1,0 +1,173 @@
+"""Procedural synthetic image classification datasets.
+
+The paper trains candidate structures on ImageNet (Figures 4/5), which
+is not available offline.  This module generates a deterministic
+classification task with controllable difficulty that exercises the same
+code paths: each class is defined by a procedural recipe combining an
+oriented sinusoidal texture, a geometric mask (disc / square / stripes)
+and a class-specific colour mix, plus per-sample jitter and noise.  The
+task is learnable by small CNNs in a few epochs yet hard enough that
+structurally different candidates separate in accuracy — which is all
+the candidate-ranking experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Dataset", "SyntheticImageTask", "make_dataset"]
+
+
+@dataclass
+class Dataset:
+    """Train/validation arrays in NCHW float layout with int labels."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    val_images: np.ndarray
+    val_labels: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.train_labels.max()) + 1
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.train_images.shape[1:])  # type: ignore[return-value]
+
+
+class SyntheticImageTask:
+    """Deterministic generator of class-conditional procedural images.
+
+    Args:
+        num_classes: number of classes (>= 2).
+        image_size: square image width.
+        channels: 1 (grayscale) or 3 (colour).
+        noise: additive Gaussian noise sigma (task difficulty knob).
+        seed: master seed; the same (seed, class, index) always yields
+            the same image.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        image_size: int = 32,
+        channels: int = 3,
+        noise: float = 0.25,
+        seed: int = 0,
+    ):
+        if num_classes < 2:
+            raise ConfigError(f"num_classes must be >= 2, got {num_classes}")
+        if image_size < 8:
+            raise ConfigError(f"image_size must be >= 8, got {image_size}")
+        if channels not in (1, 3):
+            raise ConfigError(f"channels must be 1 or 3, got {channels}")
+        if noise < 0:
+            raise ConfigError(f"noise must be >= 0, got {noise}")
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.channels = channels
+        self.noise = noise
+        self.seed = seed
+        self._recipes = self._make_recipes()
+
+    def _make_recipes(self) -> list[dict]:
+        """Per-class recipe: texture frequency/angle, mask shape, colours."""
+        rng = np.random.default_rng(self.seed)
+        recipes = []
+        masks = ("disc", "square", "stripes", "cross")
+        for c in range(self.num_classes):
+            recipes.append(
+                {
+                    "freq": 1.5 + 0.9 * c + rng.uniform(0, 0.3),
+                    "angle": (c * np.pi / self.num_classes) + rng.uniform(0, 0.1),
+                    "mask": masks[c % len(masks)],
+                    "mask_scale": 0.25 + 0.5 * ((c // len(masks)) % 3) / 2.0,
+                    "color": rng.uniform(0.2, 1.0, size=3),
+                    "phase": rng.uniform(0, 2 * np.pi),
+                }
+            )
+        return recipes
+
+    def _mask(self, kind: str, scale: float, cx: float, cy: float) -> np.ndarray:
+        n = self.image_size
+        yy, xx = np.mgrid[0:n, 0:n] / (n - 1)
+        r = scale / 2
+        if kind == "disc":
+            return ((xx - cx) ** 2 + (yy - cy) ** 2 < r * r).astype(float)
+        if kind == "square":
+            return ((np.abs(xx - cx) < r) & (np.abs(yy - cy) < r)).astype(float)
+        if kind == "stripes":
+            return (np.sin((xx - cx) * 10 * np.pi) > 0).astype(float)
+        # cross
+        return ((np.abs(xx - cx) < r / 2) | (np.abs(yy - cy) < r / 2)).astype(float)
+
+    def sample(self, label: int, index: int) -> np.ndarray:
+        """Generate one ``(C, H, W)`` image for ``label``."""
+        if not 0 <= label < self.num_classes:
+            raise ConfigError(f"label {label} out of range")
+        recipe = self._recipes[label]
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, label, index])
+        )
+        n = self.image_size
+        yy, xx = np.mgrid[0:n, 0:n] / (n - 1)
+        angle = recipe["angle"] + rng.normal(0, 0.08)
+        freq = recipe["freq"] * (1 + rng.normal(0, 0.05))
+        u = xx * np.cos(angle) + yy * np.sin(angle)
+        texture = 0.5 + 0.5 * np.sin(
+            2 * np.pi * freq * u + recipe["phase"] + rng.uniform(0, 0.5)
+        )
+        cx, cy = 0.5 + rng.uniform(-0.12, 0.12, size=2)
+        mask = self._mask(recipe["mask"], recipe["mask_scale"], cx, cy)
+        base = 0.35 * texture + 0.65 * mask * texture
+        img = np.empty((self.channels, n, n))
+        if self.channels == 3:
+            for ch in range(3):
+                img[ch] = base * recipe["color"][ch]
+        else:
+            img[0] = base
+        img += rng.normal(0, self.noise, size=img.shape)
+        # Standardise: zero mean, unit-ish scale helps small-net training.
+        img -= img.mean()
+        std = img.std()
+        if std > 1e-8:
+            img /= std
+        return img
+
+    def batch(
+        self, count: int, start_index: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate ``count`` images with round-robin class labels."""
+        labels = np.arange(count) % self.num_classes
+        images = np.stack(
+            [self.sample(int(l), start_index + i) for i, l in enumerate(labels)]
+        )
+        return images, labels
+
+
+def make_dataset(
+    num_classes: int = 10,
+    image_size: int = 32,
+    channels: int = 3,
+    train_per_class: int = 20,
+    val_per_class: int = 10,
+    noise: float = 0.25,
+    seed: int = 0,
+) -> Dataset:
+    """Build a train/val :class:`Dataset` from the procedural task.
+
+    Validation samples use disjoint indices from training samples, so the
+    two splits never share an image.
+    """
+    task = SyntheticImageTask(num_classes, image_size, channels, noise, seed)
+    train_images, train_labels = task.batch(num_classes * train_per_class)
+    val_images, val_labels = task.batch(
+        num_classes * val_per_class,
+        start_index=1_000_000,  # disjoint index space from training
+    )
+    return Dataset(train_images, train_labels, val_images, val_labels)

@@ -1,0 +1,17 @@
+"""Countermeasures: ORAM address obfuscation, write padding."""
+
+from repro.defenses.oram import OramConfig, OramResult, apply_path_oram
+from repro.defenses.padding import (
+    PaddedChannel,
+    PaddingOverhead,
+    measure_padding_overhead,
+)
+
+__all__ = [
+    "OramConfig",
+    "OramResult",
+    "apply_path_oram",
+    "PaddedChannel",
+    "PaddingOverhead",
+    "measure_padding_overhead",
+]

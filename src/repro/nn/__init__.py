@@ -1,0 +1,79 @@
+"""From-scratch numpy CNN framework.
+
+Provides everything the reproduction needs to *run* and *train* CNNs:
+layers, a DAG network container, the accelerator-oriented staged-network
+abstraction, shape arithmetic calibrated to the paper's Table 4, losses,
+optimisers and a trainer.  See :mod:`repro.nn.zoo` for the four networks
+of the paper.
+"""
+
+from repro.nn.graph import Network, Node
+from repro.nn.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Dropout,
+    ElementwiseAdd,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Softmax,
+    ThresholdReLU,
+)
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.shapes import (
+    ConvSpec,
+    PoolSpec,
+    conv_mac_count,
+    conv_output_width,
+    merged_layer_output_width,
+    pool_output_width,
+)
+from repro.nn.serialize import load_parameters, parameters_equal, save_parameters
+from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.nn.stages import Stage, StagedNetwork, StagedNetworkBuilder
+from repro.nn.train import Trainer, TrainResult, topk_accuracy
+
+__all__ = [
+    "Network",
+    "Node",
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Linear",
+    "ReLU",
+    "ThresholdReLU",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Concat",
+    "ElementwiseAdd",
+    "SoftmaxCrossEntropy",
+    "softmax",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ConvSpec",
+    "PoolSpec",
+    "conv_output_width",
+    "pool_output_width",
+    "merged_layer_output_width",
+    "conv_mac_count",
+    "LayerGeometry",
+    "FCGeometry",
+    "save_parameters",
+    "load_parameters",
+    "parameters_equal",
+    "Stage",
+    "StagedNetwork",
+    "StagedNetworkBuilder",
+    "Trainer",
+    "TrainResult",
+    "topk_accuracy",
+]

@@ -1,0 +1,209 @@
+"""DAG network container.
+
+A :class:`Network` is a named DAG of layers.  Plain sequential models are
+the common case (``add`` defaults to wiring each node after the previous
+one), but fire modules and bypass paths need fan-out and multi-input
+merge nodes, so the container is a general DAG with topological
+execution.
+
+The special node name ``"input"`` refers to the network input.  The
+*output* of the network is the last node added unless ``set_output`` is
+called.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.combine import MultiInputLayer
+
+__all__ = ["Node", "Network"]
+
+INPUT = "input"
+
+
+class Node:
+    """One layer instance wired into a network."""
+
+    __slots__ = ("name", "layer", "inputs")
+
+    def __init__(self, name: str, layer: Layer, inputs: list[str]):
+        self.name = name
+        self.layer = layer
+        self.inputs = list(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name!r}, {self.layer!r}, inputs={self.inputs})"
+
+
+class Network:
+    """A directed acyclic graph of layers with forward/backward execution.
+
+    Nodes must be added in topological order (each node's inputs must
+    already exist); this keeps execution order deterministic and matches
+    how an accelerator schedules layers sequentially in forward order.
+    """
+
+    def __init__(self, name: str, input_shape: tuple[int, ...]):
+        self.name = name
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.nodes: dict[str, Node] = {}
+        self._order: list[str] = []
+        self._output: str | None = None
+        self._activations: dict[str, np.ndarray] = {}
+
+    # -- construction ----------------------------------------------------
+    def add(
+        self, name: str, layer: Layer, inputs: str | list[str] | None = None
+    ) -> "Network":
+        """Append a node.
+
+        ``inputs`` defaults to the previously added node (or ``"input"``
+        for the first node).  Returns self for chaining.
+        """
+        if name in self.nodes or name == INPUT:
+            raise GraphError(f"duplicate node name {name!r}")
+        if inputs is None:
+            inputs = [self._order[-1]] if self._order else [INPUT]
+        elif isinstance(inputs, str):
+            inputs = [inputs]
+        for src in inputs:
+            if src != INPUT and src not in self.nodes:
+                raise GraphError(
+                    f"node {name!r} wired to unknown input {src!r} "
+                    "(nodes must be added in topological order)"
+                )
+        if isinstance(layer, MultiInputLayer):
+            if len(inputs) < 2:
+                raise GraphError(
+                    f"multi-input layer {name!r} needs >= 2 inputs, got {inputs}"
+                )
+        elif len(inputs) != 1:
+            raise GraphError(
+                f"single-input layer {name!r} got {len(inputs)} inputs"
+            )
+        self.nodes[name] = Node(name, layer, inputs)
+        self._order.append(name)
+        self._output = name
+        return self
+
+    def set_output(self, name: str) -> None:
+        if name not in self.nodes:
+            raise GraphError(f"unknown output node {name!r}")
+        self._output = name
+
+    @property
+    def output_name(self) -> str:
+        if self._output is None:
+            raise GraphError("network has no nodes")
+        return self._output
+
+    @property
+    def order(self) -> list[str]:
+        """Node names in execution (topological insertion) order."""
+        return list(self._order)
+
+    def consumers(self, name: str) -> list[str]:
+        """Names of nodes that read ``name``'s output."""
+        return [n for n in self._order if name in self.nodes[n].inputs]
+
+    # -- execution ---------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the whole network; returns the output node's activation.
+
+        All intermediate activations are retained in :attr:`activations`
+        until the next forward call (the simulator and backward pass both
+        need them).
+        """
+        if self._output is None:
+            raise GraphError("network has no nodes")
+        acts: dict[str, np.ndarray] = {INPUT: x}
+        for name in self._order:
+            node = self.nodes[name]
+            if isinstance(node.layer, MultiInputLayer):
+                acts[name] = node.layer.forward([acts[s] for s in node.inputs])
+            else:
+                acts[name] = node.layer.forward(acts[node.inputs[0]])
+        self._activations = acts
+        return acts[self._output]
+
+    @property
+    def activations(self) -> dict[str, np.ndarray]:
+        """Per-node activations of the most recent forward pass."""
+        return self._activations
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate from the output node; returns d(loss)/d(input)."""
+        if not self._activations:
+            raise GraphError("backward before forward")
+        grads: dict[str, np.ndarray] = {self.output_name: grad_out}
+        for name in reversed(self._order):
+            node = self.nodes[name]
+            g = grads.pop(name, None)
+            if g is None:
+                continue  # dead branch: nothing consumed this node
+            if isinstance(node.layer, MultiInputLayer):
+                input_grads = node.layer.backward(g)
+            else:
+                input_grads = [node.layer.backward(g)]
+            for src, ig in zip(node.inputs, input_grads):
+                if src in grads:
+                    grads[src] = grads[src] + ig
+                else:
+                    grads[src] = ig
+        return grads.get(INPUT, np.zeros_like(self._activations[INPUT]))
+
+    # -- parameters ---------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for name in self._order:
+            params.extend(self.nodes[name].layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def train(self, mode: bool = True) -> "Network":
+        for node in self.nodes.values():
+            node.layer.train(mode)
+        return self
+
+    def eval(self) -> "Network":
+        return self.train(False)
+
+    # -- introspection --------------------------------------------------------
+    def layers(self) -> Iterator[tuple[str, Layer]]:
+        for name in self._order:
+            yield name, self.nodes[name].layer
+
+    def infer_shapes(self) -> dict[str, tuple[int, ...]]:
+        """Per-node activation shapes (sans batch dim) via a probe forward.
+
+        The accelerator simulator uses this to place every tensor in DRAM
+        before execution.  Runs a zero batch of one sample; dropout and
+        other stochastic layers are forced to eval mode during the probe.
+        """
+        was_training = [(n, n_.layer.training) for n, n_ in self.nodes.items()]
+        self.eval()
+        try:
+            probe = np.zeros((1, *self.input_shape))
+            self.forward(probe)
+            shapes = {
+                name: tuple(act.shape[1:]) for name, act in self._activations.items()
+            }
+        finally:
+            for name, mode in was_training:
+                self.nodes[name].layer.train(mode)
+        return shapes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network({self.name!r}, {len(self._order)} nodes)"

@@ -1,0 +1,131 @@
+"""Activation layers: ReLU, tunable-threshold ReLU, softmax, dropout.
+
+:class:`ThresholdReLU` models the tunable activation threshold of
+accelerators such as Minerva and Cnvlutin (paper refs [1, 12]): values at
+or below the threshold are zeroed.  Section 4 of the paper exploits the
+tunability to recover the absolute bias once all ``w/b`` ratios are known.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layers.base import Layer
+
+__all__ = ["ReLU", "ThresholdReLU", "Softmax", "Dropout", "Flatten"]
+
+
+class ReLU(Layer):
+    """Standard rectifier, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("ReLU: backward before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class ThresholdReLU(Layer):
+    """Rectifier with a tunable pruning threshold ``t >= 0``.
+
+    ``f(x) = x if x > t else 0``.  With ``t = 0`` this is plain ReLU.
+    Raising ``t`` prunes more small activations (the accelerator
+    optimisation), and exposes the bias-recovery side channel.
+    """
+
+    def __init__(self, threshold: float = 0.0):
+        super().__init__()
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = float(threshold)
+        self._mask: np.ndarray | None = None
+
+    def set_threshold(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = float(threshold)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > self.threshold
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("ThresholdReLU: backward before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class Softmax(Layer):
+    """Numerically stable softmax over the last axis.
+
+    Training uses the fused cross-entropy loss instead (see
+    :mod:`repro.nn.loss`); this layer exists for inference-time class
+    probabilities, which is what the accelerator returns to the host.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        self._out = e / e.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError("Softmax: backward before forward")
+        s = self._out
+        dot = (grad * s).sum(axis=-1, keepdims=True)
+        return s * (grad - dot)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when not training."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigError(f"dropout rate must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all per-sample dims into one vector (N, C*H*W)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError("Flatten: backward before forward")
+        return grad.reshape(self._shape)

@@ -1,0 +1,85 @@
+"""Multi-input combining layers: depth concatenation and element-wise add.
+
+These are the two structural devices the paper singles out in modern
+networks (Section 3.2): GoogLeNet/SqueezeNet-style *concatenation* of
+parallel convolution outputs along the depth axis, and ResNet/SqueezeNet
+*bypass* paths merged with an element-wise addition.  Both are realised
+as separate layers (Caffe/TensorFlow style), so on the accelerator they
+produce their own off-chip reads of both operands — the extra RAW
+dependency that reveals them to the attacker.
+
+Unlike single-input layers these take a *list* of arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+
+__all__ = ["Concat", "ElementwiseAdd", "MultiInputLayer"]
+
+
+class MultiInputLayer(Layer):
+    """Base for layers whose forward takes a list of input arrays."""
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:  # type: ignore[override]
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        raise NotImplementedError
+
+
+class Concat(MultiInputLayer):
+    """Concatenate feature maps along the channel (depth) axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._splits: list[int] | None = None
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:  # type: ignore[override]
+        if len(xs) < 2:
+            raise ShapeError("Concat needs at least two inputs")
+        spatial = {x.shape[2:] for x in xs}
+        batch = {x.shape[0] for x in xs}
+        if len(spatial) != 1 or len(batch) != 1:
+            raise ShapeError(
+                f"Concat inputs disagree on batch/spatial dims: "
+                f"{[x.shape for x in xs]}"
+            )
+        self._splits = [x.shape[1] for x in xs]
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        if self._splits is None:
+            raise ShapeError("Concat: backward before forward")
+        edges = np.cumsum(self._splits)[:-1]
+        return [np.ascontiguousarray(g) for g in np.split(grad, edges, axis=1)]
+
+
+class ElementwiseAdd(MultiInputLayer):
+    """Element-wise sum of same-shaped feature maps (bypass merge)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._n_inputs: int | None = None
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:  # type: ignore[override]
+        if len(xs) < 2:
+            raise ShapeError("ElementwiseAdd needs at least two inputs")
+        shapes = {x.shape for x in xs}
+        if len(shapes) != 1:
+            raise ShapeError(
+                f"ElementwiseAdd inputs disagree on shape: {[x.shape for x in xs]}"
+            )
+        self._n_inputs = len(xs)
+        out = xs[0].copy()
+        for x in xs[1:]:
+            out += x
+        return out
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        if self._n_inputs is None:
+            raise ShapeError("ElementwiseAdd: backward before forward")
+        return [grad.copy() for _ in range(self._n_inputs)]

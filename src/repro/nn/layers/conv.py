@@ -1,0 +1,172 @@
+"""2-D convolution via im2col, with exact backward pass.
+
+Layout is NCHW throughout.  Weights are ``(D_ofm, D_ifm, F, F)`` and each
+output channel shares one bias, matching the paper's footnote 2 ("the same
+bias is shared by all the weights in one filter") — that sharing is what
+makes the weight attack of Section 4 express every weight as a function of
+a single bias per filter.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.shapes import conv_output_width
+
+__all__ = ["Conv2D", "im2col", "col2im"]
+
+
+def im2col(
+    x: np.ndarray, f: int, stride: int, pad: int, pad_value: float = 0.0
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N, out_h, out_w, C * f * f)`` patches.
+
+    ``pad`` zeros (or ``pad_value``) are added symmetrically.  Uses
+    stride tricks, so the result is a view re-packed once with ``reshape``.
+    """
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+    ph, pw = x.shape[2], x.shape[3]
+    out_h = (ph - f) // stride + 1
+    out_w = (pw - f) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(f"filter {f} does not fit input {h}x{w} with pad {pad}")
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, f, f),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, f, f) -> flatten the patch dims.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * f * f)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    f: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold ``(N, out_h, out_w, C * f * f)`` patch gradients back to input.
+
+    Overlapping patches accumulate, which is exactly the adjoint of
+    :func:`im2col`.
+    """
+    n, c, h, w = x_shape
+    ph, pw = h + 2 * pad, w + 2 * pad
+    out_h = (ph - f) // stride + 1
+    out_w = (pw - f) // stride + 1
+    grad = np.zeros((n, c, ph, pw), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, f, f)
+    for i in range(f):
+        for j in range(f):
+            grad[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                patches[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if pad:
+        grad = grad[:, :, pad:-pad, pad:-pad]
+    return grad
+
+
+class Conv2D(Layer):
+    """Convolution layer with square filters on square feature maps.
+
+    Args:
+        d_ifm: input channel count.
+        d_ofm: output channel count (number of filters).
+        f: filter width.
+        stride: stride (same in both spatial dims).
+        pad: symmetric zero padding per side.
+        bias: include a per-filter bias (default True; the Section 4
+            attack requires it).
+    """
+
+    def __init__(
+        self,
+        d_ifm: int,
+        d_ofm: int,
+        f: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+        name: str = "conv",
+    ):
+        super().__init__()
+        if min(d_ifm, d_ofm, f, stride) <= 0 or pad < 0:
+            raise ShapeError(
+                f"bad conv geometry d_ifm={d_ifm} d_ofm={d_ofm} f={f} "
+                f"stride={stride} pad={pad}"
+            )
+        self.d_ifm = d_ifm
+        self.d_ofm = d_ofm
+        self.f = f
+        self.stride = stride
+        self.pad = pad
+        self.name = name
+        fan_in = d_ifm * f * f
+        scale = np.sqrt(2.0 / fan_in)
+        # Deterministic per-name init (Python's hash() is salted per
+        # process, which would make runs non-reproducible).
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        self.weight = Parameter(
+            f"{name}.weight", rng.normal(0.0, scale, size=(d_ofm, d_ifm, f, f))
+        )
+        self.bias = Parameter(f"{name}.bias", np.zeros(d_ofm)) if bias else None
+        self._cache: tuple | None = None
+
+    # -- geometry ------------------------------------------------------
+    def output_width(self, w_in: int) -> int:
+        return conv_output_width(w_in, self.f, self.stride, self.pad)
+
+    # -- compute -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.d_ifm:
+            raise ShapeError(f"{self.name}: expected {self.d_ifm} channels, got {c}")
+        cols = im2col(x, self.f, self.stride, self.pad)
+        out_h, out_w = cols.shape[1], cols.shape[2]
+        w_mat = self.weight.value.reshape(self.d_ofm, -1)
+        out = cols @ w_mat.T  # (N, out_h, out_w, d_ofm)
+        if self.bias is not None:
+            out += self.bias.value
+        out = out.transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(f"{self.name}: backward before forward")
+        x_shape, cols = self._cache
+        n, d_ofm, out_h, out_w = grad.shape
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, d_ofm)  # (N*oh*ow, d_ofm)
+        cols_flat = cols.reshape(-1, cols.shape[-1])
+        self.weight.grad += (g.T @ cols_flat).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=0)
+        w_mat = self.weight.value.reshape(self.d_ofm, -1)
+        dcols = (g @ w_mat).reshape(n, out_h, out_w, -1)
+        return col2im(dcols, x_shape, self.f, self.stride, self.pad)
+
+    def parameters(self):
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Conv2D({self.d_ifm}->{self.d_ofm}, f={self.f}, s={self.stride}, "
+            f"p={self.pad})"
+        )

@@ -1,0 +1,71 @@
+"""Fully connected layer.
+
+In the paper's framing an FC layer is a convolution whose filter covers
+the whole input feature map (``W_IFM^2 * D_IFM * D_OFM`` weights), which
+is why FC layers always have a unique configuration under the Section 3
+constraints.  The implementation here is a plain matrix multiply over
+flattened inputs.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Layer):
+    """Affine map ``y = x @ W.T + b`` over ``(N, in_features)`` inputs."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, name: str = "fc"
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError(
+                f"bad linear geometry {in_features}->{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        scale = np.sqrt(2.0 / in_features)
+        # Deterministic per-name init (Python's hash() is salted per
+        # process, which would make runs non-reproducible).
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        self.weight = Parameter(
+            f"{name}.weight", rng.normal(0.0, scale, size=(out_features, in_features))
+        )
+        self.bias = Parameter(f"{name}.bias", np.zeros(out_features)) if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.weight.value.T
+        if self.bias is not None:
+            out += self.bias.value
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError(f"{self.name}: backward before forward")
+        self.weight.grad += grad.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value
+
+    def parameters(self):
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Linear({self.in_features}->{self.out_features})"

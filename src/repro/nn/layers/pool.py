@@ -1,0 +1,145 @@
+"""Max and average pooling in Caffe-style ceil mode.
+
+Ceil mode means the last pooling window may extend past the (padded)
+input; those out-of-range positions contribute ``-inf`` for max pooling
+and ``0`` for average pooling.  Average pooling divides by the full
+window area ``F*F`` regardless of clipping — this is what makes the
+paper's Eq. (11) read ``(w*x + b) / 4`` for a corner output of a 2x2
+average pool, and the weight attack's algebra depends on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+from repro.nn.shapes import pool_output_width
+
+__all__ = ["MaxPool2D", "AvgPool2D"]
+
+
+def _padded_windows(
+    x: np.ndarray, f: int, stride: int, pad: int, fill: float
+) -> tuple[np.ndarray, int, int, np.ndarray]:
+    """Pad ``x`` for ceil-mode pooling and return strided windows.
+
+    Returns ``(windows, out_h, out_w, padded)`` where ``windows`` has
+    shape ``(N, C, out_h, out_w, f, f)`` and views into ``padded``.
+    """
+    n, c, h, w = x.shape
+    out_h = pool_output_width(h, f, stride, pad)
+    out_w = pool_output_width(w, f, stride, pad)
+    need_h = (out_h - 1) * stride + f
+    need_w = (out_w - 1) * stride + f
+    extra_h = max(0, need_h - (h + 2 * pad))
+    extra_w = max(0, need_w - (w + 2 * pad))
+    padded = np.pad(
+        x,
+        ((0, 0), (0, 0), (pad, pad + extra_h), (pad, pad + extra_w)),
+        mode="constant",
+        constant_values=fill,
+    )
+    sn, sc, sh, sw = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, out_h, out_w, f, f),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return windows, out_h, out_w, padded
+
+
+class MaxPool2D(Layer):
+    """Ceil-mode max pooling over square windows."""
+
+    def __init__(self, f: int, stride: int, pad: int = 0):
+        super().__init__()
+        if f <= 0 or stride <= 0 or pad < 0:
+            raise ShapeError(f"bad pool geometry f={f} stride={stride} pad={pad}")
+        self.f = f
+        self.stride = stride
+        self.pad = pad
+        self._cache: tuple | None = None
+
+    def output_width(self, w_in: int) -> int:
+        return pool_output_width(w_in, self.f, self.stride, self.pad)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        windows, out_h, out_w, padded = _padded_windows(
+            x, self.f, self.stride, self.pad, fill=-np.inf
+        )
+        flat = windows.reshape(*windows.shape[:4], -1)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, padded.shape, argmax)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("MaxPool2D: backward before forward")
+        x_shape, padded_shape, argmax = self._cache
+        n, c, out_h, out_w = grad.shape
+        dpadded = np.zeros(padded_shape, dtype=grad.dtype)
+        fi, fj = np.divmod(argmax, self.f)
+        oi = np.arange(out_h)[None, None, :, None] * self.stride
+        oj = np.arange(out_w)[None, None, None, :] * self.stride
+        rows = (oi + fi).ravel()
+        cols = (oj + fj).ravel()
+        ni = np.broadcast_to(
+            np.arange(n)[:, None, None, None], argmax.shape
+        ).ravel()
+        ci = np.broadcast_to(
+            np.arange(c)[None, :, None, None], argmax.shape
+        ).ravel()
+        np.add.at(dpadded, (ni, ci, rows, cols), grad.ravel())
+        h, w = x_shape[2], x_shape[3]
+        return dpadded[:, :, self.pad : self.pad + h, self.pad : self.pad + w]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MaxPool2D(f={self.f}, s={self.stride}, p={self.pad})"
+
+
+class AvgPool2D(Layer):
+    """Ceil-mode average pooling; divides by the full window area F*F."""
+
+    def __init__(self, f: int, stride: int, pad: int = 0):
+        super().__init__()
+        if f <= 0 or stride <= 0 or pad < 0:
+            raise ShapeError(f"bad pool geometry f={f} stride={stride} pad={pad}")
+        self.f = f
+        self.stride = stride
+        self.pad = pad
+        self._cache: tuple | None = None
+
+    def output_width(self, w_in: int) -> int:
+        return pool_output_width(w_in, self.f, self.stride, self.pad)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        windows, out_h, out_w, padded = _padded_windows(
+            x, self.f, self.stride, self.pad, fill=0.0
+        )
+        out = windows.mean(axis=(-2, -1))
+        self._cache = (x.shape, padded.shape)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("AvgPool2D: backward before forward")
+        x_shape, padded_shape = self._cache
+        n, c, out_h, out_w = grad.shape
+        dpadded = np.zeros(padded_shape, dtype=grad.dtype)
+        share = grad / (self.f * self.f)
+        for i in range(self.f):
+            for j in range(self.f):
+                dpadded[
+                    :,
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                ] += share
+        h, w = x_shape[2], x_shape[3]
+        return dpadded[:, :, self.pad : self.pad + h, self.pad : self.pad + w]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AvgPool2D(f={self.f}, s={self.stride}, p={self.pad})"

@@ -1,0 +1,48 @@
+"""Losses for candidate-structure training (Figures 4 and 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy with integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns d(loss)/d(logits)
+    (already divided by the batch size).
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (N, classes) logits, got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+            )
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        picked = probs[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise ShapeError("loss backward before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)

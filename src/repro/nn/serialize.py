@@ -1,0 +1,78 @@
+"""Network parameter persistence.
+
+Saves and restores every parameter of a network as an ``.npz`` archive
+keyed by parameter name.  Used to persist victims across experiments and
+to ship stolen clones (the end product of :mod:`repro.attacks.clone`).
+Structure is not serialised — a network is rebuilt from its zoo builder
+or candidate description, then weights are loaded into it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.graph import Network
+from repro.nn.stages import StagedNetwork
+
+__all__ = ["save_parameters", "load_parameters", "parameters_equal"]
+
+
+def _network_of(net: Network | StagedNetwork) -> Network:
+    return net.network if isinstance(net, StagedNetwork) else net
+
+
+def save_parameters(net: Network | StagedNetwork, path: str) -> int:
+    """Write all parameters to ``path`` (npz); returns the tensor count."""
+    network = _network_of(net)
+    tensors = {p.name: p.value for p in network.parameters()}
+    if len(tensors) != len(network.parameters()):
+        raise ConfigError("duplicate parameter names; cannot serialise")
+    np.savez_compressed(path, **tensors)
+    return len(tensors)
+
+
+def load_parameters(
+    net: Network | StagedNetwork, path: str, strict: bool = True
+) -> int:
+    """Load parameters from ``path`` into a structurally matching network.
+
+    With ``strict`` (default) every parameter of the network must be
+    present in the archive with a matching shape; otherwise only
+    name-and-shape matches are loaded and the rest left untouched.
+    Returns the number of tensors loaded.
+    """
+    network = _network_of(net)
+    loaded = 0
+    with np.load(path) as data:
+        names = set(data.files)
+        for p in network.parameters():
+            if p.name not in names:
+                if strict:
+                    raise ConfigError(f"archive missing parameter {p.name!r}")
+                continue
+            value = data[p.name]
+            if value.shape != p.value.shape:
+                if strict:
+                    raise ConfigError(
+                        f"shape mismatch for {p.name!r}: archive "
+                        f"{value.shape} vs network {p.value.shape}"
+                    )
+                continue
+            p.value[:] = value
+            loaded += 1
+    return loaded
+
+
+def parameters_equal(
+    a: Network | StagedNetwork, b: Network | StagedNetwork, atol: float = 0.0
+) -> bool:
+    """Whether two networks hold identical parameters (by name)."""
+    pa = {p.name: p.value for p in _network_of(a).parameters()}
+    pb = {p.name: p.value for p in _network_of(b).parameters()}
+    if pa.keys() != pb.keys():
+        return False
+    return all(
+        va.shape == pb[k].shape and np.allclose(va, pb[k], atol=atol, rtol=0)
+        for k, va in pa.items()
+    )

@@ -1,0 +1,148 @@
+"""Convolution and pooling output-shape arithmetic.
+
+The paper's structure-reverse-engineering attack (Section 3) solves an
+integer constraint system built on the relation between the input and
+output feature-map widths of a merged CONV(+ReLU)(+POOL) layer.  Every
+row of the paper's Table 4 is consistent with the following arithmetic,
+which is also what Caffe-era accelerators implemented:
+
+* convolution uses *floor* division with symmetric padding ``P`` per side::
+
+      W_conv = floor((W_ifm - F_conv + 2 * P_conv) / S_conv) + 1
+
+* pooling uses *ceil* mode (Caffe's default)::
+
+      W_ofm = ceil((W_conv - F_pool + 2 * P_pool) / S_pool) + 1
+
+For example the paper's CONV1_2 candidate (W_ifm=227, F=11, S=4, P=2,
+F_pool=4, S_pool=2) only yields the observed W_ofm=27 with exactly this
+floor-then-ceil combination.  A unit test replays all 13 Table 4 rows
+through these functions.
+
+All functions operate on plain ints and raise :class:`ShapeError` for
+non-physical inputs so that both the forward simulator and the attack
+solver share one arithmetic definition (a mismatch between the two would
+silently break the reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "conv_output_width",
+    "pool_output_width",
+    "merged_layer_output_width",
+    "conv_mac_count",
+    "ConvSpec",
+    "PoolSpec",
+]
+
+
+def _check_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value}")
+
+
+def conv_output_width(w_ifm: int, f_conv: int, s_conv: int, p_conv: int) -> int:
+    """Output width of a convolution (floor mode, symmetric padding).
+
+    Args:
+        w_ifm: input feature-map width (square maps, as in the paper).
+        f_conv: filter width.
+        s_conv: stride.
+        p_conv: zero padding added on *each* side.
+
+    Returns:
+        The convolution output width ``floor((W - F + 2P) / S) + 1``.
+
+    Raises:
+        ShapeError: if the filter does not fit in the padded input.
+    """
+    _check_positive("w_ifm", w_ifm)
+    _check_positive("f_conv", f_conv)
+    _check_positive("s_conv", s_conv)
+    if p_conv < 0:
+        raise ShapeError(f"p_conv must be non-negative, got {p_conv}")
+    span = w_ifm - f_conv + 2 * p_conv
+    if span < 0:
+        raise ShapeError(
+            f"filter {f_conv} larger than padded input {w_ifm + 2 * p_conv}"
+        )
+    return span // s_conv + 1
+
+
+def pool_output_width(w_in: int, f_pool: int, s_pool: int, p_pool: int) -> int:
+    """Output width of a pooling window (ceil mode, symmetric padding).
+
+    Caffe-style ceil-mode pooling: the last window may hang off the edge
+    of the (padded) input, which makes ``W_ofm = ceil((W - F + 2P)/S) + 1``.
+    """
+    _check_positive("w_in", w_in)
+    _check_positive("f_pool", f_pool)
+    _check_positive("s_pool", s_pool)
+    if p_pool < 0:
+        raise ShapeError(f"p_pool must be non-negative, got {p_pool}")
+    span = w_in - f_pool + 2 * p_pool
+    if span < 0:
+        raise ShapeError(
+            f"pool window {f_pool} larger than padded input {w_in + 2 * p_pool}"
+        )
+    return math.ceil(span / s_pool) + 1
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Geometry of one convolution: filter width, stride, padding."""
+
+    f: int
+    s: int
+    p: int
+
+    def output_width(self, w_in: int) -> int:
+        return conv_output_width(w_in, self.f, self.s, self.p)
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Geometry of one pooling stage: window width, stride, padding."""
+
+    f: int
+    s: int
+    p: int
+
+    def output_width(self, w_in: int) -> int:
+        return pool_output_width(w_in, self.f, self.s, self.p)
+
+
+def merged_layer_output_width(
+    w_ifm: int, conv: ConvSpec, pool: PoolSpec | None
+) -> int:
+    """Output width of a merged CONV(+POOL) layer.
+
+    This is the attacker-visible relation of the paper's Eq. (4): only the
+    final OFM width is observable because conv, activation and pooling are
+    fused on the accelerator and intermediate results never leave the chip.
+    """
+    w_conv = conv.output_width(w_ifm)
+    if pool is None:
+        return w_conv
+    return pool.output_width(w_conv)
+
+
+def conv_mac_count(
+    w_ifm: int, d_ifm: int, d_ofm: int, conv: ConvSpec
+) -> int:
+    """Number of multiply-accumulate operations of one convolution.
+
+    ``MACs = W_conv^2 * D_ofm * F^2 * D_ifm`` using the *convolution*
+    output width (pre-pooling): pooling discards values but the PE array
+    still computed them.  Both the simulator's cycle model and the
+    attacker's timing filter use this definition, mirroring the paper's
+    compute-bound assumption (execution time ∝ MACs).
+    """
+    w_conv = conv.output_width(w_ifm)
+    return w_conv * w_conv * d_ofm * conv.f * conv.f * d_ifm

@@ -1,0 +1,179 @@
+"""Declarative layer specifications shared across the repo.
+
+The paper's Table 2 defines a merged CONV(+ReLU)(+POOL) layer by 11
+integer parameters.  :class:`LayerGeometry` is that record.  It is used
+in three places:
+
+* the model zoo declares networks as geometry lists (plus FC tails);
+* the structure attack's solver *outputs* geometry candidates;
+* the reconstruction step turns candidate geometries back into runnable
+  :class:`~repro.nn.graph.Network` objects for ranking.
+
+Keeping one shared type guarantees the attack and the ground truth agree
+on what a "layer configuration" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+from repro.nn.shapes import (
+    ConvSpec,
+    PoolSpec,
+    conv_mac_count,
+    conv_output_width,
+    merged_layer_output_width,
+    pool_output_width,
+)
+
+__all__ = ["LayerGeometry", "FCGeometry"]
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """The 11 structural parameters of one merged CONV(+POOL) layer.
+
+    ``p_conv``/``p_pool`` are per-side symmetric paddings.  ``f_pool``,
+    ``s_pool`` and ``p_pool`` are only meaningful when ``has_pool``.
+    """
+
+    w_ifm: int
+    d_ifm: int
+    w_ofm: int
+    d_ofm: int
+    f_conv: int
+    s_conv: int
+    p_conv: int
+    has_pool: bool = False
+    f_pool: int = 0
+    s_pool: int = 0
+    p_pool: int = 0
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def conv(self) -> ConvSpec:
+        return ConvSpec(self.f_conv, self.s_conv, self.p_conv)
+
+    @property
+    def pool(self) -> PoolSpec | None:
+        if not self.has_pool:
+            return None
+        return PoolSpec(self.f_pool, self.s_pool, self.p_pool)
+
+    @property
+    def w_conv(self) -> int:
+        """Convolution output width (pre-pooling, on-chip only)."""
+        return self.conv.output_width(self.w_ifm)
+
+    @property
+    def size_ifm(self) -> int:
+        return self.w_ifm * self.w_ifm * self.d_ifm
+
+    @property
+    def size_ofm(self) -> int:
+        return self.w_ofm * self.w_ofm * self.d_ofm
+
+    @property
+    def size_fltr(self) -> int:
+        return self.f_conv * self.f_conv * self.d_ifm * self.d_ofm
+
+    @property
+    def macs(self) -> int:
+        """PE-array multiply-accumulates (uses the pre-pool conv width)."""
+        return conv_mac_count(self.w_ifm, self.d_ifm, self.d_ofm, self.conv)
+
+    def validate(self) -> "LayerGeometry":
+        """Check internal consistency; returns self for chaining.
+
+        Verifies that the declared ``w_ofm`` matches what the shape
+        arithmetic produces for the declared filter/stride/padding and
+        that the basic positivity constraints hold.
+        """
+        produced = merged_layer_output_width(self.w_ifm, self.conv, self.pool)
+        if produced != self.w_ofm:
+            raise ShapeError(
+                f"inconsistent geometry: declared w_ofm={self.w_ofm} but "
+                f"arithmetic gives {produced} for {self}"
+            )
+        if min(self.w_ifm, self.d_ifm, self.w_ofm, self.d_ofm) <= 0:
+            raise ShapeError(f"non-positive dimension in {self}")
+        return self
+
+    def canonical(self) -> "LayerGeometry":
+        """Reduce paddings to the smallest values with identical widths.
+
+        Two geometries differing only in padding that floor-division
+        absorbs (e.g. ``p_conv`` 0 vs 1 at stride 4) compute outputs of
+        identical shape with identical MAC counts; the attack literature
+        and this repo's solver treat them as one configuration.  This
+        returns the canonical representative (minimal ``p_conv`` giving
+        the same ``w_conv``, minimal ``p_pool`` giving the same
+        ``w_ofm``).
+        """
+        p_conv = self.p_conv
+        while p_conv > 0 and conv_output_width(
+            self.w_ifm, self.f_conv, self.s_conv, p_conv - 1
+        ) == self.w_conv:
+            p_conv -= 1
+        p_pool = self.p_pool
+        if self.has_pool:
+            while p_pool > 0 and pool_output_width(
+                self.w_conv, self.f_pool, self.s_pool, p_pool - 1
+            ) == self.w_ofm:
+                p_pool -= 1
+        return LayerGeometry(
+            w_ifm=self.w_ifm, d_ifm=self.d_ifm,
+            w_ofm=self.w_ofm, d_ofm=self.d_ofm,
+            f_conv=self.f_conv, s_conv=self.s_conv, p_conv=p_conv,
+            has_pool=self.has_pool, f_pool=self.f_pool,
+            s_pool=self.s_pool, p_pool=p_pool,
+        )
+
+    @staticmethod
+    def from_conv(
+        w_ifm: int,
+        d_ifm: int,
+        d_ofm: int,
+        f_conv: int,
+        s_conv: int,
+        p_conv: int,
+        pool: PoolSpec | None = None,
+    ) -> "LayerGeometry":
+        """Build a geometry, deriving ``w_ofm`` from the shape arithmetic."""
+        conv = ConvSpec(f_conv, s_conv, p_conv)
+        w_ofm = merged_layer_output_width(w_ifm, conv, pool)
+        return LayerGeometry(
+            w_ifm=w_ifm,
+            d_ifm=d_ifm,
+            w_ofm=w_ofm,
+            d_ofm=d_ofm,
+            f_conv=f_conv,
+            s_conv=s_conv,
+            p_conv=p_conv,
+            has_pool=pool is not None,
+            f_pool=pool.f if pool else 0,
+            s_pool=pool.s if pool else 0,
+            p_pool=pool.p if pool else 0,
+        )
+
+
+@dataclass(frozen=True)
+class FCGeometry:
+    """A fully connected layer: flattens its input feature map.
+
+    Per Section 3.2 of the paper, an FC layer's filter covers the whole
+    input (``in_features = W^2 * D``), so its configuration is always
+    unique given the observed sizes.
+    """
+
+    in_features: int
+    out_features: int
+
+    @property
+    def size_fltr(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features

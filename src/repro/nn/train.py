@@ -1,0 +1,130 @@
+"""Training loop and accuracy metrics for candidate ranking.
+
+The structure attack ends by training each candidate structure for a few
+epochs and comparing validation accuracy (paper Figures 4 and 5: 24
+AlexNet candidates ranked by top-1, 9 SqueezeNet candidates by top-5
+after only 3 epochs).  :class:`Trainer` provides exactly that: epochs of
+minibatch SGD plus top-k evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.graph import Network
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.optim import Optimizer
+
+__all__ = ["topk_accuracy", "EpochStats", "TrainResult", "Trainer"]
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose label is among the k highest logits."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+@dataclass
+class EpochStats:
+    """Loss and accuracy for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    val_top1: float
+    val_top5: float
+
+
+@dataclass
+class TrainResult:
+    """Full training record of one network."""
+
+    network_name: str
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_top1(self) -> float:
+        return self.epochs[-1].val_top1 if self.epochs else 0.0
+
+    @property
+    def final_top5(self) -> float:
+        return self.epochs[-1].val_top5 if self.epochs else 0.0
+
+
+class Trainer:
+    """Minibatch trainer with per-epoch validation.
+
+    Args:
+        net: the network to train.
+        optimizer: optimiser already bound to ``net.parameters()``.
+        batch_size: minibatch size.
+        seed: shuffling seed (deterministic runs for reproducibility).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        optimizer: Optimizer,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ConfigError(f"batch size must be >= 1, got {batch_size}")
+        self.net = net
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self.loss = SoftmaxCrossEntropy()
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """One pass over the training set; returns mean loss."""
+        self.net.train(True)
+        idx = self._rng.permutation(len(images))
+        losses = []
+        for start in range(0, len(idx), self.batch_size):
+            batch = idx[start : start + self.batch_size]
+            x, y = images[batch], labels[batch]
+            self.optimizer.zero_grad()
+            logits = self.net.forward(x)
+            losses.append(self.loss.forward(logits, y))
+            self.net.backward(self.loss.backward())
+            self.optimizer.step()
+        self.net.train(False)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def evaluate(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, float]:
+        """(top-1, top-5) accuracy over a validation set."""
+        self.net.eval()
+        logits_all = []
+        for start in range(0, len(images), self.batch_size):
+            logits_all.append(self.net.forward(images[start : start + self.batch_size]))
+        logits = np.concatenate(logits_all, axis=0)
+        return (
+            topk_accuracy(logits, labels, k=1),
+            topk_accuracy(logits, labels, k=5),
+        )
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        val_images: np.ndarray,
+        val_labels: np.ndarray,
+        epochs: int,
+    ) -> TrainResult:
+        """Train for ``epochs`` epochs, validating after each."""
+        result = TrainResult(network_name=self.net.name)
+        for epoch in range(1, epochs + 1):
+            loss = self.train_epoch(train_images, train_labels)
+            top1, top5 = self.evaluate(val_images, val_labels)
+            result.epochs.append(
+                EpochStats(epoch=epoch, train_loss=loss, val_top1=top1, val_top5=top5)
+            )
+        return result

@@ -1,0 +1,69 @@
+"""AlexNet: the paper's main case study (Table 4, Figure 4).
+
+Single-tower AlexNet with five merged CONV stages and three FC layers on
+227x227x3 inputs.  The ground-truth geometries are *exactly* the rows the
+paper marks as the original structure: CONV1_1, CONV2_1, CONV3_1, CONV4
+and CONV5_1 of Table 4 (per-side paddings; floor-mode conv, ceil-mode
+pooling — see :mod:`repro.nn.shapes`).
+"""
+
+from __future__ import annotations
+
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo.common import scale_depth, scaled_num_classes
+
+__all__ = ["build_alexnet", "alexnet_geometries", "ALEXNET_FC_WIDTHS"]
+
+ALEXNET_FC_WIDTHS = (4096, 4096)
+
+
+def alexnet_geometries(width_scale: float = 1.0) -> list[LayerGeometry]:
+    """Ground-truth conv-stage geometries (Table 4 rows CONV1_1..CONV5_1)."""
+    d = lambda n: scale_depth(n, width_scale)  # noqa: E731 - local shorthand
+    return [
+        LayerGeometry.from_conv(  # CONV1_1: 227x3 -> 27x96
+            w_ifm=227, d_ifm=3, d_ofm=d(96), f_conv=11, s_conv=4, p_conv=1,
+            pool=PoolSpec(3, 2, 0),
+        ),
+        LayerGeometry.from_conv(  # CONV2_1: 27x96 -> 13x256
+            w_ifm=27, d_ifm=d(96), d_ofm=d(256), f_conv=5, s_conv=1, p_conv=2,
+            pool=PoolSpec(3, 2, 0),
+        ),
+        LayerGeometry.from_conv(  # CONV3_1: 13x256 -> 13x384
+            w_ifm=13, d_ifm=d(256), d_ofm=d(384), f_conv=3, s_conv=1, p_conv=1,
+        ),
+        LayerGeometry.from_conv(  # CONV4: 13x384 -> 13x384
+            w_ifm=13, d_ifm=d(384), d_ofm=d(384), f_conv=3, s_conv=1, p_conv=1,
+        ),
+        LayerGeometry.from_conv(  # CONV5_1: 13x384 -> 6x256
+            w_ifm=13, d_ifm=d(384), d_ofm=d(256), f_conv=3, s_conv=1, p_conv=1,
+            pool=PoolSpec(3, 2, 0),
+        ),
+    ]
+
+
+def build_alexnet(
+    num_classes: int | None = None,
+    width_scale: float = 1.0,
+    relu_threshold: float | None = None,
+    dropout: float = 0.0,
+) -> StagedNetwork:
+    """Build AlexNet as a staged network.
+
+    Args:
+        num_classes: output classes (default 1000).
+        width_scale: channel-depth scale for proxy training (FC widths
+            scale too).
+        relu_threshold: if set, use tunable ThresholdReLU activations.
+        dropout: dropout rate on the two hidden FC stages (0 disables).
+    """
+    classes = scaled_num_classes(num_classes, 1000)
+    b = StagedNetworkBuilder("alexnet", (3, 227, 227), relu_threshold)
+    for i, geom in enumerate(alexnet_geometries(width_scale), start=1):
+        b.add_conv(f"conv{i}", geom)
+    for i, width in enumerate(ALEXNET_FC_WIDTHS, start=6):
+        b.add_fc(f"fc{i}", scale_depth(width, width_scale), dropout=dropout)
+    b.add_fc("fc8", classes, activation=False)
+    return b.build()

@@ -1,0 +1,33 @@
+"""Shared helpers for the model zoo.
+
+Every zoo model accepts a ``width_scale`` (0 < scale <= 1) that shrinks
+channel depths for *proxy training*: ranking structure candidates by
+short training (paper Figures 4/5) does not need ImageNet-scale widths,
+and a 1-core numpy box cannot train full AlexNet in minutes.  Scaling is
+applied uniformly so the relative structural differences between
+candidates — which is what the figures measure — are preserved.
+The ground-truth geometries used by the attack benchmarks are always the
+unscaled ones.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["scale_depth", "scaled_num_classes"]
+
+
+def scale_depth(depth: int, width_scale: float) -> int:
+    """Scale a channel depth, never below 1."""
+    if not 0.0 < width_scale <= 1.0:
+        raise ConfigError(f"width_scale must be in (0, 1], got {width_scale}")
+    return max(1, round(depth * width_scale))
+
+
+def scaled_num_classes(num_classes: int | None, default: int) -> int:
+    """Resolve a user class-count override against the model default."""
+    if num_classes is None:
+        return default
+    if num_classes < 2:
+        raise ConfigError(f"num_classes must be >= 2, got {num_classes}")
+    return num_classes

@@ -1,0 +1,52 @@
+"""ConvNet: cuda-convnet-style CIFAR network (4 layers, paper Table 3).
+
+Three merged CONV+POOL stages and one FC classifier on 32x32x3 inputs.
+The paper reports 6 possible structures recovered for this network.
+"""
+
+from __future__ import annotations
+
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo.common import scale_depth, scaled_num_classes
+
+__all__ = ["build_convnet", "convnet_geometries"]
+
+
+def convnet_geometries(width_scale: float = 1.0) -> list[LayerGeometry]:
+    """Ground-truth conv-stage geometries of ConvNet."""
+    d1 = scale_depth(32, width_scale)
+    d2 = scale_depth(32, width_scale)
+    d3 = scale_depth(64, width_scale)
+    return [
+        LayerGeometry.from_conv(
+            w_ifm=32, d_ifm=3, d_ofm=d1, f_conv=5, s_conv=1, p_conv=2,
+            pool=PoolSpec(3, 2, 0),
+        ),
+        LayerGeometry.from_conv(
+            w_ifm=16, d_ifm=d1, d_ofm=d2, f_conv=5, s_conv=1, p_conv=2,
+            pool=PoolSpec(3, 2, 0),
+        ),
+        # 3x3 rather than cuda-convnet's 5x5: the paper's Eq. (5) bounds
+        # F_conv <= W_IFM / 2, and a 5x5 filter on an 8x8 map violates it
+        # (the attack could never recover such a layer).
+        LayerGeometry.from_conv(
+            w_ifm=8, d_ifm=d2, d_ofm=d3, f_conv=3, s_conv=1, p_conv=1,
+            pool=PoolSpec(3, 2, 0),
+        ),
+    ]
+
+
+def build_convnet(
+    num_classes: int | None = None,
+    width_scale: float = 1.0,
+    relu_threshold: float | None = None,
+) -> StagedNetwork:
+    """Build ConvNet as a staged network (see module docstring)."""
+    classes = scaled_num_classes(num_classes, 10)
+    b = StagedNetworkBuilder("convnet", (3, 32, 32), relu_threshold)
+    for i, geom in enumerate(convnet_geometries(width_scale), start=1):
+        b.add_conv(f"conv{i}", geom)
+    b.add_fc("fc4", classes, activation=False)
+    return b.build()

@@ -1,0 +1,53 @@
+"""LeNet: the 4-layer small network of the paper's Table 3.
+
+Two merged CONV+POOL stages followed by two FC layers, on 28x28
+single-channel inputs (MNIST geometry).  The paper reports 9 possible
+structures recovered for this network.
+"""
+
+from __future__ import annotations
+
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo.common import scale_depth, scaled_num_classes
+
+__all__ = ["build_lenet", "lenet_geometries"]
+
+
+def lenet_geometries(width_scale: float = 1.0) -> list[LayerGeometry]:
+    """Ground-truth conv-stage geometries of LeNet."""
+    d1 = scale_depth(6, width_scale)
+    d2 = scale_depth(16, width_scale)
+    return [
+        LayerGeometry.from_conv(
+            w_ifm=28, d_ifm=1, d_ofm=d1, f_conv=5, s_conv=1, p_conv=0,
+            pool=PoolSpec(2, 2, 0),
+        ),
+        LayerGeometry.from_conv(
+            w_ifm=12, d_ifm=d1, d_ofm=d2, f_conv=5, s_conv=1, p_conv=0,
+            pool=PoolSpec(2, 2, 0),
+        ),
+    ]
+
+
+def build_lenet(
+    num_classes: int | None = None,
+    width_scale: float = 1.0,
+    relu_threshold: float | None = None,
+) -> StagedNetwork:
+    """Build LeNet as a staged network.
+
+    Args:
+        num_classes: output classes (default 10).
+        width_scale: channel-depth scale for proxy training.
+        relu_threshold: if set, use tunable ThresholdReLU activations.
+    """
+    classes = scaled_num_classes(num_classes, 10)
+    b = StagedNetworkBuilder("lenet", (1, 28, 28), relu_threshold)
+    conv1, conv2 = lenet_geometries(width_scale)
+    b.add_conv("conv1", conv1)
+    b.add_conv("conv2", conv2)
+    b.add_fc("fc3", scale_depth(120, width_scale))
+    b.add_fc("fc4", classes, activation=False)
+    return b.build()

@@ -1,0 +1,146 @@
+"""SqueezeNet: the paper's modern case study (Figure 5).
+
+SqueezeNet v1.0 geometry on 227x227x3 inputs: CONV1, eight fire modules,
+CONV10, global average pooling.  A fire module squeezes with a 1x1
+convolution and expands with parallel 1x1 and 3x3 convolutions whose
+outputs are depth-concatenated; on an accelerator without dedicated fire
+hardware the three convolutions execute sequentially (paper Section 3.2),
+which is exactly how the stage decomposition lays them out.
+
+Following the paper we add three bypass paths connecting non-adjacent
+fire modules (around fire3, fire5 and fire7), merged with element-wise
+addition layers as Caffe/TensorFlow do.  Max pooling after fire4 and
+fire8 is merged into the expand convolutions of the preceding fire module
+(pooling commutes with depth concatenation), and CONV10's global average
+pool is merged into CONV10 — keeping every stage a CONV(+POOL) unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers.activations import Flatten
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo.common import scale_depth, scaled_num_classes
+
+__all__ = ["FireSpec", "SQUEEZENET_FIRES", "build_squeezenet", "squeezenet_conv1_geometry"]
+
+
+@dataclass(frozen=True)
+class FireSpec:
+    """Channel plan of one fire module (squeeze + two expand paths)."""
+
+    name: str
+    squeeze: int
+    expand: int  # each expand path produces this many channels
+    pool_after: bool = False  # merge a 3x2 max pool into the expand convs
+    bypass_from: str | None = None  # stage whose OFM is added to this output
+
+
+SQUEEZENET_FIRES: tuple[FireSpec, ...] = (
+    FireSpec("fire2", squeeze=16, expand=64),
+    FireSpec("fire3", squeeze=16, expand=64, bypass_from="fire2"),
+    FireSpec("fire4", squeeze=32, expand=128, pool_after=True),
+    FireSpec("fire5", squeeze=32, expand=128, bypass_from="fire4"),
+    FireSpec("fire6", squeeze=48, expand=192),
+    FireSpec("fire7", squeeze=48, expand=192, bypass_from="fire6"),
+    FireSpec("fire8", squeeze=64, expand=256, pool_after=True),
+    FireSpec("fire9", squeeze=64, expand=256),
+)
+
+
+def squeezenet_conv1_geometry(
+    width_scale: float = 1.0, input_size: int = 227
+) -> LayerGeometry:
+    """CONV1: 7x7 stride-2 conv + 3x3 stride-2 max pool (227x3 -> 55x96
+    at full scale; ``input_size`` shrinks the spatial pyramid for proxy
+    experiments while keeping the fire-module structure intact)."""
+    return LayerGeometry.from_conv(
+        w_ifm=input_size, d_ifm=3, d_ofm=scale_depth(96, width_scale),
+        f_conv=7, s_conv=2, p_conv=0, pool=PoolSpec(3, 2, 0),
+    )
+
+
+def _add_fire(
+    b: StagedNetworkBuilder,
+    fire: FireSpec,
+    input_stage: str,
+    width_scale: float,
+) -> str:
+    """Add one fire module; returns the name of its output stage."""
+    squeeze_d = scale_depth(fire.squeeze, width_scale)
+    expand_d = scale_depth(fire.expand, width_scale)
+    in_depth, in_width = b.output_shape(input_stage)
+    pool = PoolSpec(3, 2, 0) if fire.pool_after else None
+
+    b.add_conv(
+        f"{fire.name}/squeeze",
+        LayerGeometry.from_conv(in_width, in_depth, squeeze_d, 1, 1, 0),
+        input_stage=input_stage,
+    )
+    b.add_conv(
+        f"{fire.name}/expand1x1",
+        LayerGeometry.from_conv(in_width, squeeze_d, expand_d, 1, 1, 0, pool),
+        input_stage=f"{fire.name}/squeeze",
+    )
+    b.add_conv(
+        f"{fire.name}/expand3x3",
+        LayerGeometry.from_conv(in_width, squeeze_d, expand_d, 3, 1, 1, pool),
+        input_stage=f"{fire.name}/squeeze",
+    )
+    b.add_concat(
+        f"{fire.name}/concat",
+        [f"{fire.name}/expand1x1", f"{fire.name}/expand3x3"],
+    )
+    out = f"{fire.name}/concat"
+    if fire.bypass_from is not None:
+        b.add_eltwise(f"{fire.name}/bypass", [fire.bypass_from, out])
+        out = f"{fire.name}/bypass"
+    return out
+
+
+def build_squeezenet(
+    num_classes: int | None = None,
+    width_scale: float = 1.0,
+    relu_threshold: float | None = None,
+    input_size: int = 227,
+) -> StagedNetwork:
+    """Build SqueezeNet as a staged network.
+
+    The returned network's final node flattens CONV10's globally pooled
+    1x1 output into ``(N, num_classes)`` logits.  ``input_size`` scales
+    the spatial pyramid (e.g. 63 for fast proxy training); it must leave
+    every fire module at least 3 pixels wide.
+    """
+    classes = scaled_num_classes(num_classes, 1000)
+    b = StagedNetworkBuilder("squeezenet", (3, input_size, input_size), relu_threshold)
+    b.add_conv("conv1", squeezenet_conv1_geometry(width_scale, input_size))
+
+    prev = "conv1"
+    # Bypass sources point at fire concat outputs; resolve names as we go.
+    produced: dict[str, str] = {"conv1": "conv1"}
+    for fire in SQUEEZENET_FIRES:
+        source = produced[fire.bypass_from] if fire.bypass_from else None
+        spec = fire if source is None else FireSpec(
+            fire.name, fire.squeeze, fire.expand, fire.pool_after, source
+        )
+        prev = _add_fire(b, spec, prev, width_scale)
+        produced[fire.name] = prev
+
+    in_depth, in_width = b.output_shape(prev)
+    b.add_conv(
+        "conv10",
+        LayerGeometry.from_conv(
+            in_width, in_depth, classes, 1, 1, 0,
+            pool=PoolSpec(in_width, in_width, 0),
+        ),
+        input_stage=prev,
+        pool_kind="avg",
+    )
+    staged = b.build()
+    # Host-side reshape of the 1x1xC pooled output into logits; not a
+    # stage (it causes no accelerator memory traffic of its own).
+    staged.network.add("output/flatten", Flatten())
+    return staged

@@ -1,0 +1,52 @@
+"""Plain-text tables and series for the benchmark harness.
+
+The benches regenerate the paper's tables and figures as text: tables as
+aligned grids, figures as (x, y) series with an optional ASCII bar
+rendering.  Keeping the renderer dependency-free means benchmark output
+lands in CI logs and EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_bars"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers``; every cell is str()-ed."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], fmt: str = "{:.4f}"
+) -> str:
+    """A named (x, y) series, one pair per line."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {fmt.format(y)}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal ASCII bars scaled to the max value."""
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_w = max(len(str(l)) for l in labels) if labels else 0
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{str(label).rjust(label_w)} |{bar} {fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""ASCII visualisation of memory traces (Figure 3-style plots).
+
+Renders an address-vs-time density plot of a trace with read/write
+markers and optional layer-boundary ticks — the textual equivalent of
+the paper's Figure 3.  Used by the benches and handy for interactive
+trace inspection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.accel.trace import MemoryTrace
+
+__all__ = ["render_access_pattern", "render_layer_timeline"]
+
+
+def render_access_pattern(
+    trace: MemoryTrace,
+    boundaries: list[int] | None = None,
+    rows: int = 24,
+    cols: int = 96,
+) -> str:
+    """Address (vertical, growing upward) vs time (horizontal) plot.
+
+    ``boundaries`` are event indices (as returned by
+    :func:`repro.attacks.structure.find_layer_boundaries`) marked with
+    ``^`` on a ruler line below the plot.
+    """
+    if rows < 2 or cols < 2:
+        raise ConfigError("plot needs at least 2x2 cells")
+    if len(trace) == 0:
+        raise ConfigError("cannot render an empty trace")
+    lo_a, hi_a = int(trace.addresses.min()), int(trace.addresses.max()) + 1
+    lo_c, hi_c = int(trace.cycles.min()), int(trace.cycles.max()) + 1
+    grid = np.full((rows, cols), " ")
+    r = (
+        (trace.addresses - lo_a) * (rows - 1) // max(1, hi_a - lo_a - 1)
+    ).astype(int)
+    c = ((trace.cycles - lo_c) * (cols - 1) // max(1, hi_c - lo_c - 1)).astype(
+        int
+    )
+    for is_write, marker in ((False, "."), (True, "W")):
+        sel = trace.is_write == is_write
+        grid[r[sel], c[sel]] = marker
+    lines = ["".join(row) for row in grid[::-1]]
+    if boundaries is not None:
+        ruler = [" "] * cols
+        for b in boundaries:
+            pos = int(
+                (trace.cycles[b] - lo_c) * (cols - 1) // max(1, hi_c - lo_c - 1)
+            )
+            ruler[pos] = "^"
+        lines.append("".join(ruler))
+    lines.append(
+        "(address ^ vs time ->; '.'=read 'W'=write"
+        + (" '^'=layer boundary)" if boundaries is not None else ")")
+    )
+    return "\n".join(lines)
+
+
+def render_layer_timeline(
+    names: list[str], durations: list[int], width: int = 60
+) -> str:
+    """Per-layer duration bars over one inference (a Gantt-ish strip)."""
+    if len(names) != len(durations):
+        raise ConfigError("names and durations must align")
+    total = sum(durations)
+    if total <= 0:
+        raise ConfigError("durations must sum to a positive value")
+    label_w = max(len(n) for n in names)
+    lines = []
+    for name, duration in zip(names, durations):
+        cells = max(1, round(width * duration / total))
+        share = duration / total
+        lines.append(
+            f"{name.rjust(label_w)} |{'#' * cells} {duration:,} cyc ({share:.1%})"
+        )
+    return "\n".join(lines)

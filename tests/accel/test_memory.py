@@ -1,0 +1,81 @@
+"""DRAM model: allocator layout, region arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        MemoryConfig(element_bytes=0)
+    with pytest.raises(ConfigError):
+        MemoryConfig(element_bytes=3, block_bytes=64)
+    with pytest.raises(ConfigError):
+        MemoryConfig(base_address=7)
+    assert MemoryConfig().elements_per_block == 32
+
+
+def test_regions_are_contiguous_and_aligned():
+    alloc = DramAllocator(MemoryConfig(element_bytes=2, block_bytes=64))
+    a = alloc.allocate("a", "fmap", 100)  # 200 bytes -> 4 blocks
+    b = alloc.allocate("b", "weights", 33)  # 66 bytes -> 2 blocks
+    assert a.size_bytes == 256
+    assert b.base == a.end
+    assert b.size_bytes == 128
+    assert alloc.total_bytes == 256 + 128
+    assert a.num_blocks == 4
+
+
+def test_double_allocation_rejected():
+    alloc = DramAllocator()
+    alloc.allocate("x", "fmap", 10)
+    with pytest.raises(SimulationError):
+        alloc.allocate("x", "fmap", 10)
+
+
+def test_bad_purpose_and_size_rejected():
+    alloc = DramAllocator()
+    with pytest.raises(ConfigError):
+        alloc.allocate("x", "cache", 10)
+    with pytest.raises(SimulationError):
+        alloc.allocate("y", "fmap", 0)
+
+
+def test_region_of_lookup():
+    alloc = DramAllocator()
+    a = alloc.allocate("a", "fmap", 100)
+    b = alloc.allocate("b", "fmap", 100)
+    assert alloc.region_of(a.base) is a
+    assert alloc.region_of(b.base) is b
+    assert alloc.region_of(b.end) is None
+
+
+def test_block_addresses_cover_region():
+    cfg = MemoryConfig(element_bytes=2, block_bytes=32)
+    region = MemoryRegion("r", "fmap", 0x1000, 50, cfg)  # 100 bytes -> 4 blocks
+    addrs = region.block_addresses()
+    np.testing.assert_array_equal(addrs, [0x1000, 0x1020, 0x1040, 0x1060])
+    assert region.contains(0x1000)
+    assert region.contains(0x107F)
+    assert not region.contains(0x1080)
+
+
+def test_element_block_address():
+    cfg = MemoryConfig(element_bytes=2, block_bytes=32)
+    region = MemoryRegion("r", "fmap", 0x1000, 50, cfg)
+    assert region.element_block_address(0) == 0x1000
+    assert region.element_block_address(15) == 0x1000
+    assert region.element_block_address(16) == 0x1020
+    with pytest.raises(SimulationError):
+        region.element_block_address(50)
+
+
+def test_element_addresses_vectorised():
+    cfg = MemoryConfig(element_bytes=2, block_bytes=32)
+    region = MemoryRegion("r", "fmap", 0, 64, cfg)
+    out = region.element_addresses(np.array([0, 15, 16, 47]))
+    np.testing.assert_array_equal(out, [0, 0, 32, 64])

@@ -1,0 +1,95 @@
+"""Threat-model enforcement of the observation layer (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThreatModelViolation
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    PruningConfig,
+    ZeroPruningChannel,
+    observe_structure,
+)
+from repro.nn.shapes import PoolSpec
+from repro.nn.zoo import build_lenet
+
+from tests.conftest import build_conv_stage
+
+
+def test_structure_observation_fields():
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    assert obs.input_shape == (1, 28, 28)
+    assert obs.num_classes == 10
+    assert obs.total_cycles > 0
+    assert len(obs.trace) > 0
+    # No data values anywhere in the observation.
+    assert not hasattr(obs, "output")
+
+
+def test_structure_observation_rejects_pruned_device():
+    sim = AcceleratorSim(
+        build_lenet(), AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    with pytest.raises(ThreatModelViolation):
+        observe_structure(sim)
+
+
+def test_channel_requires_pruning():
+    staged, _, _, _ = build_conv_stage()
+    sim = AcceleratorSim(staged)
+    with pytest.raises(ThreatModelViolation):
+        ZeroPruningChannel(sim, "conv1")
+
+
+def make_channel(granularity="plane", **kwargs):
+    staged, geom, weights, biases = build_conv_stage(**kwargs)
+    sim = AcceleratorSim(
+        staged,
+        AcceleratorConfig(
+            pruning=PruningConfig(enabled=True, granularity=granularity)
+        ),
+    )
+    return ZeroPruningChannel(sim, "conv1"), geom
+
+
+def test_plane_channel_returns_per_filter_counts():
+    chan, geom = make_channel()
+    counts = chan.query([(0, 0, 0)], [1.0])
+    assert isinstance(counts, np.ndarray)
+    assert counts.shape == (geom.d_ofm,)
+    assert chan.per_plane
+
+
+def test_aggregate_channel_returns_total():
+    chan, _ = make_channel("aggregate")
+    total = chan.query([(0, 0, 0)], [1.0])
+    assert isinstance(total, int)
+    assert not chan.per_plane
+    with pytest.raises(ThreatModelViolation):
+        chan.query_per_filter([(0, 0, 0)], np.ones((1, chan.d_ofm)))
+
+
+def test_input_range_enforced():
+    chan, _ = make_channel()
+    with pytest.raises(ThreatModelViolation):
+        chan.query([(0, 0, 0)], [1e9])
+
+
+def test_query_counter_advances():
+    chan, _ = make_channel()
+    before = chan.queries
+    chan.query([(0, 0, 0)], [1.0])
+    chan.query_per_filter([(0, 0, 0)], np.ones((1, chan.d_ofm)))
+    assert chan.queries == before + 1 + chan.d_ofm
+
+
+def test_threshold_tuning_requires_tunable_device():
+    chan, _ = make_channel()
+    with pytest.raises(ThreatModelViolation):
+        chan.set_threshold(1.0)
+    chan_t, _ = make_channel(relu_threshold=0.0)
+    chan_t.set_threshold(0.5)  # fine on a tunable device

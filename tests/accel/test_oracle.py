@@ -1,0 +1,193 @@
+"""Stage oracles: the sparse fast path must equal the dense reference.
+
+The weight attack's validity rests entirely on this equivalence — the
+sparse oracle is an optimisation of the simulator, not a shortcut
+around it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
+from repro.accel.oracle import DenseStageOracle, SparseStageOracle, make_stage_oracle
+from repro.nn.shapes import PoolSpec
+from repro.nn.stages import StagedNetworkBuilder
+from repro.nn.spec import LayerGeometry
+
+from tests.conftest import build_conv_stage
+
+
+CONFIGS = [
+    dict(pool=None),
+    dict(pool=PoolSpec(2, 2, 0)),
+    dict(pool=PoolSpec(3, 2, 0)),
+    dict(pool=PoolSpec(2, 2, 0), pool_kind="avg"),
+    dict(pool=PoolSpec(3, 2, 1), pool_kind="avg"),
+    dict(pool=PoolSpec(3, 3, 0), s=2, f=4, w=14),
+    dict(pool=None, s=3, f=4, w=13, p=1),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS)
+def test_sparse_equals_dense(rng, cfg):
+    staged, _, _, _ = build_conv_stage(seed=5, **cfg)
+    dense = DenseStageOracle(staged, "conv1")
+    sparse = SparseStageOracle(staged, "conv1")
+    c_max, h, w = dense.input_shape
+    for _ in range(40):
+        n_px = int(rng.integers(1, 4))
+        pixels = []
+        seen = set()
+        while len(pixels) < n_px:
+            px = (
+                int(rng.integers(0, c_max)),
+                int(rng.integers(0, h)),
+                int(rng.integers(0, w)),
+            )
+            if px not in seen:
+                seen.add(px)
+                pixels.append(px)
+        values = rng.normal(size=n_px) * 5
+        np.testing.assert_array_equal(
+            dense.nnz(pixels, values), sparse.nnz(pixels, values)
+        )
+
+
+def test_oracle_matches_full_simulator(rng):
+    """The oracle counts equal the pruned simulator's per-plane writes."""
+    staged, _, _, _ = build_conv_stage(seed=9, pool=PoolSpec(2, 2, 0))
+    sparse = SparseStageOracle(staged, "conv1")
+    sim = AcceleratorSim(
+        staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    for trial in range(5):
+        x = np.zeros((2, 12, 12))
+        px = (int(rng.integers(0, 2)), int(rng.integers(0, 12)), int(rng.integers(0, 12)))
+        val = float(rng.normal() * 3)
+        x[px] = val
+        result = sim.run(x[None])
+        np.testing.assert_array_equal(
+            result.nnz["conv1"], sparse.nnz([px], [val])
+        )
+
+
+def test_per_filter_batch_equals_individual(rng):
+    staged, _, _, _ = build_conv_stage(seed=4, pool=PoolSpec(3, 2, 0))
+    dense = DenseStageOracle(staged, "conv1")
+    sparse = SparseStageOracle(staged, "conv1")
+    pixels = [(0, 2, 3), (1, 5, 5)]
+    values = rng.normal(size=(2, dense.d_ofm)) * 4
+    batch = sparse.nnz_per_filter(pixels, values)
+    reference = dense.nnz_per_filter(pixels, values)
+    np.testing.assert_array_equal(batch, reference)
+
+
+def test_query_accounting(rng):
+    staged, _, _, _ = build_conv_stage(seed=4)
+    sparse = SparseStageOracle(staged, "conv1")
+    sparse.nnz([(0, 0, 0)], [1.0])
+    assert sparse.queries == 1
+    sparse.nnz_per_filter([(0, 0, 0)], np.ones((1, sparse.d_ofm)))
+    assert sparse.queries == 1 + sparse.d_ofm
+
+
+def test_pixel_validation(rng):
+    staged, _, _, _ = build_conv_stage()
+    oracle = SparseStageOracle(staged, "conv1")
+    with pytest.raises(ConfigError):
+        oracle.nnz([(0, 50, 0)], [1.0])
+    with pytest.raises(ConfigError):
+        oracle.nnz([(0, 0, 0), (0, 0, 0)], [1.0, 2.0])
+    with pytest.raises(ConfigError):
+        oracle.nnz([(0, 0, 0)], [1.0, 2.0])
+
+
+def test_set_threshold_changes_counts(rng):
+    staged, _, weights, biases = build_conv_stage(
+        relu_threshold=0.0, bias_sign=1.0
+    )
+    oracle = SparseStageOracle(staged, "conv1")
+    base_low = oracle.nnz([(0, 0, 0)], [0.0])
+    oracle.set_threshold(float(biases.max()) + 1.0)
+    base_high = oracle.nnz([(0, 0, 0)], [0.0])
+    assert base_low.sum() > 0
+    assert base_high.sum() == 0
+
+
+def test_set_threshold_requires_tunable_relu():
+    staged, _, _, _ = build_conv_stage(relu_threshold=None)
+    oracle = SparseStageOracle(staged, "conv1")
+    with pytest.raises(ConfigError):
+        oracle.set_threshold(1.0)
+
+
+def test_threshold_affects_dense_and_sparse_identically(rng):
+    staged, _, _, _ = build_conv_stage(
+        relu_threshold=0.0, pool=PoolSpec(2, 2, 0), seed=13
+    )
+    dense = DenseStageOracle(staged, "conv1")
+    sparse = SparseStageOracle(staged, "conv1")
+    sparse.set_threshold(0.4)
+    dense_counts = dense.nnz([(0, 3, 3)], [2.0])  # dense sees the same layer
+    sparse_counts = sparse.nnz([(0, 3, 3)], [2.0])
+    np.testing.assert_array_equal(dense_counts, sparse_counts)
+
+
+def test_make_stage_oracle_dispatch():
+    staged, _, _, _ = build_conv_stage()
+    assert isinstance(make_stage_oracle(staged, "conv1"), SparseStageOracle)
+    assert isinstance(
+        make_stage_oracle(staged, "conv1", prefer_sparse=False), DenseStageOracle
+    )
+
+
+def test_oracle_rejects_non_conv_stage():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", LayerGeometry.from_conv(8, 2, 3, 3, 1, 0))
+    b.add_fc("f1", 4, activation=False)
+    staged = b.build()
+    with pytest.raises(ConfigError):
+        SparseStageOracle(staged, "f1")
+
+
+def test_oracle_requires_activation():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv(
+        "c1", LayerGeometry.from_conv(8, 2, 3, 3, 1, 0), activation=False
+    )
+    staged = b.build()
+    with pytest.raises(SimulationError):
+        SparseStageOracle(staged, "c1")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    f=st.integers(1, 4),
+    s=st.integers(1, 3),
+    fp=st.integers(0, 3),
+    px_i=st.integers(0, 9),
+    px_j=st.integers(0, 9),
+    value=st.floats(-10, 10, allow_nan=False),
+)
+def test_sparse_dense_equivalence_property(seed, f, s, fp, px_i, px_j, value):
+    if s > f:
+        return
+    pool = PoolSpec(fp, max(1, fp - 1), 0) if fp >= 2 else None
+    w = 10
+    conv_out = (w - f) // s + 1
+    if pool and pool.f > conv_out:
+        return
+    staged, _, _, _ = build_conv_stage(
+        w=w, c=1, d=4, f=f, s=s, pool=pool, seed=seed
+    )
+    dense = DenseStageOracle(staged, "conv1")
+    sparse = SparseStageOracle(staged, "conv1")
+    pixels = [(0, px_i, px_j)]
+    np.testing.assert_array_equal(
+        dense.nnz(pixels, [value]), sparse.nnz(pixels, [value])
+    )

@@ -1,0 +1,106 @@
+"""Zero-pruning encoder: write counts equal non-zero pixel counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.accel.memory import DramAllocator, MemoryConfig
+from repro.accel.pruning import (
+    PruningConfig,
+    encode_pruned_writes,
+    pruned_region_elements,
+)
+
+
+def make_region(shape, cfg, mem):
+    alloc = DramAllocator(mem)
+    return alloc.allocate("ofm", "fmap", pruned_region_elements(shape, cfg, mem))
+
+
+def test_plane_mode_counts_per_channel(rng):
+    mem = MemoryConfig()
+    cfg = PruningConfig(enabled=True, granularity="plane")
+    values = rng.normal(size=(3, 5, 5))
+    values[np.abs(values) < 0.5] = 0.0
+    region = make_region(values.shape, cfg, mem)
+    addrs, layout = encode_pruned_writes(region, values, cfg, mem)
+    expected = np.count_nonzero(values.reshape(3, -1), axis=1)
+    np.testing.assert_array_equal(layout.plane_pairs, expected)
+    assert len(addrs) == expected.sum()
+    # Every write lands inside its plane's substream.
+    for c in range(3):
+        base = region.base + c * layout.plane_capacity_bytes
+        end = base + layout.plane_capacity_bytes
+        plane_writes = addrs[(addrs >= base) & (addrs < end)]
+        assert len(plane_writes) == expected[c]
+
+
+def test_aggregate_mode_single_stream(rng):
+    mem = MemoryConfig()
+    cfg = PruningConfig(enabled=True, granularity="aggregate")
+    values = rng.normal(size=(3, 5, 5))
+    values[values < 0] = 0.0
+    region = make_region(values.shape, cfg, mem)
+    addrs, layout = encode_pruned_writes(region, values, cfg, mem)
+    assert len(layout.plane_pairs) == 1
+    assert layout.total_pairs == np.count_nonzero(values)
+    assert len(addrs) == layout.total_pairs
+
+
+def test_all_zero_tensor_writes_nothing():
+    mem = MemoryConfig()
+    cfg = PruningConfig(enabled=True)
+    values = np.zeros((2, 4, 4))
+    region = make_region(values.shape, cfg, mem)
+    addrs, layout = encode_pruned_writes(region, values, cfg, mem)
+    assert len(addrs) == 0
+    assert layout.total_pairs == 0
+    assert len(layout.read_block_addresses(region)) == 0
+
+
+def test_dense_tensor_capacity_bound(rng):
+    mem = MemoryConfig()
+    cfg = PruningConfig(enabled=True)
+    values = rng.uniform(1, 2, size=(2, 4, 4))  # all non-zero
+    region = make_region(values.shape, cfg, mem)
+    addrs, layout = encode_pruned_writes(region, values, cfg, mem)
+    # Stream stays inside the region.
+    assert addrs.max() < region.end
+    assert layout.total_pairs == 32
+
+
+def test_read_addresses_cover_pairs(rng):
+    mem = MemoryConfig(element_bytes=2, block_bytes=16)
+    cfg = PruningConfig(enabled=True, index_bytes=2)
+    values = rng.normal(size=(2, 6, 6))
+    values[np.abs(values) < 0.7] = 0.0
+    region = make_region(values.shape, cfg, mem)
+    _, layout = encode_pruned_writes(region, values, cfg, mem)
+    reads = layout.read_block_addresses(region)
+    # Block count covers all pairs of each plane (4 bytes per pair).
+    for c in range(2):
+        pairs = int(layout.plane_pairs[c])
+        base = region.base + c * layout.plane_capacity_bytes
+        plane_reads = reads[(reads >= base) & (reads < base + layout.plane_capacity_bytes)]
+        needed = -(-(pairs * 4) // 16) if pairs else 0
+        assert len(plane_reads) == needed
+
+
+def test_vector_output_uses_aggregate_stream(rng):
+    mem = MemoryConfig()
+    cfg = PruningConfig(enabled=True, granularity="plane")
+    values = rng.normal(size=(10,))
+    values[:4] = 0.0
+    region = make_region(values.shape, cfg, mem)
+    addrs, layout = encode_pruned_writes(region, values, cfg, mem)
+    assert len(layout.plane_pairs) == 1
+    assert layout.total_pairs == 6
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        PruningConfig(granularity="channel")
+    with pytest.raises(ConfigError):
+        PruningConfig(index_bytes=0)

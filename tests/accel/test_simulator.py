@@ -1,0 +1,186 @@
+"""Simulator invariants: the properties the attacks rely on.
+
+The structure attack is only sound if the simulator respects the
+paper's accelerator protocol: OFMs written once and contiguously at
+stage end, weights read-only, IFMs read from the producing stage's
+region, stage timing proportional to work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    BufferConfig,
+    MemoryConfig,
+    PruningConfig,
+    TimingModel,
+)
+from repro.nn.zoo import build_lenet, build_squeezenet
+
+
+@pytest.fixture(scope="module")
+def lenet_run():
+    sn = build_lenet()
+    sim = AcceleratorSim(sn)
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    return sn, sim, sim.run(x), x
+
+
+def test_output_matches_network(lenet_run):
+    sn, sim, result, x = lenet_run
+    np.testing.assert_allclose(result.output, sn.network.forward(x), atol=1e-12)
+
+
+def test_ofm_written_once_and_contiguously(lenet_run):
+    _, sim, result, _ = lenet_run
+    writes = result.trace.writes()
+    addrs, counts = np.unique(writes.addresses, return_counts=True)
+    assert (counts == 1).all()
+    for stage in sim.staged.stages:
+        region = sim.region(f"{stage.name}.ofm")
+        stage_writes = writes.in_address_range(region.base, region.end)
+        assert len(stage_writes) == region.num_blocks
+
+
+def test_weights_are_read_only(lenet_run):
+    _, sim, result, _ = lenet_run
+    for stage in sim.staged.stages:
+        region = sim.region(f"{stage.name}.weights")
+        events = result.trace.in_address_range(region.base, region.end)
+        assert len(events) > 0
+        assert not events.is_write.any()
+        # Every weight block is eventually read.
+        assert len(events.unique_addresses()) == region.num_blocks
+
+
+def test_every_access_lands_in_a_region(lenet_run):
+    _, sim, result, _ = lenet_run
+    lo = sim.allocator.config.base_address
+    hi = lo + sim.allocator.total_bytes
+    assert result.trace.addresses.min() >= lo
+    assert result.trace.addresses.max() < hi
+
+
+def test_stage_windows_are_ordered_and_disjoint(lenet_run):
+    _, sim, result, _ = lenet_run
+    ends = 0
+    for w in result.windows:
+        assert w.start_cycle >= ends
+        assert w.end_cycle > w.start_cycle
+        ends = w.end_cycle
+    assert result.total_cycles == ends
+
+
+def test_ifm_reads_come_from_producer_region(lenet_run):
+    _, sim, result, _ = lenet_run
+    conv2 = result.window("conv2")
+    conv1_region = sim.region("conv1.ofm")
+    # All conv1.ofm reads happen inside conv2's window (its consumer).
+    events = result.trace.in_address_range(conv1_region.base, conv1_region.end)
+    reads = events.filter(~events.is_write)
+    assert len(reads) > 0
+    assert (reads.cycles >= conv2.start_cycle).all()
+    assert (reads.cycles <= conv2.end_cycle).all()
+
+
+def test_compute_bound_stage_duration_tracks_macs(lenet_run):
+    _, sim, result, _ = lenet_run
+    tm = sim.config.timing
+    for w in result.windows:
+        if w.kind != "conv":
+            continue
+        compute = tm.compute_cycles(w.macs)
+        # Duration within 2x of the pure-compute bound plus memory time.
+        upper = compute + tm.memory_cycles(w.num_reads + w.num_writes)
+        upper += tm.stage_overhead + len(result.windows)
+        assert w.duration <= upper + compute  # rounding slack per tile
+        assert w.duration >= max(compute, 1)
+
+
+def test_nnz_matches_activations(lenet_run):
+    sn, sim, result, x = lenet_run
+    sn.network.forward(x)
+    for stage in sn.stages:
+        values = sn.network.activations[stage.output_node][0]
+        if values.ndim == 3:
+            expected = np.count_nonzero(values.reshape(values.shape[0], -1), axis=1)
+        else:
+            expected = np.array([np.count_nonzero(values)])
+        np.testing.assert_array_equal(result.nnz[stage.name], expected)
+
+
+def test_pruned_write_count_equals_nnz():
+    sn = build_lenet()
+    sim = AcceleratorSim(sn, AcceleratorConfig(pruning=PruningConfig(enabled=True)))
+    x = np.random.default_rng(1).normal(size=(1, 1, 28, 28))
+    result = sim.run(x)
+    for stage in sn.stages:
+        assert result.window(stage.name).num_writes == result.nnz[stage.name].sum()
+
+
+def test_pruned_and_dense_compute_same_output():
+    sn = build_lenet()
+    x = np.random.default_rng(2).normal(size=(1, 1, 28, 28))
+    dense = AcceleratorSim(sn).run(x)
+    pruned = AcceleratorSim(
+        sn, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    ).run(x)
+    np.testing.assert_allclose(dense.output, pruned.output, atol=1e-12)
+
+
+def test_input_shape_validation():
+    sim = AcceleratorSim(build_lenet())
+    with pytest.raises(SimulationError):
+        sim.run(np.zeros((2, 1, 28, 28)))
+    with pytest.raises(SimulationError):
+        sim.run(np.zeros((1, 3, 28, 28)))
+
+
+def test_three_dim_input_accepted():
+    sim = AcceleratorSim(build_lenet())
+    result = sim.run(np.zeros((1, 28, 28)))
+    assert result.output.shape == (1, 10)
+
+
+def test_squeezenet_merge_stages_traced():
+    sn = build_squeezenet(num_classes=10, width_scale=0.25)
+    sim = AcceleratorSim(sn)
+    x = np.random.default_rng(0).normal(size=(1, 3, 227, 227))
+    result = sim.run(x)
+    kinds = {w.name: w.kind for w in result.windows}
+    assert kinds["fire3/bypass"] == "eltwise"
+    assert kinds["fire2/concat"] == "concat"
+    # Bypass reads both operand regions.
+    w = result.window("fire3/bypass")
+    events = result.trace.slice(0, len(result.trace))
+    window_events = events.filter(
+        (events.cycles >= w.start_cycle) & (events.cycles <= w.end_cycle)
+    )
+    reads = window_events.filter(~window_events.is_write)
+    r_a = sim.region("fire2/concat.ofm")
+    r_b = sim.region("fire3/concat.ofm")
+    assert len(reads.in_address_range(r_a.base, r_a.end)) == r_a.num_blocks
+    assert len(reads.in_address_range(r_b.base, r_b.end)) == r_b.num_blocks
+
+
+def test_window_lookup_error(lenet_run):
+    _, _, result, _ = lenet_run
+    with pytest.raises(SimulationError):
+        result.window("nope")
+
+
+def test_custom_config_changes_trace_scale():
+    sn = build_lenet()
+    cfg = AcceleratorConfig(
+        memory=MemoryConfig(element_bytes=2, block_bytes=32),
+        buffers=BufferConfig(1024, 1024),
+        timing=TimingModel(pe_macs_per_cycle=64, cycles_per_block=2),
+    )
+    result = AcceleratorSim(sn, cfg).run(np.zeros((1, 1, 28, 28)))
+    baseline = AcceleratorSim(sn).run(np.zeros((1, 1, 28, 28)))
+    assert len(result.trace) > len(baseline.trace)  # smaller blocks

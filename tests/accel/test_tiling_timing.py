@@ -1,0 +1,112 @@
+"""Tile planner and cycle model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
+from repro.accel.timing import TimingModel
+from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.nn.shapes import PoolSpec
+
+
+def geom(w=27, c=96, d=256, f=5, s=1, p=2, pool=PoolSpec(3, 2, 0)):
+    return LayerGeometry.from_conv(w, c, d, f, s, p, pool=pool)
+
+
+def test_conv_tiles_cover_all_work():
+    g = geom()
+    tiles = plan_conv_tiles(g, BufferConfig(8192, 8192))
+    assert sum(t.macs for t in tiles) == g.macs
+    rows = set()
+    for t in tiles:
+        rows.update(range(t.out_row_start, t.out_row_end))
+    assert rows == set(range(g.w_conv))
+    ocs = {(t.oc_start, t.oc_end) for t in tiles}
+    covered = set()
+    for lo, hi in ocs:
+        covered.update(range(lo, hi))
+    assert covered == set(range(g.d_ofm))
+
+
+def test_ifm_fetched_once_per_band():
+    tiles = plan_conv_tiles(geom(), BufferConfig(8192, 8192))
+    bands = {}
+    for t in tiles:
+        bands.setdefault(t.out_row_start, []).append(t.fetch_ifm)
+    for flags in bands.values():
+        assert flags[0] is True
+        assert not any(flags[1:])
+
+
+def test_input_rows_cover_filter_footprint():
+    g = geom(w=12, c=2, d=4, f=3, s=2, p=1, pool=None)
+    for t in plan_conv_tiles(g, BufferConfig(64, 64)):
+        # Band input rows must include every row the band's outputs read.
+        first_in = max(0, t.out_row_start * g.s_conv - g.p_conv)
+        last_in = min(
+            g.w_ifm, (t.out_row_end - 1) * g.s_conv - g.p_conv + g.f_conv
+        )
+        assert t.ifm_row_start <= first_in
+        assert t.ifm_row_end >= last_in
+
+
+def test_tiny_buffers_still_schedule():
+    g = geom(w=8, c=3, d=4, f=3, s=1, p=0, pool=None)
+    tiles = plan_conv_tiles(g, BufferConfig(1, 1))
+    assert sum(t.macs for t in tiles) == g.macs
+
+
+def test_fc_tiles_cover_outputs():
+    fc = FCGeometry(1000, 77)
+    tiles = plan_fc_tiles(fc, BufferConfig(weight_buffer_elements=3000, ifm_buffer_elements=3000))
+    assert sum(t.macs for t in tiles) == fc.macs
+    assert tiles[0].fetch_ifm and not any(t.fetch_ifm for t in tiles[1:])
+    assert tiles[0].out_end - tiles[0].out_start == 3  # 3000 // 1000
+
+
+def test_buffer_config_validation():
+    with pytest.raises(ConfigError):
+        BufferConfig(ifm_buffer_elements=0)
+
+
+def test_timing_model_bounds():
+    tm = TimingModel(pe_macs_per_cycle=256, cycles_per_block=4)
+    assert tm.compute_cycles(1) == 1
+    assert tm.compute_cycles(256) == 1
+    assert tm.compute_cycles(257) == 2
+    assert tm.memory_cycles(10) == 40
+    assert tm.tile_cycles(0, 0) == 1
+    assert tm.tile_cycles(2560, 1) == 10  # compute bound
+    assert tm.tile_cycles(256, 100) == 400  # memory bound
+
+
+def test_timing_model_validation():
+    with pytest.raises(ConfigError):
+        TimingModel(pe_macs_per_cycle=0)
+    with pytest.raises(ConfigError):
+        TimingModel(cycles_per_block=0)
+    with pytest.raises(ConfigError):
+        TimingModel(stage_overhead=-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    w=st.integers(4, 30),
+    c=st.integers(1, 8),
+    d=st.integers(1, 16),
+    f=st.integers(1, 5),
+    s=st.integers(1, 3),
+    ifm_buf=st.integers(16, 4096),
+    w_buf=st.integers(16, 4096),
+)
+def test_conv_tiles_always_cover_macs(w, c, d, f, s, ifm_buf, w_buf):
+    if f > w or s > f:
+        return
+    g = LayerGeometry.from_conv(w, c, d, f, s, 0)
+    tiles = plan_conv_tiles(g, BufferConfig(ifm_buf, w_buf))
+    assert sum(t.macs for t in tiles) == g.macs
+    assert all(t.out_row_end > t.out_row_start for t in tiles)
+    assert all(t.oc_end > t.oc_start for t in tiles)

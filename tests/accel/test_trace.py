@@ -1,0 +1,80 @@
+"""Memory trace container: invariants, queries, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+
+
+def small_trace() -> MemoryTrace:
+    b = TraceBuilder()
+    cyc = b.add_span(0, np.array([0, 64, 128]), READ, cycles_per_access=2)
+    b.add_span(cyc, np.array([256, 256]), WRITE, cycles_per_access=1)
+    return b.build()
+
+
+def test_builder_produces_sorted_cycles():
+    t = small_trace()
+    assert len(t) == 5
+    assert (np.diff(t.cycles) >= 0).all()
+    assert t.is_write.sum() == 2
+
+
+def test_builder_rejects_time_travel():
+    b = TraceBuilder()
+    b.add_span(100, np.array([0]), READ)
+    with pytest.raises(TraceError):
+        b.add_span(50, np.array([64]), READ)
+
+
+def test_empty_span_is_noop():
+    b = TraceBuilder()
+    assert b.add_span(5, np.array([], dtype=np.int64), READ) == 5
+    assert b.num_events == 0
+    assert len(b.build()) == 0
+
+
+def test_trace_validation():
+    with pytest.raises(TraceError):
+        MemoryTrace(np.array([1, 0]), np.array([0, 0]), np.array([False, False]))
+    with pytest.raises(TraceError):
+        MemoryTrace(np.array([0]), np.array([0, 1]), np.array([False]))
+
+
+def test_reads_writes_filters():
+    t = small_trace()
+    assert len(t.reads()) == 3
+    assert len(t.writes()) == 2
+    assert (t.writes().addresses == 256).all()
+
+
+def test_address_range_query():
+    t = small_trace()
+    sel = t.in_address_range(64, 256)
+    np.testing.assert_array_equal(sel.addresses, [64, 128])
+
+
+def test_slice_and_duration():
+    t = small_trace()
+    s = t.slice(1, 3)
+    assert len(s) == 2
+    assert t.duration == int(t.cycles[-1] - t.cycles[0])
+
+
+def test_unique_addresses():
+    t = small_trace()
+    np.testing.assert_array_equal(t.unique_addresses(), [0, 64, 128, 256])
+    np.testing.assert_array_equal(t.unique_addresses(writes_only=True), [256])
+
+
+def test_save_load_round_trip(tmp_path):
+    t = small_trace()
+    path = str(tmp_path / "trace.npz")
+    t.save(path)
+    loaded = MemoryTrace.load(path)
+    np.testing.assert_array_equal(loaded.cycles, t.cycles)
+    np.testing.assert_array_equal(loaded.addresses, t.addresses)
+    np.testing.assert_array_equal(loaded.is_write, t.is_write)

@@ -1,0 +1,95 @@
+"""End-to-end model cloning (structure + weights + distillation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
+from repro.attacks import clone_model, prediction_agreement
+from repro.attacks.clone import _counts_for, _verify_stolen_layer
+from repro.accel import ZeroPruningChannel
+from repro.data import make_dataset
+from repro.errors import AttackError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetworkBuilder
+
+
+def build_victim(seed=4, d=6, with_fc=True):
+    rng = np.random.default_rng(seed)
+    b = StagedNetworkBuilder("victim", (1, 14, 14), relu_threshold=0.0)
+    geom = LayerGeometry.from_conv(14, 1, d, 3, 1, 0, pool=PoolSpec(2, 2, 0))
+    b.add_conv("conv1", geom)
+    if with_fc:
+        b.add_fc("fc2", 10, activation=False)
+    victim = b.build()
+    conv = victim.network.nodes["conv1/conv"].layer
+    conv.weight.value[:] = rng.normal(size=conv.weight.value.shape)
+    conv.bias.value[:] = -rng.uniform(0.2, 0.8, size=d)
+    return victim, geom, conv
+
+
+@pytest.fixture(scope="module")
+def cloned():
+    victim, geom, conv = build_victim()
+    ds = make_dataset(
+        num_classes=10, image_size=14, channels=1,
+        train_per_class=12, val_per_class=6, seed=3,
+    )
+    dense = AcceleratorSim(victim)
+    pruned = AcceleratorSim(
+        victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    result = clone_model(
+        dense, pruned, ds.train_images, distill_epochs=20
+    )
+    return victim, geom, conv, ds, result
+
+
+def test_clone_steals_first_layer_exactly(cloned):
+    victim, geom, conv, _, result = cloned
+    stolen = result.network.network.nodes[
+        f"{result.network.stages[0].name}/conv"
+    ].layer
+    np.testing.assert_allclose(
+        stolen.weight.value, conv.weight.value, atol=1e-10
+    )
+    np.testing.assert_allclose(stolen.bias.value, conv.bias.value, atol=1e-10)
+    assert result.geometry == geom.canonical()
+    assert result.weights_resolved_fraction == 1.0
+
+
+def test_clone_matches_victim_on_probes(cloned):
+    victim, _, _, ds, result = cloned
+    # Distillation fits the probe set the attacker labelled.
+    assert prediction_agreement(victim, result.network, ds.train_images) > 0.9
+    # And generalises above chance on unseen images.
+    assert prediction_agreement(victim, result.network, ds.val_images) > 0.2
+
+
+def test_clone_records_costs(cloned):
+    _, _, _, ds, result = cloned
+    assert result.channel_queries > 0
+    assert result.labeling_queries == len(ds.train_images)
+    assert result.structure_candidates >= 1
+
+
+def test_counts_predictor_matches_device():
+    victim, geom, conv = build_victim(seed=9)
+    pruned = AcceleratorSim(
+        victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    channel = ZeroPruningChannel(pruned, "conv1")
+    assert _verify_stolen_layer(
+        channel, geom, conv.weight.value, conv.bias.value
+    )
+    # Perturbed weights fail the verification.
+    wrong = conv.weight.value + 0.5
+    assert not _verify_stolen_layer(channel, geom, wrong, conv.bias.value)
+
+
+def test_prediction_agreement_validation(cloned):
+    victim, _, _, _, result = cloned
+    with pytest.raises(AttackError):
+        prediction_agreement(victim, result.network, np.empty((0, 1, 14, 14)))

@@ -1,0 +1,79 @@
+"""Fire-module detection specifics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import AcceleratorSim, observe_structure
+from repro.attacks.structure import analyse_trace, detect_fire_modules
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetworkBuilder
+from repro.nn.zoo import build_squeezenet
+
+
+def analysis_of(staged):
+    return analyse_trace(observe_structure(AcceleratorSim(staged), seed=0))
+
+
+def test_squeezenet_roles_cover_every_fire_conv():
+    sn = build_squeezenet(num_classes=10, width_scale=0.25)
+    roles = detect_fire_modules(analysis_of(sn))
+    # 8 fires x (squeeze + 2 expands).
+    assert len(roles) == 24
+    by_role: dict[str, int] = {}
+    for r in roles.values():
+        by_role[r] = by_role.get(r, 0) + 1
+    assert by_role["fire/squeeze"] == 8
+    # fire4/fire8 expands pool; the other six fires don't.
+    assert by_role["fire/expand_a+pool"] == 2
+    assert by_role["fire/expand_b+pool"] == 2
+    assert by_role["fire/expand_a"] == 6
+    assert by_role["fire/expand_b"] == 6
+
+
+def test_expand_roles_ordered_by_filter_size():
+    """expand_a is always the smaller-filter path (1x1 vs 3x3)."""
+    sn = build_squeezenet(num_classes=10, width_scale=0.25)
+    analysis = analysis_of(sn)
+    roles = detect_fire_modules(analysis)
+    for idx, role in roles.items():
+        if not role.startswith("fire/expand"):
+            continue
+        layer = analysis.layers[idx]
+        assert layer.size_fltr is not None
+    # Pick fire2's expands: layer indices 2 and 3 from the trace tests.
+    a = next(i for i, r in roles.items() if r == "fire/expand_a" and i < 5)
+    b = next(i for i, r in roles.items() if r == "fire/expand_b" and i < 5)
+    assert analysis.layers[a].size_fltr.hi < analysis.layers[b].size_fltr.hi
+
+
+def test_no_false_positives_on_nonfire_branching():
+    """A fan-out that merges via eltwise (not concat) is not a fire."""
+    b = StagedNetworkBuilder("res", (2, 12, 12))
+    g = LayerGeometry.from_conv(12, 2, 4, 3, 1, 1)
+    b.add_conv("c1", g)
+    g2 = LayerGeometry.from_conv(12, 4, 4, 3, 1, 1)
+    b.add_conv("c2", g2, input_stage="c1")
+    b.add_conv("c3", g2, input_stage="c1")
+    b.add_eltwise("merge", ["c2", "c3"])
+    b.add_fc("fc", 5, activation=False)
+    roles = detect_fire_modules(analysis_of(b.build()))
+    assert roles == {}
+
+
+def test_concat_of_two_parallel_convs_is_detected():
+    b = StagedNetworkBuilder("mini-fire", (2, 12, 12))
+    b.add_conv("squeeze", LayerGeometry.from_conv(12, 2, 3, 1, 1, 0))
+    b.add_conv(
+        "e1", LayerGeometry.from_conv(12, 3, 4, 1, 1, 0), input_stage="squeeze"
+    )
+    b.add_conv(
+        "e3", LayerGeometry.from_conv(12, 3, 4, 3, 1, 1), input_stage="squeeze"
+    )
+    b.add_concat("cat", ["e1", "e3"])
+    b.add_fc("fc", 5, activation=False)
+    roles = detect_fire_modules(analysis_of(b.build()))
+    assert set(roles.values()) == {
+        "fire/squeeze", "fire/expand_a", "fire/expand_b",
+    }

@@ -1,0 +1,76 @@
+"""Interaction of the two optimisations: pruning vs the structure attack.
+
+An under-remarked corollary of the paper: while dynamic zero pruning
+*opens* the weight channel, it simultaneously *degrades* the structure
+channel — compressed OFM streams no longer span their full regions, so
+size extraction (Eq. 1-3's inputs) breaks.  These tests pin that down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
+from repro.attacks.structure.trace_analysis import (
+    analyse_trace,
+    find_layer_boundaries,
+)
+from repro.errors import ThreatModelViolation, TraceError
+from repro.nn.zoo import build_lenet
+
+
+def pruned_trace():
+    sim = AcceleratorSim(
+        build_lenet(), AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    return sim.run(x)
+
+
+def test_observation_layer_refuses_pruned_structure_attack():
+    sim = AcceleratorSim(
+        build_lenet(), AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    from repro.accel import observe_structure
+
+    with pytest.raises(ThreatModelViolation):
+        observe_structure(sim)
+
+
+def test_boundaries_still_visible_in_pruned_trace():
+    """Layer segmentation survives pruning (RAW structure intact)..."""
+    result = pruned_trace()
+    boundaries = find_layer_boundaries(
+        result.trace.addresses, result.trace.is_write
+    )
+    assert len(boundaries) == 4
+
+
+def test_size_extraction_breaks_on_pruned_trace():
+    """...but size extraction does not: compressed writes are
+    input-dependent, so the extracted extents either stop being
+    contiguous (TraceError) or no longer contain the true tensor sizes
+    — either way the attacker's Eq. (1)-(3) inputs are corrupted."""
+    from repro.accel.observe import StructureObservation
+
+    result = pruned_trace()
+    sim_cfg = AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    obs = StructureObservation(
+        trace=result.trace,
+        input_shape=(1, 28, 28),
+        num_classes=10,
+        element_bytes=sim_cfg.memory.element_bytes,
+        block_bytes=sim_cfg.memory.block_bytes,
+        total_cycles=result.total_cycles,
+    )
+    truth = [g.size_ofm for g in build_lenet().geometries()]
+    try:
+        analysis = analyse_trace(obs)
+    except TraceError:
+        return  # gaps between substreams: extraction failed outright
+    sizes_ok = all(
+        layer.size_ofm.contains(true_size)
+        for layer, true_size in zip(analysis.layers, truth)
+    )
+    assert not sizes_ok

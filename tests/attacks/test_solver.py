@@ -1,0 +1,166 @@
+"""Per-layer constraint solver: soundness (truth always enumerated)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.structure import (
+    DeviceKnowledge,
+    LayerProblem,
+    PracticalityRules,
+    SizeRange,
+    solve_conv_layer,
+    solve_fc_layer,
+    timing_consistent,
+)
+from repro.errors import ConfigError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+
+DEVICE = DeviceKnowledge(pe_macs_per_cycle=256, cycles_per_block=4, stage_overhead=100)
+
+
+def exact_range(n: int) -> SizeRange:
+    return SizeRange(lo=n, hi=n)
+
+
+def block_range(n: int, epb: int = 32) -> SizeRange:
+    hi = -(-n // epb) * epb
+    return SizeRange(lo=hi - epb + 1, hi=hi)
+
+
+def problem_for(geom: LayerGeometry, reads: int = 1000, exact: bool = False) -> LayerProblem:
+    """Synthesise the observation a perfect device would produce."""
+    make = exact_range if exact else block_range
+    writes = max(1, geom.size_ofm // 32)
+    duration = DEVICE.predicted_duration(geom.macs, reads, writes)
+    return LayerProblem(
+        w_ifm=geom.w_ifm,
+        d_ifm=geom.d_ifm,
+        size_ofm=make(geom.size_ofm),
+        size_fltr=make(geom.size_fltr),
+        duration=duration,
+        read_transactions=reads,
+        write_transactions=writes,
+    )
+
+
+TRUE_GEOMETRIES = [
+    LayerGeometry.from_conv(28, 1, 6, 5, 1, 0, pool=PoolSpec(2, 2, 0)),
+    LayerGeometry.from_conv(32, 3, 32, 5, 1, 2, pool=PoolSpec(3, 2, 0)),
+    LayerGeometry.from_conv(227, 3, 96, 11, 4, 0, pool=PoolSpec(3, 2, 0)),
+    LayerGeometry.from_conv(27, 96, 256, 5, 1, 2, pool=PoolSpec(3, 2, 0)),
+    LayerGeometry.from_conv(13, 256, 384, 3, 1, 1),
+    LayerGeometry.from_conv(55, 96, 16, 1, 1, 0),  # squeeze
+]
+
+
+@pytest.mark.parametrize("geom", TRUE_GEOMETRIES, ids=lambda g: f"w{g.w_ifm}f{g.f_conv}")
+def test_truth_always_in_candidates(geom):
+    cands = solve_conv_layer(problem_for(geom), DEVICE, tolerance=0.25)
+    canonical = {c.canonical() for c in cands}
+    assert geom.canonical() in canonical
+
+
+def test_exact_sizes_shrink_candidates():
+    geom = TRUE_GEOMETRIES[0]
+    loose = solve_conv_layer(problem_for(geom), DEVICE, tolerance=0.25)
+    tight = solve_conv_layer(problem_for(geom, exact=True), DEVICE, tolerance=0.25)
+    assert len(tight) <= len(loose)
+    assert geom.canonical() in {c.canonical() for c in tight}
+
+
+def test_tolerance_monotone():
+    geom = TRUE_GEOMETRIES[2]
+    prev = 0
+    for tol in (0.02, 0.1, 0.3):
+        n = len(solve_conv_layer(problem_for(geom), DEVICE, tolerance=tol))
+        assert n >= prev
+        prev = n
+
+
+def test_rules_shrink_search_space():
+    geom = TRUE_GEOMETRIES[3]
+    default = solve_conv_layer(problem_for(geom), DEVICE, 0.25)
+    relaxed = solve_conv_layer(
+        problem_for(geom), DEVICE, 0.25,
+        PracticalityRules(
+            minimal_conv_padding=False, zero_pool_padding=False,
+            pool_window_cap=None,
+        ),
+    )
+    exact_pool = solve_conv_layer(
+        problem_for(geom), DEVICE, 0.25,
+        PracticalityRules(exact_pool_division=True),
+    )
+    assert len(exact_pool) <= len(default) <= len(relaxed)
+
+
+def test_all_candidates_satisfy_paper_constraints():
+    geom = TRUE_GEOMETRIES[1]
+    problem = problem_for(geom)
+    for c in solve_conv_layer(problem, DEVICE, 0.25):
+        c.validate()
+        assert c.s_conv <= c.f_conv <= c.w_ifm // 2  # Eq. (5)
+        assert c.p_conv < c.f_conv  # Eq. (7)
+        assert problem.size_ofm.contains(c.size_ofm)  # Eq. (2)
+        assert problem.size_fltr.contains(c.size_fltr)  # Eq. (3)
+        if c.has_pool:
+            assert c.s_pool <= c.f_pool <= c.w_conv  # Eq. (6)
+            assert c.p_pool < c.f_pool  # Eq. (8)
+
+
+def test_fc_layer_unique_configuration():
+    # AlexNet fc6: 6x6x256 -> 4096, memory bound.
+    in_features = 6 * 6 * 256
+    reads = in_features * 4096 // 32
+    duration = DEVICE.predicted_duration(in_features * 4096, reads, 128)
+    problem = LayerProblem(
+        w_ifm=6, d_ifm=256,
+        size_ofm=block_range(4096),
+        size_fltr=block_range(in_features * 4096),
+        duration=duration,
+        read_transactions=reads,
+        write_transactions=128,
+    )
+    fcs = solve_fc_layer(problem, DEVICE, 0.25)
+    assert [f.out_features for f in fcs] == [4096]
+    # And no conv interpretation sneaks in.
+    convs = solve_conv_layer(problem, DEVICE, 0.25)
+    assert all(c.size_fltr != in_features * 4096 or c.w_ofm == 1 for c in convs)
+
+
+def test_timing_consistent_bounds():
+    assert timing_consistent(100, 100, 0.1)
+    assert timing_consistent(109, 100, 0.1)
+    assert not timing_consistent(120, 100, 0.1)
+    assert timing_consistent(91, 100, 0.1)
+    assert not timing_consistent(80, 100, 0.1)
+    assert not timing_consistent(0, 100, 0.1)
+    with pytest.raises(ConfigError):
+        timing_consistent(1, 1, -0.5)
+
+
+def test_final_layer_drops_overhead():
+    with_oh = DEVICE.predicted_duration(1000, 10, 10, final=False)
+    without = DEVICE.predicted_duration(1000, 10, 10, final=True)
+    assert with_oh - without == DEVICE.stage_overhead
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    w=st.integers(8, 40),
+    d_in=st.integers(1, 16),
+    d_out=st.integers(1, 32),
+    f=st.integers(1, 6),
+    s=st.integers(1, 3),
+    p=st.integers(0, 2),
+)
+def test_solver_soundness_property(w, d_in, d_out, f, s, p):
+    """Any valid geometry is recovered from its own perfect observation."""
+    if s > f or f > w // 2 or p >= f:
+        return
+    geom = LayerGeometry.from_conv(w, d_in, d_out, f, s, p)
+    cands = solve_conv_layer(problem_for(geom), DEVICE, tolerance=0.25)
+    assert geom.canonical() in {c.canonical() for c in cands}

@@ -1,0 +1,84 @@
+"""Solver internals: pooling-parameter solving and size factorisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.structure.solver import (
+    PracticalityRules,
+    _pool_options,
+    _pool_paddings,
+    _w_ofm_candidates,
+)
+from repro.attacks.structure.trace_analysis import SizeRange
+from repro.nn.shapes import pool_output_width
+
+
+def test_pool_paddings_solve_ceil_relation():
+    # 55 -> 27 with a 3x3 stride-2 window needs no padding.
+    assert _pool_paddings(55, 27, 3, 2) == [0]
+    # 55 -> 27 with a 5x5 stride-2 window needs one ring of padding.
+    assert _pool_paddings(55, 27, 5, 2) == [1]
+    # Impossible targets yield nothing.
+    assert _pool_paddings(10, 9, 3, 3) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    w_conv=st.integers(3, 60),
+    f=st.integers(1, 8),
+    s=st.integers(1, 8),
+    p=st.integers(0, 4),
+)
+def test_pool_paddings_inverse_of_width_formula(w_conv, f, s, p):
+    """Every padding returned reproduces the requested output width."""
+    if s > f or p >= f or f > w_conv:
+        return
+    if w_conv - f + 2 * p < 0:
+        return
+    w_ofm = pool_output_width(w_conv, f, s, p)
+    assert p in _pool_paddings(w_conv, w_ofm, f, s)
+    for candidate in _pool_paddings(w_conv, w_ofm, f, s):
+        assert pool_output_width(w_conv, f, s, candidate) == w_ofm
+
+
+def test_pool_options_respect_rules():
+    loose = PracticalityRules(
+        zero_pool_padding=False, pool_window_cap=None,
+        minimal_pool_window=False,
+    )
+    strict = PracticalityRules(exact_pool_division=True)
+    all_opts = _pool_options(32, 16, loose)
+    strict_opts = _pool_options(32, 16, strict)
+    assert set(strict_opts) <= set(all_opts)
+    assert all(p == 0 for (_, _, p) in strict_opts)
+    assert all((32 - f) % s == 0 for (f, s, _) in strict_opts)
+    # Identity pooling never appears.
+    assert (1, 1, 0) not in all_opts
+
+
+def test_pool_options_include_table4_pools():
+    rules = PracticalityRules(exact_pool_division=True)
+    assert (3, 2, 0) in _pool_options(55, 27, rules)  # CONV1_1
+    assert (4, 2, 0) in _pool_options(56, 27, rules)  # CONV1_2
+    assert (2, 2, 0) in _pool_options(6, 3, rules)  # CONV5_3
+    assert (4, 1, 0) in _pool_options(6, 3, rules)  # CONV5_4
+    assert (3, 3, 0) in _pool_options(12, 4, rules)  # CONV5_6
+
+
+def test_w_ofm_candidates_factorisation():
+    exact = SizeRange(27 * 27 * 96, 27 * 27 * 96)
+    assert _w_ofm_candidates(exact, 96) == [27]
+    assert _w_ofm_candidates(exact, 97) == []
+    # Block-granular range admits the true width too.
+    fuzzy = SizeRange(27 * 27 * 96 - 31, 27 * 27 * 96)
+    assert 27 in _w_ofm_candidates(fuzzy, 96)
+
+
+@settings(max_examples=50, deadline=None)
+@given(w=st.integers(1, 64), d=st.integers(1, 64), slack=st.integers(0, 31))
+def test_w_ofm_candidates_always_contain_truth(w, d, slack):
+    n = w * w * d
+    rng = SizeRange(max(1, n - slack), n)
+    assert w in _w_ofm_candidates(rng, d)

@@ -1,0 +1,108 @@
+"""Threshold bias recovery and aggregate crossing-set attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.weights import (
+    AttackTarget,
+    ThresholdWeightAttack,
+    recover_crossing_multiset,
+    recover_positive_biases,
+)
+from repro.errors import AttackError
+from repro.nn.shapes import PoolSpec
+
+from tests.conftest import build_conv_stage, pruned_channel
+
+
+def test_positive_bias_sweep_recovers_biases():
+    staged, _, _, biases = build_conv_stage(relu_threshold=0.0, seed=5, w=10, c=1, d=5)
+    channel = pruned_channel(staged)
+    recovered = recover_positive_biases(channel)
+    positive = biases > 0
+    np.testing.assert_allclose(recovered[positive], biases[positive], atol=1e-9)
+    assert np.isnan(recovered[~positive]).all()
+
+
+def test_threshold_attack_exact_weights_no_pool():
+    staged, geom, weights, biases = build_conv_stage(
+        relu_threshold=0.0, seed=5, w=10, c=1, d=5
+    )
+    channel = pruned_channel(staged)
+    result = ThresholdWeightAttack(
+        channel, AttackTarget.from_geometry(geom), t1=2.0, t2=5.0
+    ).run()
+    assert result.resolved.mean() > 0.95
+    assert result.max_weight_error(weights) < 1e-9
+    assert result.max_bias_error(biases) < 1e-9
+
+
+def test_threshold_attack_desaturates_pooled_positive_bias():
+    """Pooled positive-bias filters — silent at t=0 — fall to thresholds."""
+    staged, geom, weights, biases = build_conv_stage(
+        relu_threshold=0.0, seed=6, w=10, c=1, d=4,
+        pool=PoolSpec(2, 2, 0), bias_sign=1.0,
+    )
+    channel = pruned_channel(staged)
+    t1 = float(biases.max()) + 0.5
+    result = ThresholdWeightAttack(
+        channel, AttackTarget.from_geometry(geom), t1=t1, t2=t1 + 3.0
+    ).run()
+    assert result.resolved.mean() > 0.9
+    assert result.max_weight_error(weights) < 1e-8
+    assert result.max_bias_error(biases) < 1e-8
+
+
+def test_threshold_attack_validation():
+    staged, geom, _, _ = build_conv_stage(relu_threshold=0.0)
+    channel = pruned_channel(staged)
+    with pytest.raises(AttackError):
+        ThresholdWeightAttack(channel, AttackTarget.from_geometry(geom), t1=1.0, t2=1.0)
+
+
+def test_threshold_restored_after_attack():
+    staged, geom, _, _ = build_conv_stage(relu_threshold=0.0, w=8, c=1, d=2)
+    channel = pruned_channel(staged)
+    ThresholdWeightAttack(
+        channel, AttackTarget.from_geometry(geom), t1=1.0, t2=2.0
+    ).run()
+    relu = staged.network.nodes["conv1/relu"].layer
+    assert relu.threshold == 0.0
+
+
+def test_aggregate_attack_recovers_visible_crossings():
+    staged, geom, weights, biases = build_conv_stage(
+        seed=5, w=10, c=1, d=5, bias_sign=None, zero_fraction=0.0
+    )
+    channel = pruned_channel(staged, granularity="aggregate")
+    # Resolution must separate neighbouring crossings or their steps
+    # merge (documented limitation); 8192 segments over [-256, 256]
+    # resolve anything further apart than 1/16.
+    result = recover_crossing_multiset(channel, resolution=8192)
+    # Without pooling every corner crossing within range is visible.
+    expected = sorted(
+        -biases[k] / weights[k, 0, 0, 0]
+        for k in range(geom.d_ofm)
+        if weights[k, 0, 0, 0] != 0
+        and abs(biases[k] / weights[k, 0, 0, 0]) < 256
+    )
+    got = result.values()
+    assert len(got) == len(expected)
+    np.testing.assert_allclose(got, expected, atol=1e-6)
+    assert result.queries > 0
+
+
+def test_aggregate_attack_works_on_plane_channel_too():
+    staged, _, weights, biases = build_conv_stage(seed=5, w=10, c=1, d=3, zero_fraction=0.0)
+    channel = pruned_channel(staged, granularity="plane")
+    result = recover_crossing_multiset(channel, resolution=256)
+    assert len(result.crossings) >= 1
+
+
+def test_aggregate_resolution_validation():
+    staged, _, _, _ = build_conv_stage()
+    channel = pruned_channel(staged, granularity="aggregate")
+    with pytest.raises(AttackError):
+        recover_crossing_multiset(channel, resolution=1)

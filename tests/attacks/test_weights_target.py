@@ -1,0 +1,78 @@
+"""AttackTarget connection geometry (paper Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.weights import AttackTarget
+from repro.errors import AttackError, ConfigError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+
+
+def target(w=9, c=1, d=2, f=3, s=1, pool=None):
+    return AttackTarget(
+        w_ifm=w, d_ifm=c, d_ofm=d, f_conv=f, s_conv=s,
+        has_pool=pool is not None,
+        f_pool=pool.f if pool else 0,
+        s_pool=pool.s if pool else 0,
+    )
+
+
+def test_corner_pixel_single_connection():
+    t = target()
+    assert t.outputs_seeing_pixel(0, 0) == [(0, 0, 0, 0)]
+
+
+def test_figure6_connection_counts():
+    """Figure 6b: pixel (n, n) connects to all n^2 weights (stride 1)."""
+    t = target(f=3)
+    conns = t.outputs_seeing_pixel(2, 2)
+    weights = {(wi, wj) for (_, _, wi, wj) in conns}
+    assert weights == {(i, j) for i in range(3) for j in range(3)}
+    # Pixel (1, 0) touches weights (0,0) and (1,0) via two outputs.
+    conns = t.outputs_seeing_pixel(1, 0)
+    assert {(wi, wj) for (_, _, wi, wj) in conns} == {(0, 0), (1, 0)}
+
+
+def test_stride_reduces_connections():
+    t = target(w=12, f=4, s=2)
+    conns = t.outputs_seeing_pixel(3, 0)
+    # Padded coord 3 with stride 2: outputs 1 (weight 1) and 0 (weight 3).
+    assert {(a, wi) for (a, _, wi, _) in conns} == {(1, 1), (0, 3)}
+
+
+def test_window_membership():
+    t = target(w=10, f=3, pool=PoolSpec(2, 2, 0))
+    assert t.windows_of_output(0, 0) == [(0, 0)]
+    assert t.windows_of_output(1, 1) == [(0, 0)]
+    assert t.windows_of_output(2, 2) == [(1, 1)]
+    members = t.window_members(0, 0)
+    assert set(members) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+def test_overlapping_windows():
+    t = target(w=12, f=3, pool=PoolSpec(3, 2, 0))
+    assert t.windows_of_output(2, 2) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_from_geometry_requires_unpadded():
+    geom = LayerGeometry.from_conv(27, 96, 256, 5, 1, 2)
+    with pytest.raises(AttackError):
+        AttackTarget.from_geometry(geom)
+
+
+def test_from_geometry_accepts_absorbed_padding():
+    # p_conv=1 at stride 4 is canonically unpadded (paper's CONV1_1).
+    geom = LayerGeometry.from_conv(227, 3, 96, 11, 4, 1, pool=PoolSpec(3, 2, 0))
+    t = AttackTarget.from_geometry(geom)
+    assert t.s_conv == 4 and t.w_conv == 55 and t.w_pool == 27
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        target(f=20, w=9)
+    with pytest.raises(ConfigError):
+        AttackTarget(w_ifm=8, d_ifm=1, d_ofm=1, f_conv=3, s_conv=1, has_pool=True)
+    with pytest.raises(AttackError):
+        target().w_pool

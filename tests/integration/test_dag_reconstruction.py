@@ -1,0 +1,68 @@
+"""Reconstruction of branching (fire-module) candidates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim, observe_structure
+from repro.attacks.structure import (
+    PracticalityRules,
+    analyse_trace,
+    reconstruct_network,
+    run_structure_attack,
+)
+from repro.nn.zoo import build_squeezenet
+
+
+@pytest.fixture(scope="module")
+def mini_squeezenet_attack():
+    victim = build_squeezenet(num_classes=10, width_scale=0.125, input_size=131)
+    sim = AcceleratorSim(victim)
+    result = run_structure_attack(
+        sim, tolerance=0.05, rules=PracticalityRules(exact_pool_division=True)
+    )
+    return victim, sim, result
+
+
+def test_dag_candidates_enumerated(mini_squeezenet_attack):
+    victim, _, result = mini_squeezenet_attack
+    assert result.count >= 1
+    assert result.module_roles  # fire modules detected
+    kinds = {l.kind for c in result.candidates for l in c.layers}
+    assert "concat" in kinds and "eltwise" in kinds
+
+
+def test_dag_candidate_reconstructs_and_runs(mini_squeezenet_attack):
+    victim, _, result = mini_squeezenet_attack
+    cand = result.candidates[0]
+    staged = reconstruct_network(cand, (3, 131, 131), 10)
+    out = staged.network.forward(np.zeros((1, 3, 131, 131)))
+    assert out.shape == (1, 10)
+    # The reconstruction reproduces the fire topology.
+    kinds = [s.kind for s in staged.stages]
+    assert kinds.count("concat") == 8
+    assert kinds.count("eltwise") == 3
+
+
+def test_dag_reconstruction_trace_equivalent(mini_squeezenet_attack):
+    victim, sim, result = mini_squeezenet_attack
+    original = analyse_trace(observe_structure(sim, seed=7))
+    cand = result.candidates[0]
+    staged = reconstruct_network(cand, (3, 131, 131), 10)
+    re_obs = analyse_trace(observe_structure(AcceleratorSim(staged), seed=7))
+    assert re_obs.num_layers == original.num_layers
+    for mine, theirs in zip(re_obs.layers, original.layers):
+        assert mine.kind == theirs.kind
+        assert mine.sources == theirs.sources
+        assert mine.size_ofm == theirs.size_ofm
+
+
+def test_depth_scaled_dag_reconstruction(mini_squeezenet_attack):
+    victim, _, result = mini_squeezenet_attack
+    cand = result.candidates[0]
+    staged = reconstruct_network(cand, (3, 131, 131), 10, depth_scale=0.5)
+    out = staged.network.forward(np.zeros((1, 3, 131, 131)))
+    assert out.shape == (1, 10)
+    full = reconstruct_network(cand, (3, 131, 131), 10)
+    assert staged.network.num_parameters < full.network.num_parameters

@@ -1,0 +1,103 @@
+"""Whole-pipeline property tests: random victims, full attacks.
+
+The strongest soundness statement the repo can make: for *randomly
+generated* victim networks, the structure attack's candidate set always
+contains the truth, and the weight attack recovers random filters
+exactly.  Hypothesis drives the victim generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    PruningConfig,
+    ZeroPruningChannel,
+)
+from repro.attacks.structure import run_structure_attack
+from repro.attacks.weights import AttackTarget, ThresholdWeightAttack
+from repro.nn.shapes import PoolSpec, pool_output_width
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetworkBuilder
+
+
+def random_sequential_victim(rng: np.random.Generator):
+    """A random 2-conv + 1-fc victim obeying the paper's Eq. (5)."""
+    w = int(rng.integers(16, 29))
+    c = int(rng.integers(1, 3))
+    builder = StagedNetworkBuilder("victim", (c, w, w))
+    depth = c
+    width = w
+    geoms = []
+    for i in range(2):
+        f = int(rng.integers(2, max(3, width // 2) + 1))
+        f = min(f, width // 2)
+        if f < 1:
+            break
+        s = int(rng.integers(1, min(f, 2) + 1))
+        p = int(rng.integers(0, min(f - 1, 2) + 1))
+        d_out = int(rng.integers(2, 7))
+        conv_out = (width - f + 2 * p) // s + 1
+        pool = None
+        if conv_out >= 4 and rng.random() < 0.6:
+            fp = int(rng.integers(2, 4))
+            sp = int(rng.integers(max(1, fp - 1), fp + 1))
+            if fp <= conv_out:
+                pool = PoolSpec(fp, sp, 0)
+        geom = LayerGeometry.from_conv(width, depth, d_out, f, s, p, pool)
+        builder.add_conv(f"conv{i + 1}", geom)
+        geoms.append(geom)
+        depth, width = geom.d_ofm, geom.w_ofm
+        if width < 4:
+            break
+    builder.add_fc("fc", int(rng.integers(3, 12)), activation=False)
+    return builder.build(), geoms
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_structure_attack_always_contains_truth(seed):
+    rng = np.random.default_rng(seed)
+    victim, geoms = random_sequential_victim(rng)
+    sim = AcceleratorSim(victim)
+    result = run_structure_attack(sim, tolerance=0.25)
+    truth = tuple(g.canonical() for g in victim.geometries())
+    assert any(
+        tuple(g.canonical() for g in c.conv_geometries()) == truth
+        for c in result.candidates
+    ), f"truth {truth} missing among {result.count} candidates (seed {seed})"
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_threshold_attack_exact_on_random_filters(seed):
+    rng = np.random.default_rng(seed)
+    w = int(rng.integers(8, 13))
+    c = int(rng.integers(1, 3))
+    d = int(rng.integers(2, 5))
+    f = int(rng.integers(2, min(4, w // 2) + 1))
+    builder = StagedNetworkBuilder("victim", (c, w, w), relu_threshold=0.0)
+    geom = LayerGeometry.from_conv(w, c, d, f, 1, 0)
+    builder.add_conv("conv1", geom)
+    victim = builder.build()
+    conv = victim.network.nodes["conv1/conv"].layer
+    weights = rng.normal(size=conv.weight.value.shape)
+    weights[np.abs(weights) < 0.05] = 0.0
+    conv.weight.value[:] = weights
+    biases = rng.uniform(0.2, 1.0, size=d) * rng.choice([-1.0, 1.0], size=d)
+    conv.bias.value[:] = biases
+
+    sim = AcceleratorSim(
+        victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+    )
+    channel = ZeroPruningChannel(sim, "conv1")
+    result = ThresholdWeightAttack(
+        channel, AttackTarget.from_geometry(geom), t1=0.0, t2=2.0
+    ).run()
+    assert result.resolved.mean() > 0.95
+    assert result.max_weight_error(weights) < 1e-8
+    assert result.max_bias_error(biases) < 1e-8

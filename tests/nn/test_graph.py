@@ -1,0 +1,135 @@
+"""Network DAG container: wiring rules, execution, gradients on fan-out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.graph import Network
+from repro.nn.layers import Concat, ElementwiseAdd, Flatten, Linear, ReLU
+
+from tests.conftest import numeric_gradient
+
+
+def build_diamond() -> Network:
+    """input -> fc_a -> {fc_b, fc_c} -> add : classic fan-out/fan-in."""
+    net = Network("diamond", (4,))
+    net.add("a", Linear(4, 4, name="a"))
+    net.add("b", Linear(4, 4, name="b"), "a")
+    net.add("c", Linear(4, 4, name="c"), "a")
+    net.add("merge", ElementwiseAdd(), ["b", "c"])
+    return net
+
+
+def test_duplicate_node_name_rejected():
+    net = Network("n", (4,))
+    net.add("a", Linear(4, 4))
+    with pytest.raises(GraphError):
+        net.add("a", Linear(4, 4))
+
+
+def test_unknown_input_rejected():
+    net = Network("n", (4,))
+    with pytest.raises(GraphError):
+        net.add("a", Linear(4, 4), "ghost")
+
+
+def test_multi_input_layer_needs_two_inputs():
+    net = Network("n", (4,))
+    net.add("a", Linear(4, 4))
+    with pytest.raises(GraphError):
+        net.add("m", ElementwiseAdd(), ["a"])
+
+
+def test_single_input_layer_rejects_two_inputs():
+    net = Network("n", (4,))
+    net.add("a", Linear(4, 4))
+    net.add("b", Linear(4, 4), "a")
+    with pytest.raises(GraphError):
+        net.add("c", ReLU(), ["a", "b"])
+
+
+def test_forward_runs_topologically(rng):
+    net = build_diamond()
+    x = rng.normal(size=(3, 4))
+    out = net.forward(x)
+    acts = net.activations
+    np.testing.assert_allclose(out, acts["b"] + acts["c"], atol=1e-12)
+
+
+def test_backward_accumulates_over_fanout(rng):
+    net = build_diamond()
+    x = rng.normal(size=(2, 4))
+    g = rng.normal(size=(2, 4))
+
+    def loss():
+        return float((net.forward(x) * g).sum())
+
+    net.forward(x)
+    dx = net.backward(g)
+    np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+    # Parameter of the shared node 'a' accumulates both branch grads.
+    net.zero_grad()
+    net.forward(x)
+    net.backward(g)
+    a_weight = net.nodes["a"].layer.weight
+    num = numeric_gradient(loss, a_weight.value)
+    np.testing.assert_allclose(a_weight.grad, num, atol=1e-6)
+
+
+def test_consumers_and_order():
+    net = build_diamond()
+    assert net.consumers("a") == ["b", "c"]
+    assert net.order == ["a", "b", "c", "merge"]
+    assert net.output_name == "merge"
+
+
+def test_set_output():
+    net = build_diamond()
+    net.set_output("b")
+    assert net.output_name == "b"
+    with pytest.raises(GraphError):
+        net.set_output("nope")
+
+
+def test_infer_shapes_restores_training_mode(rng):
+    net = build_diamond()
+    net.train(True)
+    shapes = net.infer_shapes()
+    assert shapes["merge"] == (4,)
+    assert all(node.layer.training for node in net.nodes.values())
+
+
+def test_backward_before_forward_raises():
+    net = build_diamond()
+    with pytest.raises(GraphError):
+        net.backward(np.zeros((1, 4)))
+
+
+def test_empty_network_rejects_forward(rng):
+    net = Network("empty", (4,))
+    with pytest.raises(GraphError):
+        net.forward(rng.normal(size=(1, 4)))
+
+
+def test_num_parameters_counts_everything():
+    net = build_diamond()
+    assert net.num_parameters == 3 * (4 * 4 + 4)
+
+
+def test_flatten_inside_graph(rng):
+    net = Network("f", (2, 3, 3))
+    net.add("flat", Flatten())
+    net.add("fc", Linear(18, 5, name="fc"))
+    out = net.forward(rng.normal(size=(2, 2, 3, 3)))
+    assert out.shape == (2, 5)
+
+
+def test_concat_in_graph_shapes(rng):
+    net = Network("cc", (4,))
+    net.add("a", Linear(4, 3, name="ca"))
+    net.add("b", Linear(4, 5, name="cb"), "input")
+    net.add("cat", Concat(), ["a", "b"])
+    out = net.forward(rng.normal(size=(2, 4)))
+    assert out.shape == (2, 8)

@@ -1,0 +1,252 @@
+"""Layer correctness: forward vs naive references, backward vs numeric.
+
+The simulator's numerical results and the weight attack's oracle both
+sit on these layers, so they are checked against O(n^4) naive loops and
+central-difference gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Dropout,
+    ElementwiseAdd,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+    ThresholdReLU,
+)
+from repro.nn.shapes import pool_output_width
+
+from tests.conftest import numeric_gradient
+
+
+def naive_conv(x, w, b, stride, pad):
+    n, c, h, wdt = x.shape
+    d, _, f, _ = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - f) // stride + 1
+    ow = (wdt + 2 * pad - f) // stride + 1
+    out = np.zeros((n, d, oh, ow))
+    for ni in range(n):
+        for di in range(d):
+            for a in range(oh):
+                for bb in range(ow):
+                    patch = xp[ni, :, a * stride : a * stride + f, bb * stride : bb * stride + f]
+                    out[ni, di, a, bb] = (patch * w[di]).sum() + b[di]
+    return out
+
+
+@pytest.mark.parametrize("stride,pad,f", [(1, 0, 3), (2, 1, 3), (1, 2, 5), (3, 0, 4)])
+def test_conv_matches_naive(rng, stride, pad, f):
+    x = rng.normal(size=(2, 3, 9, 9))
+    conv = Conv2D(3, 4, f, stride, pad, name=f"c{stride}{pad}{f}")
+    expected = naive_conv(x, conv.weight.value, conv.bias.value, stride, pad)
+    np.testing.assert_allclose(conv.forward(x), expected, atol=1e-12)
+
+
+def test_conv_backward_matches_numeric(rng):
+    x = rng.normal(size=(2, 2, 6, 6))
+    conv = Conv2D(2, 3, 3, stride=2, pad=1, name="gradcheck")
+    grad_out = rng.normal(size=conv.forward(x).shape)
+
+    def loss():
+        return float((conv.forward(x) * grad_out).sum())
+
+    conv.forward(x)
+    dx = conv.backward(grad_out)
+    np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+    num_w = numeric_gradient(loss, conv.weight.value)
+    conv.weight.zero_grad()
+    conv.bias.zero_grad()
+    conv.forward(x)
+    conv.backward(grad_out)
+    np.testing.assert_allclose(conv.weight.grad, num_w, atol=1e-6)
+    np.testing.assert_allclose(
+        conv.bias.grad, grad_out.sum(axis=(0, 2, 3)), atol=1e-9
+    )
+
+
+def test_conv_rejects_wrong_channels(rng):
+    conv = Conv2D(3, 4, 3)
+    with pytest.raises(ShapeError):
+        conv.forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+def naive_pool(x, f, stride, pad, kind):
+    n, c, h, w = x.shape
+    oh = pool_output_width(h, f, stride, pad)
+    ow = pool_output_width(w, f, stride, pad)
+    fill = -np.inf if kind == "max" else 0.0
+    need_h = (oh - 1) * stride + f
+    need_w = (ow - 1) * stride + f
+    xp = np.full((n, c, need_h, need_w), fill)
+    xp[:, :, pad : pad + h, pad : pad + w] = x
+    out = np.zeros((n, c, oh, ow))
+    for a in range(oh):
+        for bb in range(ow):
+            win = xp[:, :, a * stride : a * stride + f, bb * stride : bb * stride + f]
+            if kind == "max":
+                out[:, :, a, bb] = win.max(axis=(2, 3))
+            else:
+                out[:, :, a, bb] = win.sum(axis=(2, 3)) / (f * f)
+    return out
+
+
+@pytest.mark.parametrize("kind", ["max", "avg"])
+@pytest.mark.parametrize("f,stride,pad,size", [(2, 2, 0, 8), (3, 2, 0, 7), (3, 2, 1, 9), (3, 3, 0, 8)])
+def test_pool_matches_naive(rng, kind, f, stride, pad, size):
+    x = rng.normal(size=(2, 3, size, size))
+    layer = MaxPool2D(f, stride, pad) if kind == "max" else AvgPool2D(f, stride, pad)
+    np.testing.assert_allclose(
+        layer.forward(x), naive_pool(x, f, stride, pad, kind), atol=1e-12
+    )
+
+
+@pytest.mark.parametrize("kind", ["max", "avg"])
+def test_pool_backward_matches_numeric(rng, kind):
+    x = rng.normal(size=(1, 2, 7, 7))
+    layer = MaxPool2D(3, 2, 0) if kind == "max" else AvgPool2D(3, 2, 0)
+    grad_out = rng.normal(size=layer.forward(x).shape)
+
+    def loss():
+        return float((layer.forward(x) * grad_out).sum())
+
+    layer.forward(x)
+    dx = layer.backward(grad_out)
+    np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+
+
+def test_avg_pool_divides_by_full_window(rng):
+    """Edge windows divide by F^2 even when clipped (paper Eq. 11)."""
+    x = np.ones((1, 1, 3, 3))
+    out = AvgPool2D(2, 2, 0).forward(x)
+    # Ceil mode gives a 2x2 output; the bottom/right windows have only
+    # 2 and 1 real cells but still divide by 4.
+    np.testing.assert_allclose(out[0, 0], [[1.0, 0.5], [0.5, 0.25]])
+
+
+def test_relu_and_threshold(rng):
+    x = np.array([[-1.0, 0.0, 0.5, 2.0]])
+    np.testing.assert_array_equal(ReLU().forward(x), [[0, 0, 0.5, 2.0]])
+    t = ThresholdReLU(0.5)
+    np.testing.assert_array_equal(t.forward(x), [[0, 0, 0, 2.0]])
+    t.set_threshold(1.5)
+    np.testing.assert_array_equal(t.forward(x), [[0, 0, 0, 2.0]])
+    with pytest.raises(ConfigError):
+        t.set_threshold(-1.0)
+
+
+def test_relu_backward(rng):
+    x = rng.normal(size=(3, 4))
+    layer = ReLU()
+    layer.forward(x)
+    g = rng.normal(size=(3, 4))
+    np.testing.assert_array_equal(layer.backward(g), np.where(x > 0, g, 0.0))
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = rng.normal(size=(5, 7)) * 10
+    out = Softmax().forward(x)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(5), atol=1e-12)
+    assert (out > 0).all()
+
+
+def test_softmax_backward_matches_numeric(rng):
+    x = rng.normal(size=(2, 4))
+    layer = Softmax()
+    g = rng.normal(size=(2, 4))
+
+    def loss():
+        return float((layer.forward(x) * g).sum())
+
+    layer.forward(x)
+    np.testing.assert_allclose(layer.backward(g), numeric_gradient(loss, x), atol=1e-6)
+
+
+def test_dropout_eval_is_identity(rng):
+    x = rng.normal(size=(4, 4))
+    layer = Dropout(0.5)
+    layer.eval()
+    np.testing.assert_array_equal(layer.forward(x), x)
+
+
+def test_dropout_train_masks_and_scales(rng):
+    layer = Dropout(0.5, seed=1)
+    layer.train(True)
+    x = np.ones((200, 200))
+    out = layer.forward(x)
+    kept = out != 0
+    assert 0.4 < kept.mean() < 0.6
+    np.testing.assert_allclose(out[kept], 2.0)
+
+
+def test_dropout_rejects_bad_rate():
+    with pytest.raises(ConfigError):
+        Dropout(1.0)
+
+
+def test_linear_forward_backward(rng):
+    x = rng.normal(size=(3, 5))
+    layer = Linear(5, 4, name="t")
+    out = layer.forward(x)
+    np.testing.assert_allclose(
+        out, x @ layer.weight.value.T + layer.bias.value, atol=1e-12
+    )
+    g = rng.normal(size=(3, 4))
+
+    def loss():
+        return float((layer.forward(x) * g).sum())
+
+    layer.forward(x)
+    dx = layer.backward(g)
+    np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+
+
+def test_flatten_round_trip(rng):
+    x = rng.normal(size=(2, 3, 4, 4))
+    layer = Flatten()
+    out = layer.forward(x)
+    assert out.shape == (2, 48)
+    np.testing.assert_array_equal(layer.backward(out), x)
+
+
+def test_concat_and_backward(rng):
+    a = rng.normal(size=(2, 3, 4, 4))
+    b = rng.normal(size=(2, 5, 4, 4))
+    layer = Concat()
+    out = layer.forward([a, b])
+    assert out.shape == (2, 8, 4, 4)
+    ga, gb = layer.backward(out)
+    np.testing.assert_array_equal(ga, a)
+    np.testing.assert_array_equal(gb, b)
+
+
+def test_concat_rejects_mismatched_spatial(rng):
+    with pytest.raises(ShapeError):
+        Concat().forward([rng.normal(size=(1, 2, 4, 4)), rng.normal(size=(1, 2, 5, 5))])
+
+
+def test_eltwise_add(rng):
+    a = rng.normal(size=(2, 3, 4, 4))
+    b = rng.normal(size=(2, 3, 4, 4))
+    layer = ElementwiseAdd()
+    np.testing.assert_allclose(layer.forward([a, b]), a + b)
+    g = rng.normal(size=(2, 3, 4, 4))
+    for gi in layer.backward(g):
+        np.testing.assert_array_equal(gi, g)
+
+
+def test_eltwise_rejects_mismatched_shapes(rng):
+    with pytest.raises(ShapeError):
+        ElementwiseAdd().forward(
+            [rng.normal(size=(1, 2, 4, 4)), rng.normal(size=(1, 3, 4, 4))]
+        )

@@ -1,0 +1,69 @@
+"""Parameter persistence round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.serialize import load_parameters, parameters_equal, save_parameters
+from repro.nn.zoo import build_lenet
+
+
+def test_save_load_round_trip(tmp_path, rng):
+    a = build_lenet()
+    for p in a.network.parameters():
+        p.value[:] = rng.normal(size=p.value.shape)
+    path = str(tmp_path / "model.npz")
+    count = save_parameters(a, path)
+    assert count == len(a.network.parameters())
+
+    b = build_lenet()
+    assert not parameters_equal(a, b)
+    assert load_parameters(b, path) == count
+    assert parameters_equal(a, b)
+    x = rng.normal(size=(1, 1, 28, 28))
+    np.testing.assert_allclose(
+        a.network.forward(x), b.network.forward(x), atol=1e-12
+    )
+
+
+def test_strict_load_rejects_missing(tmp_path):
+    a = build_lenet()
+    path = str(tmp_path / "model.npz")
+    save_parameters(a, path)
+    from repro.nn.zoo import build_convnet
+
+    other = build_convnet()
+    with pytest.raises(ConfigError):
+        load_parameters(other, path)
+
+
+def test_shape_mismatch_rejected(tmp_path):
+    a = build_lenet()
+    path = str(tmp_path / "model.npz")
+    save_parameters(a, path)
+    smaller = build_lenet(width_scale=0.5)
+    with pytest.raises(ConfigError):
+        load_parameters(smaller, path)
+
+
+def test_non_strict_partial_load(tmp_path, rng):
+    a = build_lenet()
+    for p in a.network.parameters():
+        p.value[:] = rng.normal(size=p.value.shape)
+    path = str(tmp_path / "model.npz")
+    save_parameters(a, path)
+    from repro.nn.zoo import build_convnet
+
+    # LeNet and ConvNet share only the final classifier bias's name AND
+    # shape; non-strict loading takes exactly that one tensor.
+    other = build_convnet()
+    assert load_parameters(other, path, strict=False) == 1
+    fc_bias = next(
+        p for p in other.network.parameters() if p.name == "fc4/fc.bias"
+    )
+    lenet_bias = next(
+        p for p in a.network.parameters() if p.name == "fc4/fc.bias"
+    )
+    np.testing.assert_array_equal(fc_bias.value, lenet_bias.value)

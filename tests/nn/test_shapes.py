@@ -1,0 +1,134 @@
+"""Shape arithmetic: the calibration core of the reproduction.
+
+Every row of the paper's Table 4 must replay through the floor-mode
+conv / ceil-mode pool arithmetic; hypothesis checks structural
+monotonicity properties of the formulas.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.shapes import (
+    ConvSpec,
+    PoolSpec,
+    conv_mac_count,
+    conv_output_width,
+    merged_layer_output_width,
+    pool_output_width,
+)
+
+# (w_ifm, f, s, p_conv, f_pool, s_pool, p_pool or None, expected w_ofm)
+TABLE4_ROWS = [
+    ("CONV1_1", 227, 11, 4, 1, (3, 2, 0), 27),
+    ("CONV1_2", 227, 11, 4, 2, (4, 2, 0), 27),
+    ("CONV2_1", 27, 5, 1, 2, (3, 2, 0), 13),
+    ("CONV2_2", 27, 10, 1, 4, None, 26),
+    ("CONV3_1", 13, 3, 1, 1, None, 13),
+    ("CONV3_2", 26, 6, 2, 2, None, 13),
+    ("CONV4", 13, 3, 1, 1, None, 13),
+    ("CONV5_1", 13, 3, 1, 1, (3, 2, 0), 6),
+    ("CONV5_2", 13, 6, 1, 2, None, 12),
+    ("CONV5_3", 13, 3, 2, 0, (2, 2, 0), 3),
+    ("CONV5_4", 13, 3, 2, 0, (4, 1, 0), 3),
+    ("CONV5_5", 13, 3, 2, 1, (3, 2, 0), 3),
+    ("CONV5_6", 13, 2, 1, 0, (3, 3, 0), 4),
+]
+
+
+@pytest.mark.parametrize(
+    "name,w,f,s,p,pool,expected", TABLE4_ROWS, ids=[r[0] for r in TABLE4_ROWS]
+)
+def test_table4_rows_replay(name, w, f, s, p, pool, expected):
+    conv = ConvSpec(f, s, p)
+    pool_spec = PoolSpec(*pool) if pool else None
+    assert merged_layer_output_width(w, conv, pool_spec) == expected
+
+
+def test_conv_floor_mode():
+    # (227 - 11 + 2) / 4 = 54.5 -> floor -> 54 (+1 = 55)
+    assert conv_output_width(227, 11, 4, 1) == 55
+    assert conv_output_width(227, 11, 4, 0) == 55
+    assert conv_output_width(227, 11, 4, 2) == 56
+
+
+def test_pool_ceil_mode():
+    # (55 - 4) / 2 = 25.5 -> ceil -> 26 (+1 = 27): the CONV1_2 case.
+    assert pool_output_width(55, 4, 2, 0) == 27
+    assert pool_output_width(55, 3, 2, 0) == 27
+    # Exact division unaffected by ceil.
+    assert pool_output_width(12, 3, 3, 0) == 4
+
+
+def test_global_pool_is_width_one():
+    assert pool_output_width(13, 13, 13, 0) == 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(w_ifm=0, f_conv=1, s_conv=1, p_conv=0),
+        dict(w_ifm=5, f_conv=0, s_conv=1, p_conv=0),
+        dict(w_ifm=5, f_conv=1, s_conv=0, p_conv=0),
+        dict(w_ifm=5, f_conv=1, s_conv=1, p_conv=-1),
+        dict(w_ifm=5, f_conv=9, s_conv=1, p_conv=1),  # filter too large
+    ],
+)
+def test_conv_rejects_bad_geometry(kwargs):
+    with pytest.raises(ShapeError):
+        conv_output_width(**kwargs)
+
+
+def test_pool_rejects_oversized_window():
+    with pytest.raises(ShapeError):
+        pool_output_width(4, 9, 1, 0)
+
+
+def test_mac_count_uses_pre_pool_width():
+    # CONV5_1: conv output is 13 wide even though pooling shrinks to 6.
+    macs = conv_mac_count(13, 384, 256, ConvSpec(3, 1, 1))
+    assert macs == 13 * 13 * 256 * 9 * 384
+
+
+@given(
+    w=st.integers(2, 64),
+    f=st.integers(1, 16),
+    s=st.integers(1, 8),
+    p=st.integers(0, 8),
+)
+def test_conv_width_positive_and_monotone_in_padding(w, f, s, p):
+    if f > w + 2 * p:
+        return
+    out = conv_output_width(w, f, s, p)
+    assert out >= 1
+    # More padding never shrinks the output.
+    if f <= w + 2 * (p + 1):
+        assert conv_output_width(w, f, s, p + 1) >= out
+
+
+@given(
+    w=st.integers(1, 64),
+    f=st.integers(1, 16),
+    s=st.integers(1, 8),
+)
+def test_pool_ceil_at_least_floor(w, f, s):
+    if f > w:
+        return
+    ceil_out = pool_output_width(w, f, s, 0)
+    floor_out = (w - f) // s + 1
+    assert floor_out <= ceil_out <= floor_out + 1
+
+
+@given(
+    w=st.integers(2, 48),
+    f=st.integers(1, 12),
+    s=st.integers(1, 6),
+    p=st.integers(0, 5),
+)
+def test_conv_stride_one_inverts_exactly(w, f, s, p):
+    """With stride 1 the width relation is exact: w' = w - f + 2p + 1."""
+    if f > w + 2 * p:
+        return
+    assert conv_output_width(w, f, 1, p) == w - f + 2 * p + 1

@@ -1,0 +1,92 @@
+"""LayerGeometry / FCGeometry: validation, sizes, canonicalisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import FCGeometry, LayerGeometry
+
+
+def test_from_conv_derives_width():
+    g = LayerGeometry.from_conv(27, 96, 256, 5, 1, 2, pool=PoolSpec(3, 2, 0))
+    assert g.w_conv == 27
+    assert g.w_ofm == 13
+    assert g.size_ifm == 27 * 27 * 96
+    assert g.size_ofm == 13 * 13 * 256
+    assert g.size_fltr == 25 * 96 * 256
+    assert g.macs == 27 * 27 * 256 * 25 * 96
+
+
+def test_validate_rejects_inconsistent_width():
+    g = LayerGeometry(
+        w_ifm=8, d_ifm=1, w_ofm=5, d_ofm=1, f_conv=3, s_conv=1, p_conv=0
+    )
+    with pytest.raises(ShapeError):
+        g.validate()
+
+
+def test_validate_accepts_consistent():
+    g = LayerGeometry(
+        w_ifm=8, d_ifm=1, w_ofm=6, d_ofm=1, f_conv=3, s_conv=1, p_conv=0
+    )
+    assert g.validate() is g
+
+
+def test_canonical_reduces_absorbed_padding():
+    # Stride 4 absorbs p_conv=1 (CONV1_1 in the paper's Table 4).
+    g = LayerGeometry.from_conv(227, 3, 96, 11, 4, 1, pool=PoolSpec(3, 2, 0))
+    canon = g.canonical()
+    assert canon.p_conv == 0
+    assert canon.w_ofm == g.w_ofm
+    assert canon.macs == g.macs
+    # Idempotent.
+    assert canon.canonical() == canon
+
+
+def test_canonical_keeps_meaningful_padding():
+    g = LayerGeometry.from_conv(27, 96, 256, 5, 1, 2)
+    assert g.canonical().p_conv == 2
+
+
+def test_fc_geometry_sizes():
+    fc = FCGeometry(9216, 4096)
+    assert fc.size_fltr == 9216 * 4096
+    assert fc.macs == 9216 * 4096
+
+
+@given(
+    w=st.integers(4, 40),
+    d_in=st.integers(1, 8),
+    d_out=st.integers(1, 8),
+    f=st.integers(1, 7),
+    s=st.integers(1, 4),
+    p=st.integers(0, 3),
+)
+def test_from_conv_always_validates(w, d_in, d_out, f, s, p):
+    if f > w + 2 * p or p >= f or s > f or f > w:
+        return
+    g = LayerGeometry.from_conv(w, d_in, d_out, f, s, p)
+    g.validate()
+    assert g.w_conv == g.w_ofm  # no pooling
+    assert g.macs == g.w_conv**2 * d_out * f * f * d_in
+
+
+@given(
+    w=st.integers(6, 40),
+    f=st.integers(1, 5),
+    s=st.integers(1, 3),
+    fp=st.integers(1, 4),
+    sp=st.integers(1, 4),
+)
+def test_from_conv_with_pool_validates(w, f, s, fp, sp):
+    if s > f or f > w or sp > fp:
+        return
+    conv_out = (w - f) // s + 1
+    if fp > conv_out:
+        return
+    g = LayerGeometry.from_conv(w, 2, 3, f, s, 0, pool=PoolSpec(fp, sp, 0))
+    g.validate()
+    assert g.w_ofm <= g.w_conv

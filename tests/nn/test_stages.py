@@ -1,0 +1,117 @@
+"""StagedNetworkBuilder: stage bookkeeping and wiring validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.nn.stages import StagedNetworkBuilder
+
+
+def small_geom(w=8, c=2, d=3, f=3, pool=None):
+    return LayerGeometry.from_conv(w, c, d, f, 1, 0, pool=pool)
+
+
+def test_builder_requires_square_input():
+    with pytest.raises(ShapeError):
+        StagedNetworkBuilder("x", (3, 8, 9))
+
+
+def test_conv_stage_nodes_and_geometry():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom(pool=PoolSpec(2, 2, 0)))
+    staged = b.build()
+    stage = staged.stage("c1")
+    assert stage.kind == "conv"
+    assert stage.node_names == ("c1/conv", "c1/relu", "c1/pool")
+    assert stage.input_stages == ("input",)
+    assert staged.geometries() == [small_geom(pool=PoolSpec(2, 2, 0))]
+
+
+def test_depth_mismatch_rejected():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    with pytest.raises(ShapeError):
+        b.add_conv("c1", small_geom(c=5))
+
+
+def test_width_mismatch_rejected():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    with pytest.raises(ShapeError):
+        b.add_conv("c1", small_geom(w=10))
+
+
+def test_fc_stage_flattens_spatial_input():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom())
+    b.add_fc("f1", 10, activation=False)
+    staged = b.build()
+    stage = staged.stage("f1")
+    assert stage.node_names[0] == "f1/flatten"
+    assert isinstance(stage.geometry, FCGeometry)
+    assert stage.geometry.in_features == 3 * 6 * 6
+    out = staged.network.forward(np.zeros((1, 2, 8, 8)))
+    assert out.shape == (1, 10)
+
+
+def test_fc_after_fc_uses_vector_features():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom())
+    b.add_fc("f1", 12)
+    b.add_fc("f2", 5, activation=False)
+    geom = b.build().stage("f2").geometry
+    assert geom.in_features == 12
+
+
+def test_eltwise_requires_matching_shapes():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom())
+    b.add_conv("c2", small_geom(w=6, c=3, d=3), input_stage="c1")
+    with pytest.raises(ShapeError):
+        b.add_eltwise("e", ["c1", "c2"])
+
+
+def test_eltwise_and_concat_shapes():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom())
+    b.add_conv("c2", small_geom(w=6, c=3, d=3), input_stage="c1")
+    b.add_conv("c3", small_geom(w=6, c=3, d=3), input_stage="c1")
+    b.add_eltwise("e", ["c2", "c3"])
+    assert b.output_shape("e") == (3, 4)
+    b.add_concat("cc", ["c2", "c3"])
+    assert b.output_shape("cc") == (6, 4)
+    staged = b.build()
+    assert staged.stage("e").kind == "eltwise"
+    assert staged.stage("cc").kind == "concat"
+
+
+def test_unknown_pool_kind_rejected():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    with pytest.raises(GraphError):
+        b.add_conv("c1", small_geom(pool=PoolSpec(2, 2, 0)), pool_kind="median")
+
+
+def test_build_empty_rejected():
+    with pytest.raises(GraphError):
+        StagedNetworkBuilder("x", (2, 8, 8)).build()
+
+
+def test_threshold_relu_propagates():
+    b = StagedNetworkBuilder("x", (2, 8, 8), relu_threshold=0.5)
+    b.add_conv("c1", small_geom())
+    staged = b.build()
+    layer = staged.network.nodes["c1/relu"].layer
+    assert getattr(layer, "threshold", None) == 0.5
+
+
+def test_conv_and_fc_stage_listing():
+    b = StagedNetworkBuilder("x", (2, 8, 8))
+    b.add_conv("c1", small_geom())
+    b.add_fc("f1", 4, activation=False)
+    staged = b.build()
+    assert [s.name for s in staged.conv_stages()] == ["c1"]
+    assert [s.name for s in staged.fc_stages()] == ["f1"]
+    with pytest.raises(GraphError):
+        staged.stage("nope")

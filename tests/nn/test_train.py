@@ -1,0 +1,120 @@
+"""Loss, optimisers, trainer: gradients and actual learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.graph import Network
+from repro.nn.layers import Linear, Parameter, ReLU
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+from repro.nn.optim import SGD, Adam
+from repro.nn.train import Trainer, topk_accuracy
+
+from tests.conftest import numeric_gradient
+
+
+def test_loss_gradient_matches_numeric(rng):
+    logits = rng.normal(size=(4, 6))
+    labels = np.array([0, 2, 5, 3])
+    loss = SoftmaxCrossEntropy()
+
+    def value():
+        return loss.forward(logits, labels)
+
+    value()
+    np.testing.assert_allclose(
+        loss.backward(), numeric_gradient(value, logits), atol=1e-6
+    )
+
+
+def test_loss_shape_checks(rng):
+    loss = SoftmaxCrossEntropy()
+    with pytest.raises(ShapeError):
+        loss.forward(rng.normal(size=(3,)), np.zeros(3, dtype=int))
+    with pytest.raises(ShapeError):
+        loss.forward(rng.normal(size=(3, 2)), np.zeros(4, dtype=int))
+
+
+def test_softmax_matches_definition(rng):
+    x = rng.normal(size=(2, 5))
+    expected = np.exp(x) / np.exp(x).sum(axis=1, keepdims=True)
+    np.testing.assert_allclose(softmax(x), expected, atol=1e-12)
+
+
+def quadratic_param():
+    p = Parameter("p", np.array([3.0, -2.0]))
+    return p
+
+
+@pytest.mark.parametrize("make_opt", [
+    lambda p: SGD([p], lr=0.1, momentum=0.0),
+    lambda p: SGD([p], lr=0.05, momentum=0.9),
+    lambda p: Adam([p], lr=0.2),
+])
+def test_optimisers_minimise_quadratic(make_opt):
+    p = quadratic_param()
+    opt = make_opt(p)
+    for _ in range(200):
+        opt.zero_grad()
+        p.grad += 2 * p.value  # d/dp of |p|^2
+        opt.step()
+    assert np.abs(p.value).max() < 1e-2
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    p = Parameter("p", np.array([1.0]))
+    opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+    opt.step()  # zero gradient; only decay acts
+    assert p.value[0] < 1.0
+
+
+def test_optimiser_config_errors():
+    p = quadratic_param()
+    with pytest.raises(ConfigError):
+        SGD([p], lr=-1.0)
+    with pytest.raises(ConfigError):
+        SGD([p], lr=0.1, momentum=1.5)
+    with pytest.raises(ConfigError):
+        Adam([p], lr=0.1, beta1=1.0)
+    with pytest.raises(ConfigError):
+        SGD([], lr=0.1)
+
+
+def test_topk_accuracy():
+    logits = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+    labels = np.array([2, 1])
+    assert topk_accuracy(logits, labels, 1) == 0.5
+    assert topk_accuracy(logits, labels, 2) == 1.0
+    with pytest.raises(ConfigError):
+        topk_accuracy(logits, labels, 0)
+
+
+def _toy_problem(rng, n=120):
+    """Linearly separable 2-class points in 4-D."""
+    x = rng.normal(size=(n, 4))
+    labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+    return x, labels
+
+
+def test_trainer_learns_separable_task(rng):
+    x, y = _toy_problem(rng)
+    net = Network("toy", (4,))
+    net.add("h", Linear(4, 8, name="h"))
+    net.add("r", ReLU())
+    net.add("out", Linear(8, 2, name="out"))
+    trainer = Trainer(net, SGD(net.parameters(), lr=0.1), batch_size=16)
+    result = trainer.fit(x, y, x, y, epochs=15)
+    assert result.final_top1 > 0.9
+    assert result.epochs[0].train_loss > result.epochs[-1].train_loss
+    assert result.final_top5 == 1.0  # only 2 classes
+
+
+def test_trainer_restores_eval_mode(rng):
+    x, y = _toy_problem(rng, n=20)
+    net = Network("toy", (4,))
+    net.add("out", Linear(4, 2, name="o2"))
+    trainer = Trainer(net, SGD(net.parameters(), lr=0.1))
+    trainer.train_epoch(x, y)
+    assert not net.nodes["out"].layer.training

@@ -1,0 +1,33 @@
+"""Text renderers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.report import render_bars, render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "n"], [["alexnet", 24], ["lenet", 9]])
+    lines = out.split("\n")
+    assert lines[0].startswith("name")
+    assert "----" in lines[1]
+    assert len(lines) == 4
+    widths = {len(l) <= max(len(x) for x in lines) for l in lines}
+    assert widths == {True}
+
+
+def test_render_series():
+    out = render_series("accuracy", ["a", "b"], [0.5, 0.25])
+    assert "accuracy" in out
+    assert "a: 0.5000" in out
+
+
+def test_render_bars_scaling():
+    out = render_bars(["x", "yy"], [1.0, 0.5], width=10)
+    lines = out.split("\n")
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_render_bars_handles_zero():
+    out = render_bars(["x"], [0.0])
+    assert "#" not in out

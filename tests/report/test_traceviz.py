@@ -1,0 +1,59 @@
+"""Trace visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim, observe_structure
+from repro.attacks.structure import find_layer_boundaries
+from repro.errors import ConfigError
+from repro.nn.zoo import build_lenet
+from repro.report.traceviz import render_access_pattern, render_layer_timeline
+
+
+def test_access_pattern_renders_markers():
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    boundaries = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
+    text = render_access_pattern(obs.trace, boundaries, rows=10, cols=40)
+    lines = text.split("\n")
+    assert len(lines) == 12  # 10 plot rows + ruler + legend
+    assert "." in text and "W" in text
+    assert text.count("^") >= len(boundaries)  # ruler ticks (+ legend char)
+
+
+def test_access_pattern_without_boundaries():
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    text = render_access_pattern(obs.trace, rows=8, cols=30)
+    assert len(text.split("\n")) == 9
+
+
+def test_access_pattern_validation():
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    with pytest.raises(ConfigError):
+        render_access_pattern(obs.trace, rows=1)
+    from repro.accel.trace import MemoryTrace
+
+    empty = MemoryTrace(
+        np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, bool)
+    )
+    with pytest.raises(ConfigError):
+        render_access_pattern(empty)
+
+
+def test_layer_timeline_bars():
+    text = render_layer_timeline(["conv1", "fc2"], [300, 100], width=40)
+    lines = text.split("\n")
+    assert "conv1" in lines[0] and "75.0%" in lines[0]
+    assert lines[0].count("#") == 30
+    assert lines[1].count("#") == 10
+
+
+def test_layer_timeline_validation():
+    with pytest.raises(ConfigError):
+        render_layer_timeline(["a"], [1, 2])
+    with pytest.raises(ConfigError):
+        render_layer_timeline(["a"], [0])

@@ -1,0 +1,71 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_simulate_command(capsys, tmp_path):
+    trace_path = str(tmp_path / "trace.npz")
+    out = run_cli(
+        capsys, "simulate", "--model", "lenet", "--save-trace", trace_path
+    )
+    assert "stages: 4" in out
+    assert "transactions" in out
+    assert "trace saved" in out
+    from repro.accel import MemoryTrace
+
+    assert len(MemoryTrace.load(trace_path)) > 0
+
+
+def test_simulate_pruned(capsys):
+    out = run_cli(capsys, "simulate", "--model", "lenet", "--pruned")
+    assert "pruned" in out
+
+
+def test_structure_command(capsys):
+    out = run_cli(
+        capsys, "structure", "--model", "lenet", "--tolerance", "0.25",
+        "--show", "2",
+    )
+    assert "layers detected: 4" in out
+    assert "candidate structures:" in out
+    assert "candidate 0:" in out
+
+
+def test_weights_command(capsys):
+    out = run_cli(capsys, "weights", "--size", "27", "--filters", "3")
+    assert "resolved 100.0%" in out
+    assert "max |w/b| error" in out
+
+
+def test_weights_threshold_command(capsys):
+    out = run_cli(
+        capsys, "weights", "--size", "27", "--filters", "3", "--threshold"
+    )
+    assert "max |w| error" in out
+    assert "max |b| error" in out
+
+
+@pytest.mark.slow
+def test_clone_command(capsys):
+    out = run_cli(capsys, "clone", "--probes", "40", "--epochs", "4")
+    assert "stolen conv1 max weight error" in out
+    assert "prediction agreement" in out
+
+
+def test_parser_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--model", "resnet"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
