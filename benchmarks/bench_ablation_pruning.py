@@ -16,18 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import (
-    AcceleratorConfig,
-    AcceleratorSim,
-    PruningConfig,
-    ZeroPruningChannel,
-)
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks.weights import (
     AttackTarget,
     WeightAttack,
     recover_crossing_multiset,
 )
 from repro.defenses import PaddedChannel
+from repro.device import DeviceSession
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
@@ -61,7 +57,7 @@ def test_ablation_pruning_granularity(benchmark):
             staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
         )
         plane = WeightAttack(
-            ZeroPruningChannel(plane_sim, "conv1"), target
+            DeviceSession(plane_sim, "conv1"), target
         ).run()
         out["plane"] = (
             plane.recovery_fraction(),
@@ -81,7 +77,7 @@ def test_ablation_pruning_granularity(benchmark):
         }
         agg_found = {}
         for resolution in (64, 512, 4096):
-            chan = ZeroPruningChannel(agg_sim, "conv1")
+            chan = DeviceSession(agg_sim, "conv1")
             multiset = recover_crossing_multiset(chan, resolution=resolution)
             hits = sum(
                 1
@@ -91,7 +87,7 @@ def test_ablation_pruning_granularity(benchmark):
             agg_found[resolution] = (hits, len(corner_truth))
         out["aggregate"] = agg_found
 
-        sealed = PaddedChannel(ZeroPruningChannel(plane_sim, "conv1"))
+        sealed = PaddedChannel(DeviceSession(plane_sim, "conv1"))
         padded = WeightAttack(sealed, target).run()
         out["padded"] = float((padded.ratio_tensor() != 0).mean())
         return out

@@ -62,6 +62,8 @@ def test_clone_end_to_end(benchmark):
         ("structure candidates", result.structure_candidates),
         ("stolen conv1 max |w| error", f"{weight_err:.3e}"),
         ("zero-pruning channel queries", f"{result.channel_queries:,}"),
+        ("weight-session cache hit rate",
+         f"{result.weight_ledger.hit_rate:.1%}"),
         ("victim labeling queries", result.labeling_queries),
         ("prediction agreement (probe set)", f"{probe_agree:.1%}"),
         ("prediction agreement (held out)", f"{heldout_agree:.1%}"),

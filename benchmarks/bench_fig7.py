@@ -23,6 +23,7 @@ from repro.accel import (
     ZeroPruningChannel,
 )
 from repro.attacks.weights import AttackTarget, WeightAttack
+from repro.device import DeviceSession
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
@@ -60,8 +61,8 @@ def test_fig7_weight_bias_ratio_recovery(benchmark):
     sim = AcceleratorSim(
         staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(sim, "conv1")
-    attack = WeightAttack(channel, AttackTarget.from_geometry(geom))
+    session = DeviceSession(sim, "conv1")
+    attack = WeightAttack(session, AttackTarget.from_geometry(geom))
 
     result = benchmark.pedantic(attack.run, rounds=1, iterations=1)
 
@@ -82,14 +83,25 @@ def test_fig7_weight_bias_ratio_recovery(benchmark):
         ("max |w/b| error", f"{errors.max():.3e}", f"< {PAPER_BOUND:.3e}"),
         ("median |w/b| error", f"{np.median(errors):.3e}", "-"),
         ("device queries", f"{result.queries:,}", "-"),
+        ("session cache hit rate", f"{session.ledger.hit_rate:.1%}", "-"),
     ]
     text = render_table(["metric", "measured", "paper"], rows)
     sample = ", ".join(
         f"{v:+.4f}" for v in est[0, 0, 0, :6]
     )
     text += f"\n\nfilter 0 recovered w/b (first row): {sample} ..."
+    text += f"\nsession ledger: {session.ledger.summary()}"
     emit("fig7_weight_bias_ratios", text)
 
     assert resolved.mean() == 1.0
     assert errors.max() < PAPER_BOUND
     assert zero_hits == (weights == 0).sum()
+
+    if not paper_scale():
+        # The batched/cached session path must reproduce the direct
+        # (deprecated) per-probe channel path bit for bit.
+        direct = WeightAttack(
+            ZeroPruningChannel(sim, "conv1"), AttackTarget.from_geometry(geom)
+        ).run()
+        assert np.array_equal(direct.ratio_tensor(), est)
+        assert np.array_equal(direct.resolved_mask(), resolved)

@@ -11,13 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import (
-    AcceleratorConfig,
-    AcceleratorSim,
-    PruningConfig,
-    ZeroPruningChannel,
-    observe_structure,
-)
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
+from repro.device import DeviceSession, QueryBudgetExceeded
 from repro.errors import ThreatModelViolation
 from repro.nn.zoo import build_lenet
 from repro.report import render_table
@@ -35,7 +30,7 @@ def test_table1_threat_model_matrix(benchmark):
     def audit():
         rows = []
         # Structure attack: observes access patterns, no values.
-        obs = observe_structure(dense, seed=0)
+        obs = DeviceSession(dense).observe_structure(seed=0)
         rows.append(
             ("observe memory access pattern", "Y (full trace)",
              "y (write counts only)")
@@ -45,7 +40,7 @@ def test_table1_threat_model_matrix(benchmark):
 
         # Structure attack gets no input control (default random input);
         # the weight attack chooses every pixel.
-        channel = ZeroPruningChannel(pruned, "conv1")
+        channel = DeviceSession(pruned, "conv1")
         counts = channel.query([(0, 3, 3)], [1.5])
         assert isinstance(counts, np.ndarray)
         rows.append(("observe the input value", "N", "Y"))
@@ -63,10 +58,20 @@ def test_table1_threat_model_matrix(benchmark):
 
         # A dense-write device leaks no counts to the weight attacker.
         with pytest.raises(ThreatModelViolation):
-            ZeroPruningChannel(dense, "conv1")
+            DeviceSession(dense, "conv1").query([(0, 0, 0)], [0.5])
         # A pruned device refuses the structure observation API.
         with pytest.raises(ThreatModelViolation):
-            observe_structure(pruned)
+            DeviceSession(pruned).observe_structure()
+
+        # The session ledger enforces a hard per-attacker query budget.
+        capped = DeviceSession(pruned, "conv1", max_queries=2, cache_size=0)
+        capped.query([(0, 0, 0)], [0.25])
+        capped.query([(0, 0, 0)], [0.75])
+        with pytest.raises(QueryBudgetExceeded):
+            capped.query([(0, 0, 0)], [1.25])
+        assert capped.ledger.channel_queries == 2
+        rows.append(("bounded query budget", "n/a (one inference)",
+                     "Y (ledger-enforced)"))
         return rows
 
     rows = benchmark.pedantic(audit, rounds=1, iterations=1)

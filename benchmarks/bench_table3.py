@@ -10,8 +10,6 @@ candidates.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.accel import AcceleratorSim
 from repro.attacks.structure import PracticalityRules, run_structure_attack
 from repro.nn.zoo import build_alexnet, build_convnet, build_lenet, build_squeezenet

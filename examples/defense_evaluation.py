@@ -18,16 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import (
-    AcceleratorConfig,
-    AcceleratorSim,
-    PruningConfig,
-    ZeroPruningChannel,
-    observe_structure,
-)
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks.structure import find_layer_boundaries
 from repro.attacks.weights import AttackTarget, WeightAttack
 from repro.defenses import PaddedChannel, apply_path_oram, measure_padding_overhead
+from repro.device import DeviceSession
 from repro.nn.zoo import build_lenet
 from repro.report import render_table
 
@@ -38,8 +33,7 @@ def main() -> None:
     conv.bias.value[:] = -np.abs(conv.bias.value) - 0.1
 
     # --- ORAM vs structure attack ------------------------------------
-    sim = AcceleratorSim(victim)
-    obs = observe_structure(sim, seed=0)
+    obs = DeviceSession(AcceleratorSim(victim)).observe_structure(seed=0)
     oram = apply_path_oram(obs.trace)
     plain_layers = len(find_layer_boundaries(obs.trace.addresses, obs.trace.is_write))
     oram_layers = len(find_layer_boundaries(oram.trace.addresses, oram.trace.is_write))
@@ -61,9 +55,9 @@ def main() -> None:
     geometry = victim.stages[0].geometry
     target = AttackTarget.from_geometry(geometry)
 
-    open_channel = ZeroPruningChannel(pruned, "conv1")
-    open_result = WeightAttack(open_channel, target).run()
-    sealed = PaddedChannel(ZeroPruningChannel(pruned, "conv1"))
+    open_session = DeviceSession(pruned, "conv1")
+    open_result = WeightAttack(open_session, target).run()
+    sealed = PaddedChannel(DeviceSession(pruned, "conv1"))
     sealed_result = WeightAttack(sealed, target).run()
 
     run = AcceleratorSim(victim).run(

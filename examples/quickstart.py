@@ -18,14 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import (
-    AcceleratorConfig,
-    AcceleratorSim,
-    PruningConfig,
-    ZeroPruningChannel,
-)
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks.structure import PracticalityRules, run_structure_attack
 from repro.attacks.weights import AttackTarget, WeightAttack
+from repro.device import DeviceSession
 from repro.nn.zoo import build_lenet
 from repro.report import render_table
 
@@ -36,9 +32,12 @@ def main() -> None:
           f"{victim.network.num_parameters:,} parameters)\n")
 
     # --- Section 3: structure attack --------------------------------
-    sim = AcceleratorSim(victim)
+    # The session is the attacker's only handle on the device; its
+    # ledger accounts every inference and trace byte observed.
+    session = DeviceSession(AcceleratorSim(victim))
     result = run_structure_attack(
-        sim, tolerance=0.25, rules=PracticalityRules(exact_pool_division=True)
+        session, tolerance=0.25,
+        rules=PracticalityRules(exact_pool_division=True),
     )
     print(f"memory trace: {len(result.observation.trace):,} transactions, "
           f"{result.observation.total_cycles:,} cycles")
@@ -54,18 +53,18 @@ def main() -> None:
           "(the true LeNet is one of them)")
     print("first candidate:")
     print(result.candidates[0].describe())
+    print(f"\nstructure cost: {result.ledger.summary()}")
 
     # --- Section 4: weight attack ------------------------------------
     # Deploy the same model on a zero-pruning accelerator; make the
     # first-layer biases negative so the pooled channel is live.
     conv = victim.network.nodes["conv1/conv"].layer
     conv.bias.value[:] = -np.abs(conv.bias.value) - 0.1
-    pruned = AcceleratorSim(
+    pruned = DeviceSession(AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
-    )
-    channel = ZeroPruningChannel(pruned, "conv1")
+    ), "conv1")
     geometry = victim.stages[0].geometry
-    attack = WeightAttack(channel, AttackTarget.from_geometry(geometry))
+    attack = WeightAttack(pruned, AttackTarget.from_geometry(geometry))
     recovery = attack.run()
 
     true_w = conv.weight.value
@@ -75,6 +74,7 @@ def main() -> None:
     print(f"recovered fraction: {recovery.recovery_fraction():.3f}")
     print(f"max |w/b| error:    {recovery.max_ratio_error(true_w, true_b):.3e} "
           f"(paper bound: 2^-10 = {2**-10:.3e})")
+    print(f"weight cost: {pruned.ledger.summary()}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ import argparse
 
 from repro.accel import AcceleratorSim
 from repro.attacks.structure import PracticalityRules, run_structure_attack
+from repro.device import DeviceSession
 from repro.nn.spec import LayerGeometry
 from repro.nn.zoo import build_alexnet
 from repro.report import render_table
@@ -40,9 +41,9 @@ def main() -> None:
 
     victim = build_alexnet()
     print("simulating one AlexNet inference (full scale, ~62M weights)...")
-    sim = AcceleratorSim(victim)
+    session = DeviceSession(AcceleratorSim(victim))
     result = run_structure_attack(
-        sim,
+        session,
         tolerance=args.tolerance,
         rules=PracticalityRules(exact_pool_division=True),
     )
@@ -72,6 +73,7 @@ def main() -> None:
         print(f"  -> ground truth present: {hit}\n")
 
     print(f"total candidate structures: {result.count} (paper: 24)")
+    print(f"attack cost: {result.ledger.summary()}")
 
 
 if __name__ == "__main__":

@@ -18,18 +18,14 @@ import argparse
 
 import numpy as np
 
-from repro.accel import (
-    AcceleratorConfig,
-    AcceleratorSim,
-    PruningConfig,
-    ZeroPruningChannel,
-)
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks.weights import (
     AttackTarget,
     ThresholdWeightAttack,
     WeightAttack,
     recover_crossing_multiset,
 )
+from repro.device import DeviceSession
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
@@ -66,21 +62,22 @@ def main() -> None:
     sim = AcceleratorSim(
         staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(sim, "conv1")
+    session = DeviceSession(sim, "conv1")
     target = AttackTarget.from_geometry(geom)
 
     print("\n[1] ratio attack (plain ReLU, per-plane write counts)")
-    recovery = WeightAttack(channel, target).run()
+    recovery = WeightAttack(session, target).run()
     err = recovery.max_ratio_error(weights, biases)
     print(f"    recovered {recovery.recovery_fraction():.1%} of weights in "
-          f"{recovery.queries:,} queries")
+          f"{recovery.queries:,} queries "
+          f"(cache hit rate {session.ledger.hit_rate:.0%})")
     print(f"    max |w/b| error: {err:.3e}  (paper bound 2^-10 = {2**-10:.3e})")
     zeros_found = (np.abs(recovery.ratio_tensor()) < 2**-20).sum()
     print(f"    zero weights identified (|w/b| < 2^-20): {zeros_found} "
           f"(true: {(weights == 0).sum()})")
 
     print("\n[2] threshold extension (exact weights and biases)")
-    exact = ThresholdWeightAttack(channel, target, t1=0.5, t2=1.5).run()
+    exact = ThresholdWeightAttack(session, target, t1=0.5, t2=1.5).run()
     print(f"    max |w| error: {exact.max_weight_error(weights):.3e}")
     print(f"    max |b| error: {exact.max_bias_error(biases):.3e}")
 
@@ -91,10 +88,11 @@ def main() -> None:
             pruning=PruningConfig(enabled=True, granularity="aggregate")
         ),
     )
-    agg_channel = ZeroPruningChannel(agg_sim, "conv1")
-    multiset = recover_crossing_multiset(agg_channel, resolution=2048)
+    agg_session = DeviceSession(agg_sim, "conv1")
+    multiset = recover_crossing_multiset(agg_session, resolution=2048)
     print(f"    corner-pixel crossings leaked (unattributed): "
-          f"{len(multiset.values())} of {args.filters} filters")
+          f"{len(multiset.values())} of {args.filters} filters "
+          f"(scan batched through {agg_session.backend})")
 
 
 if __name__ == "__main__":

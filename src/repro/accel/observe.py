@@ -1,5 +1,15 @@
 """Adversary-facing observation layer — the threat model as code.
 
+.. deprecated::
+    :func:`observe_structure` and :class:`ZeroPruningChannel` are
+    superseded by :class:`repro.device.DeviceSession`, which adds query
+    accounting, memoisation and batched channel queries on top of the
+    same threat model.  They are kept as behaviour-preserving shims
+    (including the bare-int aggregate return and the flat ``d_ofm``
+    per-filter charge) for existing scripts; new code should construct
+    a session.  :class:`StructureObservation` remains the canonical
+    observation record and is re-exported by :mod:`repro.device`.
+
 Table 1 of the paper gives each attack a different assumption set:
 
 =============================  =========  =======
@@ -65,6 +75,10 @@ def observe_structure(
 
     The structure attack does not need to *choose* inputs (Table 1:
     control = N), so by default a generic random image is used.
+
+    .. deprecated:: use
+        :meth:`repro.device.DeviceSession.observe_structure`, which
+        meters the inference and trace bytes on the session ledger.
     """
     if sim.config.pruning.enabled:
         raise ThreatModelViolation(
@@ -89,6 +103,11 @@ def observe_structure(
 
 class ZeroPruningChannel:
     """The weight attacker's handle on the device (paper Section 4).
+
+    .. deprecated:: use :class:`repro.device.DeviceSession`, which
+        shares this class's query surface but adds accounting, caching
+        and batching, and always returns arrays from ``query`` (this
+        shim keeps the historical bare-int aggregate return).
 
     Wraps a stage oracle so the attacker can submit sparse inputs and
     read back non-zero write counts: per output plane when the device

@@ -92,6 +92,24 @@ class StageOracle:
         """
         raise NotImplementedError
 
+    def nnz_batch(self, pixels: list[Pixel], values: np.ndarray) -> np.ndarray:
+        """Counts for ``B`` independent runs sharing one pixel pattern.
+
+        ``values`` has shape ``(B, len(pixels))``: row ``b`` is one full
+        device run, so the result row ``b`` equals ``nnz(pixels,
+        values[b])`` bit for bit.  Charged as ``B`` queries.  The base
+        implementation loops; backends may vectorise.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(pixels):
+            raise ConfigError(
+                f"values must be (batch, n_pixels) = (*, {len(pixels)}), "
+                f"got {values.shape}"
+            )
+        if len(values) == 0:
+            return np.zeros((0, self.d_ofm), dtype=np.int64)
+        return np.stack([self.nnz(pixels, row) for row in values])
+
     def set_threshold(self, threshold: float) -> None:
         """Adjust the stage's tunable pruning threshold, if it has one."""
         raise NotImplementedError
@@ -245,14 +263,19 @@ class SparseStageOracle(StageOracle):
     ) -> np.ndarray:
         """Post-activation conv outputs over the box, all filters.
 
-        ``values`` is ``(n_pixels, d_ofm)`` — per-filter input values.
-        Returns array (d_ofm, a1-a0+1, b1-b0+1).
+        ``values`` is ``(B, n_pixels, d_ofm)`` — per-run, per-filter input
+        values.  Returns array (B, d_ofm, a1-a0+1, b1-b0+1).  Every run in
+        the batch shares the pixel pattern, so the accumulation below is
+        elementwise along the batch axis and each output row is bitwise
+        what the unbatched evaluation of that run would produce.
         """
         a0, a1, b0, b1 = box
+        batch = values.shape[0]
         y = np.broadcast_to(
-            self._b[:, None, None], (self.d_ofm, a1 - a0 + 1, b1 - b0 + 1)
+            self._b[None, :, None, None],
+            (batch, self.d_ofm, a1 - a0 + 1, b1 - b0 + 1),
         ).copy()
-        for (c, i, j), val in zip(pixels, values):
+        for k, (c, i, j) in enumerate(pixels):
             ip, jp = i + self._p, j + self._p
             for a in range(a0, a1 + 1):
                 di = ip - a * self._s
@@ -262,7 +285,9 @@ class SparseStageOracle(StageOracle):
                     dj = jp - b * self._s
                     if not 0 <= dj < self._f:
                         continue
-                    y[:, a - a0, b - b0] += self._w[:, c, di, dj] * val
+                    y[:, :, a - a0, b - b0] += (
+                        self._w[None, :, c, di, dj] * values[:, k, :]
+                    )
         return np.where(y > self._thr, y, 0.0)
 
     # -- queries -------------------------------------------------------------
@@ -273,8 +298,8 @@ class SparseStageOracle(StageOracle):
                 f"need one value per pixel, got {values.shape} for "
                 f"{len(pixels)} pixels"
             )
-        return self._count(pixels, np.repeat(values[:, None], self.d_ofm, axis=1),
-                           charge=1)
+        expanded = np.repeat(values[:, None], self.d_ofm, axis=1)
+        return self._count(pixels, expanded[None], charge=1)[0]
 
     def nnz_per_filter(
         self, pixels: list[Pixel], values: np.ndarray
@@ -285,40 +310,58 @@ class SparseStageOracle(StageOracle):
                 f"values must be (n_pixels, d_ofm) = "
                 f"({len(pixels)}, {self.d_ofm}), got {values.shape}"
             )
-        return self._count(pixels, values, charge=self.d_ofm)
+        return self._count(pixels, values[None], charge=self.d_ofm)[0]
+
+    def nnz_batch(self, pixels: list[Pixel], values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(pixels):
+            raise ConfigError(
+                f"values must be (batch, n_pixels) = (*, {len(pixels)}), "
+                f"got {values.shape}"
+            )
+        batch = len(values)
+        if batch == 0:
+            return np.zeros((0, self.d_ofm), dtype=np.int64)
+        expanded = np.repeat(values[:, :, None], self.d_ofm, axis=2)
+        return self._count(pixels, expanded, charge=batch)
 
     def _count(
         self, pixels: list[Pixel], values: np.ndarray, charge: int
     ) -> np.ndarray:
+        """Batched count: ``values`` is (B, n_pixels, d_ofm) → (B, d_ofm)."""
         self._check_pixels(pixels)
         self.queries += charge
+        batch = values.shape[0]
         box = self._affected_conv_box(pixels)
         a0, a1, b0, b1 = box
         if a1 < a0:
-            return self._base_nnz.copy()
+            return np.repeat(self._base_nnz[None], batch, axis=0)
         act = self._box_values(pixels, values, box)
 
         if self._pool is None:
             box_area = (a1 - a0 + 1) * (b1 - b0 + 1)
             base_in_box = np.where(self._v0 > 0, box_area, 0)
-            new_in_box = np.count_nonzero(act.reshape(self.d_ofm, -1), axis=1)
-            return self._base_nnz - base_in_box + new_in_box
+            new_in_box = np.count_nonzero(
+                act.reshape(batch, self.d_ofm, -1), axis=2
+            )
+            return self._base_nnz[None] - base_in_box[None] + new_in_box
         return self._count_pooled(act, box)
 
     def _count_pooled(
         self, act: np.ndarray, box: tuple[int, int, int, int]
     ) -> np.ndarray:
         a0, a1, b0, b1 = box
+        batch = act.shape[0]
         pool = self._pool
         # Pooled indices whose window intersects the box.
         pa0, pa1 = self._pool_coord_range(a0, a1)
         pb0, pb1 = self._pool_coord_range(b0, b1)
         if pa1 < pa0 or pb1 < pb0:
-            return self._base_nnz.copy()
+            return np.repeat(self._base_nnz[None], batch, axis=0)
 
         n_affected = (pa1 - pa0 + 1) * (pb1 - pb0 + 1)
         base_in_affected = np.where(self._v0 > 0, n_affected, 0)
-        new_nonzero = np.zeros(self.d_ofm, dtype=np.int64)
+        new_nonzero = np.zeros((batch, self.d_ofm), dtype=np.int64)
         for pa in range(pa0, pa1 + 1):
             r_lo, r_hi = self._pool_window_cells(pa)
             for pb in range(pb0, pb1 + 1):
@@ -330,15 +373,17 @@ class SparseStageOracle(StageOracle):
                 in_box = max(0, br_hi - br_lo) * max(0, bc_hi - bc_lo)
                 outside = total_cells - in_box
                 if in_box > 0:
-                    patch = act[:, br_lo - a0 : br_hi - a0, bc_lo - b0 : bc_hi - b0]
-                    patch = patch.reshape(self.d_ofm, -1)
+                    patch = act[
+                        :, :, br_lo - a0 : br_hi - a0, bc_lo - b0 : bc_hi - b0
+                    ]
+                    patch = patch.reshape(batch, self.d_ofm, -1)
                 else:
-                    patch = np.zeros((self.d_ofm, 0))
+                    patch = np.zeros((batch, self.d_ofm, 0))
                 if self._pool_is_max:
                     box_max = (
-                        patch.max(axis=1)
-                        if patch.shape[1]
-                        else np.full(self.d_ofm, -np.inf)
+                        patch.max(axis=2)
+                        if patch.shape[2]
+                        else np.full((batch, self.d_ofm), -np.inf)
                     )
                     if outside > 0:
                         pooled = np.maximum(box_max, self._v0)
@@ -346,10 +391,10 @@ class SparseStageOracle(StageOracle):
                         pooled = box_max
                 else:
                     pooled = (
-                        patch.sum(axis=1) + outside * self._v0
+                        patch.sum(axis=2) + outside * self._v0
                     ) / (pool.f * pool.f)
                 new_nonzero += pooled != 0
-        return self._base_nnz - base_in_affected + new_nonzero
+        return self._base_nnz[None] - base_in_affected[None] + new_nonzero
 
     def _pool_coord_range(self, lo: int, hi: int) -> tuple[int, int]:
         """Pooled indices whose window intersects conv rows [lo, hi]."""

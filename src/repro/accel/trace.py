@@ -118,6 +118,7 @@ class TraceBuilder:
         self._addresses: list[np.ndarray] = []
         self._is_write: list[np.ndarray] = []
         self._last_cycle = 0
+        self._num_events = 0
 
     def add_span(
         self, start_cycle: int, addresses: np.ndarray, is_write: bool,
@@ -140,6 +141,7 @@ class TraceBuilder:
         self._cycles.append(cyc)
         self._addresses.append(addresses)
         self._is_write.append(np.full(n, is_write, dtype=bool))
+        self._num_events += n
         self._last_cycle = int(cyc[-1])
         return self._last_cycle + cycles_per_access
 
@@ -149,7 +151,8 @@ class TraceBuilder:
 
     @property
     def num_events(self) -> int:
-        return sum(len(a) for a in self._addresses)
+        """Events appended so far (O(1); the simulator reads it per stage)."""
+        return self._num_events
 
     def build(self) -> MemoryTrace:
         if not self._cycles:

@@ -29,8 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AttackError
-from repro.accel.observe import ZeroPruningChannel
-from repro.accel.simulator import AcceleratorSim
+from repro.device import DeviceSession, QueryLedger
 from repro.attacks.structure.attack import run_structure_attack
 from repro.attacks.structure.pipeline import CandidateStructure
 from repro.attacks.structure.reconstruct import reconstruct_network
@@ -56,6 +55,8 @@ class CloneResult:
     weights_resolved_fraction: float
     channel_queries: int
     labeling_queries: int
+    structure_ledger: QueryLedger | None = None
+    weight_ledger: QueryLedger | None = None
 
 
 def _first_conv_geometries(
@@ -99,7 +100,7 @@ def _counts_for(
 
 
 def _verify_stolen_layer(
-    channel: ZeroPruningChannel,
+    channel: DeviceSession,
     geometry: LayerGeometry,
     weights: np.ndarray,
     biases: np.ndarray,
@@ -135,7 +136,7 @@ def _verify_stolen_layer(
 
 
 def _steal_first_layer(
-    pruned_sim: AcceleratorSim,
+    session: DeviceSession,
     geometries: list[LayerGeometry],
     t1: float = 0.0,
     t2: float = 1.0,
@@ -145,14 +146,14 @@ def _steal_first_layer(
     Several geometries can be consistent with the structure trace; each
     is attacked in turn and the recovered parameters are verified
     against fresh device queries, so only the true geometry survives.
+    One session serves every candidate: its ledger accumulates the total
+    weight-phase cost and its cache carries probes across attempts.
     """
-    stage_name = pruned_sim.staged.stages[0].name
     last_error: Exception | None = None
     for geometry in geometries:
         try:
             target = AttackTarget.from_geometry(geometry)
-            channel = ZeroPruningChannel(pruned_sim, stage_name)
-            recovery = ThresholdWeightAttack(channel, target, t1=t1, t2=t2).run()
+            recovery = ThresholdWeightAttack(session, target, t1=t1, t2=t2).run()
         except AttackError as exc:
             last_error = exc
             continue
@@ -161,7 +162,7 @@ def _steal_first_layer(
             continue
         canonical = geometry if geometry.p_conv == 0 else geometry.canonical()
         if _verify_stolen_layer(
-            channel, canonical, recovery.weights, recovery.biases
+            session, canonical, recovery.weights, recovery.biases
         ):
             return canonical, recovery
         last_error = AttackError(
@@ -173,8 +174,8 @@ def _steal_first_layer(
 
 
 def clone_model(
-    dense_sim: AcceleratorSim,
-    pruned_sim: AcceleratorSim,
+    dense_sim,
+    pruned_sim,
     probe_images: np.ndarray,
     t1: float = 0.0,
     t2: float = 1.0,
@@ -186,17 +187,29 @@ def clone_model(
     """Duplicate a victim model end to end.
 
     Args:
-        dense_sim: the victim without pruning (structure phase).
+        dense_sim: the victim without pruning (structure phase) — a bare
+            device or a :class:`~repro.device.DeviceSession` on it.
         pruned_sim: the victim deployed with per-plane zero pruning and
-            a tunable threshold rectifier (weights phase).
+            a tunable threshold rectifier (weights phase) — device or
+            session likewise.
         probe_images: attacker-owned images used to query the victim for
             labels and distill the clone's unstolen layers.
         t1, t2: thresholds for the exact weight recovery.
         tolerance: structure-attack timing tolerance.
         distill_epochs: training epochs on the victim-labelled probes.
     """
+    dense = (
+        dense_sim
+        if isinstance(dense_sim, DeviceSession)
+        else DeviceSession(dense_sim)
+    )
+    pruned = (
+        pruned_sim
+        if isinstance(pruned_sim, DeviceSession)
+        else DeviceSession(pruned_sim)
+    )
     structure = run_structure_attack(
-        dense_sim, tolerance=tolerance,
+        dense, tolerance=tolerance,
         rules=PracticalityRules(exact_pool_division=True),
     )
     if not structure.candidates:
@@ -205,7 +218,7 @@ def clone_model(
     if not geometries:
         raise AttackError("no conv interpretation of the first layer")
 
-    geometry, recovery = _steal_first_layer(pruned_sim, geometries, t1, t2)
+    geometry, recovery = _steal_first_layer(pruned, geometries, t1, t2)
     clone_cand = next(
         c
         for c in structure.candidates
@@ -214,7 +227,7 @@ def clone_model(
     )
     staged = reconstruct_network(
         clone_cand,
-        dense_sim.staged.network.input_shape,  # type: ignore[arg-type]
+        structure.observation.input_shape,
         structure.analysis.num_classes,
         name="clone",
     )
@@ -223,12 +236,10 @@ def clone_model(
     conv.weight.value[:] = recovery.weights
     conv.bias.value[:] = recovery.biases
 
-    # Distil the unstolen layers against the victim's own predictions.
+    # Distil the unstolen layers against the victim's own predictions:
+    # the classification output is the normal-user API of Figure 2.
     labels = np.array(
-        [
-            int(np.argmax(dense_sim.run(img[None]).output))
-            for img in probe_images
-        ]
+        [int(np.argmax(dense.classify(img[None]))) for img in probe_images]
     )
     trainable = [
         p
@@ -260,6 +271,8 @@ def clone_model(
         weights_resolved_fraction=float(recovery.resolved.mean()),
         channel_queries=recovery.queries,
         labeling_queries=len(probe_images),
+        structure_ledger=dense.ledger,
+        weight_ledger=pruned.ledger,
     )
 
 

@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accel.observe import StructureObservation, observe_structure
-from repro.accel.simulator import AcceleratorSim
+from repro.device import DeviceSession, QueryLedger, StructureObservation
 from repro.attacks.structure.constraints import DeviceKnowledge
 from repro.attacks.structure.modules import detect_fire_modules
 from repro.attacks.structure.pipeline import CandidateStructure, StructureSearch
@@ -35,6 +34,7 @@ class StructureAttackResult:
     candidates: list[CandidateStructure]
     count: int
     module_roles: dict[int, str]
+    ledger: QueryLedger | None = None
 
     @property
     def num_layers(self) -> int:
@@ -42,7 +42,7 @@ class StructureAttackResult:
 
 
 def run_structure_attack(
-    sim: AcceleratorSim,
+    sim,
     x: np.ndarray | None = None,
     tolerance: float = 0.25,
     rules: PracticalityRules | None = None,
@@ -54,8 +54,11 @@ def run_structure_attack(
     """Run Algorithm 1 against a victim accelerator.
 
     Args:
-        sim: the victim device (pruning must be off; Section 3 assumes a
-            dense-write accelerator).
+        sim: the victim device or an existing
+            :class:`~repro.device.DeviceSession` on it (pruning must be
+            off; Section 3 assumes a dense-write accelerator).  A bare
+            device is wrapped in a fresh session, whose ledger is
+            returned on the result.
         x: optional input image; a generic random image by default.
         tolerance: timing-filter tolerance.
         rules: practicality rules (defaults per
@@ -67,18 +70,19 @@ def run_structure_attack(
         runs: number of inferences to observe; per-layer durations are
             averaged, countering device timing noise.
     """
-    observation = observe_structure(sim, x, seed=seed)
+    session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
+    observation = session.observe_structure(x, seed=seed)
     analysis = analyse_trace(observation)
     if runs > 1:
         extra = [
-            analyse_trace(observe_structure(sim, x, seed=seed + k))
+            analyse_trace(session.observe_structure(x, seed=seed + k))
             for k in range(1, runs)
         ]
         analysis = average_analyses([analysis] + extra)
     roles = detect_fire_modules(analysis) if use_modular_assumption else {}
     search = StructureSearch(
         analysis,
-        DeviceKnowledge.from_timing(sim.config.timing),
+        DeviceKnowledge.from_timing(session.public_timing),
         tolerance=tolerance,
         module_roles=roles,
         rules=rules,
@@ -93,4 +97,5 @@ def run_structure_attack(
         candidates=candidates,
         count=count,
         module_roles=roles,
+        ledger=session.ledger,
     )

@@ -1,5 +1,11 @@
 """Algorithm 1: chain per-layer solutions into whole-network candidates.
 
+This stage is pure constraint solving over an already-captured
+:class:`~repro.attacks.structure.trace_analysis.TraceAnalysis`; all
+device interaction happened earlier through
+:meth:`repro.device.DeviceSession.observe_structure` and is accounted on
+the session's ledger.
+
 Steps 3-5 of the paper's attack: solve each layer's constraint system,
 then keep only combinations whose shapes agree along every connection
 (``W_OFM_i = W_IFM_{i+1}`` and ``D_OFM_i = D_IFM_{i+1}``, generalised

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TraceError
-from repro.accel.observe import StructureObservation
+from repro.device import StructureObservation
 
 __all__ = [
     "SizeRange",

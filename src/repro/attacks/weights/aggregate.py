@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AttackError
-from repro.accel.observe import ZeroPruningChannel
+from repro.device import DeviceSession
 
 __all__ = ["Crossing", "AggregateAttackResult", "recover_crossing_multiset"]
 
@@ -53,7 +53,7 @@ class AggregateAttackResult:
 
 
 def recover_crossing_multiset(
-    channel: ZeroPruningChannel,
+    channel: DeviceSession,
     pixel: tuple[int, int, int] = (0, 0, 0),
     resolution: int = 512,
     refine_steps: int = 60,
@@ -62,6 +62,8 @@ def recover_crossing_multiset(
 
     Works with both aggregate and per-plane channels (per-plane counts
     are summed), so the benchmark can compare the two layouts directly.
+    The initial scan goes through the session's batched channel in one
+    vectorised call; only the bisection refinement is sequential.
     """
     if resolution < 2:
         raise AttackError("resolution must be >= 2")
@@ -72,7 +74,11 @@ def recover_crossing_multiset(
         return int(counts if np.isscalar(counts) else np.sum(counts))
 
     xs = np.linspace(lo_lim, hi_lim, resolution + 1)
-    counts = [total(float(x)) for x in xs]
+    if hasattr(channel, "query_batch"):
+        scanned = channel.query_batch([pixel], xs[:, None])
+        counts = [int(row.sum()) for row in scanned]
+    else:  # deprecated per-probe channels
+        counts = [total(float(x)) for x in xs]
     crossings: list[Crossing] = []
     for k in range(resolution):
         if counts[k] == counts[k + 1]:

@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import AttackError
-from repro.accel.observe import ZeroPruningChannel
+from repro.device import DeviceSession
 from repro.attacks.weights.target import AttackTarget
 
 __all__ = [
@@ -123,9 +123,11 @@ class WeightAttack:
     """Recover every ``w/b`` ratio of one conv stage via write counts.
 
     Args:
-        channel: the device's zero-pruning observation channel (must be
-            per-plane; aggregate devices are attacked with
-            :mod:`repro.attacks.weights.aggregate`).
+        channel: the attacker's :class:`~repro.device.DeviceSession` on
+            the victim (must be per-plane; aggregate devices are attacked
+            with :mod:`repro.attacks.weights.aggregate`).  Any object
+            with the session's channel surface works — the deprecated
+            ``ZeroPruningChannel`` and defence wrappers included.
         target: structural knowledge of the attacked stage.
         search_steps: bisection iterations per crossing (64 reaches
             float64 resolution over any practical input range).
@@ -135,7 +137,7 @@ class WeightAttack:
 
     def __init__(
         self,
-        channel: ZeroPruningChannel,
+        channel: DeviceSession,
         target: AttackTarget,
         search_steps: int = 64,
         max_resolution_rounds: int = 4,

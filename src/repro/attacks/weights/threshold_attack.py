@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AttackError
-from repro.accel.observe import ZeroPruningChannel
+from repro.device import DeviceSession
 from repro.attacks.weights.recovery import WeightAttack, WeightStatus
 from repro.attacks.weights.target import AttackTarget
 
@@ -36,7 +36,7 @@ __all__ = ["ThresholdAttackResult", "ThresholdWeightAttack", "recover_positive_b
 
 
 def recover_positive_biases(
-    channel: ZeroPruningChannel,
+    channel: DeviceSession,
     t_max: float = 1e6,
     steps: int = 64,
 ) -> np.ndarray:
@@ -97,8 +97,8 @@ class ThresholdWeightAttack:
     """Run the ratio attack at two thresholds and solve for exact values.
 
     Args:
-        channel: zero-pruning channel of a device with a tunable
-            threshold rectifier.
+        channel: a :class:`~repro.device.DeviceSession` on a device with
+            a tunable threshold rectifier.
         target: structural knowledge of the attacked stage.
         t1, t2: the two thresholds.  They must de-saturate the channel
             (for pooled positive-bias filters: exceed the bias); use
@@ -109,7 +109,7 @@ class ThresholdWeightAttack:
 
     def __init__(
         self,
-        channel: ZeroPruningChannel,
+        channel: DeviceSession,
         target: AttackTarget,
         t1: float = 1.0,
         t2: float = 3.0,

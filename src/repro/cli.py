@@ -23,13 +23,10 @@ from repro.accel import (
     AcceleratorSim,
     PruningConfig,
     TimingModel,
-    ZeroPruningChannel,
-    observe_structure,
 )
 from repro.attacks.clone import clone_model, prediction_agreement
 from repro.attacks.structure import (
     PracticalityRules,
-    analyse_trace,
     find_layer_boundaries,
     run_structure_attack,
 )
@@ -39,6 +36,7 @@ from repro.attacks.weights import (
     WeightAttack,
 )
 from repro.data import make_dataset
+from repro.device import DeviceSession, QueryLedger
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
@@ -47,6 +45,12 @@ from repro.report import render_table
 from repro.report.traceviz import render_access_pattern, render_layer_timeline
 
 __all__ = ["main"]
+
+
+def _print_ledger(ledger: QueryLedger | None, label: str = "session") -> None:
+    """The attack-cost account every attack command ends with."""
+    if ledger is not None:
+        print(f"\n[{label} ledger] {ledger.summary()}")
 
 
 def _build_victim_model(args) -> "StagedNetworkBuilder":
@@ -112,6 +116,7 @@ def cmd_structure(args) -> int:
     for i, cand in enumerate(result.candidates[: args.show]):
         print(f"\ncandidate {i}:")
         print(cand.describe())
+    _print_ledger(result.ledger)
     return 0
 
 
@@ -140,22 +145,24 @@ def cmd_weights(args) -> int:
     sim = AcceleratorSim(
         staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(sim, "conv1")
+    session = DeviceSession(sim, "conv1", backend=args.backend)
     target = AttackTarget.from_geometry(geom)
     print(f"victim conv layer: {weights.shape} "
-          f"({(weights == 0).mean():.0%} zero weights), pool 3x3/2")
+          f"({(weights == 0).mean():.0%} zero weights), pool 3x3/2, "
+          f"backend {session.backend}")
     if args.threshold:
-        result = ThresholdWeightAttack(channel, target, t1=0.0, t2=0.5).run()
+        result = ThresholdWeightAttack(session, target, t1=0.0, t2=0.5).run()
         print(f"threshold attack: resolved {result.resolved.mean():.1%}")
         print(f"max |w| error: {result.max_weight_error(weights):.3e}")
         print(f"max |b| error: {result.max_bias_error(biases):.3e}")
     else:
-        result = WeightAttack(channel, target).run()
+        result = WeightAttack(session, target).run()
         print(f"ratio attack: resolved {result.recovery_fraction():.1%} "
               f"in {result.queries:,} queries")
         print(f"max |w/b| error: "
               f"{result.max_ratio_error(weights, biases):.3e} "
               f"(paper bound 2^-10 = {2**-10:.3e})")
+    _print_ledger(session.ledger)
     return 0
 
 
@@ -176,10 +183,10 @@ def cmd_clone(args) -> int:
         train_per_class=per_class, val_per_class=max(1, per_class // 2),
         seed=args.seed,
     )
-    dense = AcceleratorSim(victim)
-    pruned = AcceleratorSim(
+    dense = DeviceSession(AcceleratorSim(victim))
+    pruned = DeviceSession(AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
-    )
+    ))
     result = clone_model(
         dense, pruned, ds.train_images, distill_epochs=args.epochs
     )
@@ -198,6 +205,8 @@ def cmd_clone(args) -> int:
           f"(probe set), "
           f"{prediction_agreement(victim, result.network, ds.val_images):.1%} "
           f"(held out)")
+    _print_ledger(result.structure_ledger, "structure session")
+    _print_ledger(result.weight_ledger, "weight session")
     return 0
 
 
@@ -232,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--filters", type=int, default=8)
     wt.add_argument("--threshold", action="store_true",
                     help="exact recovery via the tunable threshold")
+    wt.add_argument("--backend", default=None,
+                    help="device backend (see repro.device.available_backends)")
     wt.add_argument("--seed", type=int, default=0)
     wt.set_defaults(func=cmd_weights)
 

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accel.observe import ZeroPruningChannel
 from repro.accel.simulator import AcceleratorSim, SimulationResult
+from repro.device import DeviceSession
 
 __all__ = ["PaddedChannel", "PaddingOverhead", "measure_padding_overhead"]
 
@@ -27,13 +27,14 @@ __all__ = ["PaddedChannel", "PaddingOverhead", "measure_padding_overhead"]
 class PaddedChannel:
     """A zero-pruning channel whose device pads writes to worst case.
 
-    Wraps a real channel but returns the plane capacity for every query
-    — exactly what the adversary would count when every plane is padded
-    with dummy writes.  The query accounting still runs so attack cost
-    comparisons stay meaningful.
+    Wraps a :class:`~repro.device.DeviceSession` (or the deprecated
+    ``ZeroPruningChannel``) but returns the plane capacity for every
+    query — exactly what the adversary would count when every plane is
+    padded with dummy writes.  The query accounting still runs on the
+    inner handle so attack cost comparisons stay meaningful.
     """
 
-    def __init__(self, inner: ZeroPruningChannel):
+    def __init__(self, inner: DeviceSession):
         self._inner = inner
 
     @property
@@ -58,20 +59,32 @@ class PaddedChannel:
 
     def _constant(self, counts) -> np.ndarray | int:
         if self._inner.per_plane:
-            return np.full_like(np.asarray(counts), self._plane_capacity())
-        return self.d_ofm * self._plane_capacity()
+            value = self._plane_capacity()
+        else:
+            value = self.d_ofm * self._plane_capacity()
+        if isinstance(counts, np.ndarray):
+            return np.full_like(counts, value)
+        return value  # deprecated bare-int aggregate shim
 
     def _plane_capacity(self) -> int:
-        oracle = self._inner._oracle
-        if oracle._stage.geometry.has_pool:  # type: ignore[union-attr]
-            w = oracle._w_pool  # type: ignore[attr-defined]
-        else:
-            w = oracle._w_conv  # type: ignore[attr-defined]
-        return int(w * w)
+        # w_ofm is the stage's final (post-pool) output width, so this
+        # works for any backend oracle the inner handle resolved.
+        geom = self._inner._oracle._stage.geometry  # type: ignore[union-attr]
+        return int(geom.w_ofm * geom.w_ofm)
 
     def query(self, pixels, values):
         counts = self._inner.query(pixels, values)
         return self._constant(counts)
+
+    def query_batch(self, pixels, values):
+        if hasattr(self._inner, "query_batch"):
+            counts = self._inner.query_batch(pixels, values)
+            return self._constant(counts)
+        rows = [
+            np.atleast_1d(np.asarray(self.query(pixels, row)))
+            for row in np.asarray(values, dtype=float)
+        ]
+        return np.stack(rows)
 
     def query_per_filter(self, pixels, values):
         counts = self._inner.query_per_filter(pixels, values)

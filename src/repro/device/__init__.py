@@ -1,0 +1,37 @@
+"""The attacker/device boundary: sessions, accounting, backends.
+
+This package is the only sanctioned way for attacks to touch a victim
+device.  :class:`DeviceSession` subsumes the deprecated
+``repro.accel.observe`` handles (``observe_structure`` /
+``ZeroPruningChannel``) and adds query accounting, memoisation and
+batched channel queries; :mod:`repro.device.backends` replaces the old
+``prefer_sparse`` flag with a capability-based registry.  A guard test
+asserts that nothing under :mod:`repro.attacks` imports simulator or
+oracle internals directly.
+"""
+
+from repro.accel.observe import StructureObservation
+from repro.device.backends import (
+    BackendSpec,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.device.cache import QueryCache
+from repro.device.ledger import TRACE_EVENT_BYTES, QueryLedger
+from repro.device.session import DeviceSession, VictimDevice
+from repro.errors import QueryBudgetExceeded
+
+__all__ = [
+    "DeviceSession",
+    "VictimDevice",
+    "StructureObservation",
+    "QueryLedger",
+    "QueryBudgetExceeded",
+    "QueryCache",
+    "TRACE_EVENT_BYTES",
+    "BackendSpec",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]

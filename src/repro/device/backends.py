@@ -1,0 +1,114 @@
+"""Backend registry: how a session evaluates zero-pruning channel queries.
+
+Replaces the ``prefer_sparse`` bool that used to thread through every
+attack constructor.  A backend is a named way of producing the per-plane
+non-zero counts a real device would leak; backends are registered with
+capabilities and a priority, and a session resolves one by name or picks
+the highest-priority backend that satisfies the requested capabilities.
+
+Built-in backends:
+
+* ``sparse-oracle`` — :class:`~repro.accel.oracle.SparseStageOracle`,
+  vectorised (native batched evaluation); the default.
+* ``dense-sim`` — :class:`~repro.accel.oracle.DenseStageOracle`, the
+  ground-truth reference that runs the stage's real layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accel.oracle import DenseStageOracle, SparseStageOracle, StageOracle
+from repro.errors import ConfigError
+from repro.nn.stages import StagedNetwork
+
+__all__ = [
+    "BackendSpec",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered way of evaluating channel queries.
+
+    Attributes:
+        name: registry key, e.g. ``"sparse-oracle"``.
+        factory: builds the stage oracle for a victim network.
+        vectorized: whether ``nnz_batch`` is evaluated natively in one
+            pass (rather than the base class's per-row loop).
+        reference: whether this is the ground-truth dense path.
+        priority: default-selection rank; highest wins.
+    """
+
+    name: str
+    factory: Callable[[StagedNetwork, str], StageOracle]
+    vectorized: bool = False
+    reference: bool = False
+    priority: int = 0
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[StagedNetwork, str], StageOracle],
+    *,
+    vectorized: bool = False,
+    reference: bool = False,
+    priority: int = 0,
+) -> BackendSpec:
+    """Add a backend to the registry; names must be unique."""
+    if name in _REGISTRY:
+        raise ConfigError(f"device backend {name!r} is already registered")
+    spec = BackendSpec(
+        name=name,
+        factory=factory,
+        vectorized=vectorized,
+        reference=reference,
+        priority=priority,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, highest priority first."""
+    specs = sorted(_REGISTRY.values(), key=lambda s: -s.priority)
+    return tuple(spec.name for spec in specs)
+
+
+def resolve_backend(
+    name: str | None = None, *, require_vectorized: bool = False
+) -> BackendSpec:
+    """Look up a backend by name, or pick the best one by capability."""
+    if name is not None:
+        spec = _REGISTRY.get(name)
+        if spec is None:
+            raise ConfigError(
+                f"unknown device backend {name!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
+        if require_vectorized and not spec.vectorized:
+            raise ConfigError(
+                f"backend {name!r} does not support vectorised batches"
+            )
+        return spec
+    pool = [
+        spec
+        for spec in _REGISTRY.values()
+        if spec.vectorized or not require_vectorized
+    ]
+    if not pool:
+        raise ConfigError("no registered backend satisfies the capabilities")
+    return max(pool, key=lambda spec: spec.priority)
+
+
+register_backend(
+    "sparse-oracle", SparseStageOracle, vectorized=True, priority=10
+)
+register_backend("dense-sim", DenseStageOracle, reference=True, priority=0)

@@ -1,0 +1,55 @@
+"""Attacker-side memoisation of channel replies.
+
+The weight attack's binary searches re-issue many identical device runs:
+idle filters probe value 0.0 on every bisection step, bracket endpoints
+repeat across rounds, and the two-pixel stage re-measures its anchor run
+for both signs.  The device is deterministic, so the adversary can cache
+``(threshold, pixels, values) -> counts`` and skip the re-run entirely —
+a pure attacker-side optimisation that changes no observed number.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """A bounded LRU from query keys to read-only count arrays."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._data: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """The cached reply for ``key``, refreshed as most recent."""
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        """Insert a reply, evicting the least recently used past capacity."""
+        value.setflags(write=False)
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,103 @@
+"""Query accounting for attacker/device sessions.
+
+Both attacks in the paper are query-driven: the structure attack spends
+inferences and trace bytes, the weight attack spends ~10^5-10^6 channel
+queries.  Related work (CSI NN, Weerasena & Mishra) frames attack cost in
+exactly these units, so the session layer meters every device interaction
+through one :class:`QueryLedger` and lets callers impose hard budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, QueryBudgetExceeded
+
+__all__ = ["QueryLedger", "TRACE_EVENT_BYTES"]
+
+# Wire size of one trace event as the adversary records it: an int64
+# cycle stamp, an int64 block address and a one-byte R/W flag.
+TRACE_EVENT_BYTES = 17
+
+
+@dataclass
+class QueryLedger:
+    """Running account of everything a session extracted from a device.
+
+    Budgets are hard limits: a charge that would push ``channel_queries``
+    past ``max_queries`` (or ``inferences`` past ``max_inferences``)
+    raises :class:`~repro.errors.QueryBudgetExceeded` *before* the device
+    runs, leaving all counters unchanged — queries ``1..N`` succeed and
+    query ``N+1`` fails.
+    """
+
+    max_queries: int | None = None
+    max_inferences: int | None = None
+    channel_queries: int = 0
+    inferences: int = 0
+    trace_events: int = 0
+    trace_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # -- charging ---------------------------------------------------------
+    def charge_channel(self, n: int = 1) -> None:
+        """Account ``n`` zero-pruning channel queries (device runs)."""
+        if n < 0:
+            raise ConfigError(f"cannot charge a negative query count: {n}")
+        if (
+            self.max_queries is not None
+            and self.channel_queries + n > self.max_queries
+        ):
+            raise QueryBudgetExceeded(
+                f"channel query budget exhausted: {self.channel_queries} "
+                f"spent, a charge of {n} exceeds the budget of "
+                f"{self.max_queries}"
+            )
+        self.channel_queries += n
+
+    def charge_inference(self, n: int = 1) -> None:
+        """Account ``n`` full inferences (structure runs / labelling)."""
+        if n < 0:
+            raise ConfigError(f"cannot charge a negative query count: {n}")
+        if (
+            self.max_inferences is not None
+            and self.inferences + n > self.max_inferences
+        ):
+            raise QueryBudgetExceeded(
+                f"inference budget exhausted: {self.inferences} spent, a "
+                f"charge of {n} exceeds the budget of {self.max_inferences}"
+            )
+        self.inferences += n
+
+    def record_trace(self, num_events: int) -> None:
+        """Account the bytes of one observed memory trace."""
+        self.trace_events += num_events
+        self.trace_bytes += num_events * TRACE_EVENT_BYTES
+
+    def record_cache(self, hits: int = 0, misses: int = 0) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    # -- reporting --------------------------------------------------------
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of channel lookups served from the memo cache."""
+        total = self.cache_lookups
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line account, printed by the CLI after each attack run."""
+        parts = [
+            f"channel queries={self.channel_queries:,}",
+            f"inferences={self.inferences:,}",
+            f"cache hit rate={self.hit_rate:.1%} "
+            f"({self.cache_hits:,}/{self.cache_lookups:,})",
+            f"trace events={self.trace_events:,} "
+            f"({self.trace_bytes:,} bytes)",
+        ]
+        return "  ".join(parts)

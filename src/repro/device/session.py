@@ -1,0 +1,327 @@
+"""Device sessions: the one sanctioned attacker/device boundary.
+
+A :class:`DeviceSession` wraps a victim device (anything satisfying the
+:class:`VictimDevice` protocol — in practice an
+:class:`~repro.accel.simulator.AcceleratorSim`) and is the only handle
+attacks are allowed to hold.  Table 1 of the paper still governs what
+crosses the boundary; on top of that the session adds what the scattered
+``observe_structure`` / ``ZeroPruningChannel`` handles never had:
+
+* **query accounting** — every inference, channel query and trace byte
+  is metered in a :class:`~repro.device.ledger.QueryLedger`, with hard
+  budgets raising :class:`~repro.errors.QueryBudgetExceeded`;
+* **memoisation** — an LRU keyed on ``(threshold, pixels, values)``
+  serves repeated probes without re-running the device, with hit/miss
+  counters surfaced in the ledger;
+* **batched channels** — :meth:`DeviceSession.query_batch` pushes many
+  sparse-input probes through the backend in one vectorised call;
+* a **backend registry** replacing the old ``prefer_sparse`` bool (see
+  :mod:`repro.device.backends`).
+
+Because the device is deterministic and the cache is keyed on the full
+run description, the session path returns bit-identical counts to the
+direct-oracle path — caching and batching change attack *cost*, never
+attack *observations*.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.accel.observe import StructureObservation
+from repro.accel.observe import observe_structure as _observe_structure
+from repro.accel.oracle import Pixel, StageOracle
+from repro.accel.simulator import AcceleratorConfig, SimulationResult
+from repro.accel.timing import TimingModel
+from repro.device.backends import BackendSpec, resolve_backend
+from repro.device.cache import QueryCache
+from repro.device.ledger import QueryLedger
+from repro.errors import ConfigError, ThreatModelViolation
+from repro.nn.stages import StagedNetwork
+
+__all__ = ["VictimDevice", "DeviceSession"]
+
+
+@runtime_checkable
+class VictimDevice(Protocol):
+    """What a session needs from a victim device.
+
+    :class:`~repro.accel.simulator.AcceleratorSim` is the in-repo
+    implementation; a remote device harness would satisfy the same
+    protocol.
+    """
+
+    staged: StagedNetwork
+    config: AcceleratorConfig
+
+    def run(self, x: np.ndarray) -> SimulationResult: ...
+
+
+class DeviceSession:
+    """An attacker's metered handle on one victim device.
+
+    Args:
+        device: the victim accelerator.
+        stage_name: the conv stage the zero-pruning channel observes;
+            defaults to the device's first stage (the paper attacks
+            layer by layer from the input).
+        backend: channel backend name (see
+            :func:`~repro.device.backends.available_backends`); the
+            highest-priority registered backend by default.
+        input_range: device input domain; queries outside it are
+            rejected with :class:`~repro.errors.ThreatModelViolation`.
+        max_queries: channel-query budget, ``None`` for unlimited.
+        max_inferences: inference budget, ``None`` for unlimited.
+        cache_size: LRU capacity for channel memoisation; ``None`` or
+            ``0`` disables the cache.
+        ledger: share an existing ledger (e.g. one account across the
+            structure and weight phases of a clone); budgets on the
+            shared ledger win over ``max_queries``/``max_inferences``.
+    """
+
+    def __init__(
+        self,
+        device: VictimDevice,
+        stage_name: str | None = None,
+        *,
+        backend: str | None = None,
+        input_range: tuple[float, float] = (-256.0, 256.0),
+        max_queries: int | None = None,
+        max_inferences: int | None = None,
+        cache_size: int | None = 100_000,
+        ledger: QueryLedger | None = None,
+    ):
+        self.device = device
+        self.stage_name = stage_name or device.staged.stages[0].name
+        self.input_range = input_range
+        self.ledger = (
+            ledger
+            if ledger is not None
+            else QueryLedger(
+                max_queries=max_queries, max_inferences=max_inferences
+            )
+        )
+        self._cache = QueryCache(cache_size) if cache_size else None
+        self._requested_backend = backend
+        self._backend_spec: BackendSpec | None = None
+        self._oracle: StageOracle | None = None
+        self._threshold = 0.0
+
+    # -- device facts -----------------------------------------------------
+    @property
+    def pruning_enabled(self) -> bool:
+        return self.device.config.pruning.enabled
+
+    @property
+    def per_plane(self) -> bool:
+        """Whether counts are per output plane (vs one aggregate total)."""
+        return self.device.config.pruning.granularity == "plane"
+
+    @property
+    def public_timing(self) -> TimingModel:
+        """The device's public timing parameters (datasheet knowledge)."""
+        return self.device.config.timing
+
+    @property
+    def d_ofm(self) -> int:
+        return self._channel_oracle().d_ofm
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        return self._channel_oracle().input_shape
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend serving this session's channel queries."""
+        if self._backend_spec is None:
+            self._backend_spec = resolve_backend(self._requested_backend)
+        return self._backend_spec.name
+
+    @property
+    def queries(self) -> int:
+        """Channel queries charged so far (attack cost metric)."""
+        return self.ledger.channel_queries
+
+    # -- structure side (paper Section 3) ---------------------------------
+    def observe_structure(
+        self, x: np.ndarray | None = None, seed: int = 0
+    ) -> StructureObservation:
+        """One metered inference yielding the structure attacker's view."""
+        if self.pruning_enabled:
+            raise ThreatModelViolation(
+                "the Section 3 structure attack is defined on a dense-write "
+                "accelerator; use the pruning ablation benches for the "
+                "pruned-trace variant"
+            )
+        self.ledger.charge_inference()
+        observation = _observe_structure(self.device, x, seed=seed)
+        self.ledger.record_trace(len(observation.trace))
+        return observation
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        """Submit an input batch and read the classification scores.
+
+        This is the normal-user API of Figure 2 — the host always sees
+        the model's output — used by the cloning attack to label its
+        training set.  Charged one inference per call.
+        """
+        self.ledger.charge_inference()
+        return self.device.run(x).output
+
+    # -- weight side (paper Section 4) ------------------------------------
+    def _channel_oracle(self) -> StageOracle:
+        if self._oracle is None:
+            if not self.pruning_enabled:
+                raise ThreatModelViolation(
+                    "zero-pruning channel requires a device with dynamic "
+                    "zero pruning enabled — a dense-write device leaks no "
+                    "counts"
+                )
+            if self._backend_spec is None:
+                self._backend_spec = resolve_backend(self._requested_backend)
+            self._oracle = self._backend_spec.factory(
+                self.device.staged, self.stage_name
+            )
+        return self._oracle
+
+    def _check_values(self, values: np.ndarray) -> None:
+        lo, hi = self.input_range
+        if np.any(values < lo) or np.any(values > hi):
+            raise ThreatModelViolation(
+                f"input value outside device range [{lo}, {hi}]"
+            )
+
+    def _observed(self, counts: np.ndarray) -> np.ndarray:
+        """Project device-side per-plane counts to the attacker's view."""
+        if self.per_plane:
+            reply = np.asarray(counts, dtype=np.int64)
+        else:
+            reply = np.array([int(counts.sum())], dtype=np.int64)
+        reply.setflags(write=False)
+        return reply
+
+    def _replies(
+        self, pixels: list[Pixel], rows: np.ndarray
+    ) -> list[np.ndarray]:
+        """Cached replies for a batch of device runs.
+
+        ``rows[b]`` holds the pixel values of run ``b``.  Cache misses
+        are deduplicated and evaluated through the backend in a single
+        ``nnz_batch`` call; only distinct uncached runs are charged.
+        """
+        oracle = self._channel_oracle()
+        pixel_key = tuple(pixels)
+        keys = [
+            (self._threshold, pixel_key, row.tobytes()) for row in rows
+        ]
+        replies: list[np.ndarray | None] = [None] * len(keys)
+        pending: dict[tuple, list[int]] = {}
+        pending_rows: list[np.ndarray] = []
+        hits = 0
+        for b, key in enumerate(keys):
+            cached = self._cache.get(key) if self._cache else None
+            if cached is not None:
+                replies[b] = cached
+                hits += 1
+            elif key in pending:
+                # Identical run already queued in this batch: one device
+                # run answers both.
+                pending[key].append(b)
+                hits += 1
+            else:
+                pending[key] = [b]
+                pending_rows.append(np.asarray(rows[b], dtype=float))
+        if pending_rows:
+            # Budget check happens before the device runs.
+            self.ledger.charge_channel(len(pending_rows))
+            counts = oracle.nnz_batch(list(pixels), np.stack(pending_rows))
+            for key, row_counts in zip(pending, counts):
+                reply = self._observed(row_counts)
+                if self._cache is not None:
+                    self._cache.put(key, reply)
+                for b in pending[key]:
+                    replies[b] = reply
+        self.ledger.record_cache(hits=hits, misses=len(pending_rows))
+        return replies  # type: ignore[return-value]
+
+    def query(self, pixels: list[Pixel], values) -> np.ndarray:
+        """Non-zero write counts for one crafted sparse input.
+
+        Always returns an array: per-plane counts, or a length-1 array
+        holding the total in aggregate mode (unlike the deprecated
+        ``ZeroPruningChannel.query``, which returned a bare int there).
+        """
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        if values.shape != (len(pixels),):
+            raise ConfigError(
+                f"need one value per pixel, got {values.shape} for "
+                f"{len(pixels)} pixels"
+            )
+        self._check_values(values)
+        return self._replies(pixels, values[None, :])[0]
+
+    def query_batch(self, pixels: list[Pixel], values) -> np.ndarray:
+        """Counts for ``B`` runs sharing one pixel pattern, in one call.
+
+        ``values`` has shape ``(B, len(pixels))``; row ``b`` of the
+        result equals ``query(pixels, values[b])`` bit for bit.  Distinct
+        uncached rows cost one charged query each and are evaluated in a
+        single vectorised backend pass.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(pixels):
+            raise ConfigError(
+                f"values must be (batch, n_pixels) = (*, {len(pixels)}), "
+                f"got {values.shape}"
+            )
+        self._check_values(values)
+        if len(values) == 0:
+            width = self.d_ofm if self.per_plane else 1
+            return np.zeros((0, width), dtype=np.int64)
+        return np.stack(self._replies(pixels, values))
+
+    def query_per_filter(
+        self, pixels: list[Pixel], values: np.ndarray
+    ) -> np.ndarray:
+        """Batch of ``d_ofm`` runs, value column ``f`` read via plane ``f``.
+
+        Physically this is ``d_ofm`` separate device runs; the session
+        decomposes it that way, so runs repeated across filters (idle
+        filters probing 0.0, shared bracket endpoints) hit the cache and
+        are charged once.
+        """
+        if not self.per_plane:
+            raise ThreatModelViolation(
+                "per-filter queries need per-plane substreams; this device "
+                "writes one aggregate stream"
+            )
+        d_ofm = self.d_ofm
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(pixels), d_ofm):
+            raise ConfigError(
+                f"values must be (n_pixels, d_ofm) = "
+                f"({len(pixels)}, {d_ofm}), got {values.shape}"
+            )
+        self._check_values(values)
+        rows = np.ascontiguousarray(values.T)
+        replies = self._replies(pixels, rows)
+        return np.array(
+            [replies[f][f] for f in range(d_ofm)], dtype=np.int64
+        )
+
+    def set_threshold(self, threshold: float) -> None:
+        """Tune the device's pruning threshold (Minerva-style extension).
+
+        Cached replies are keyed by threshold, so returning to an
+        earlier setting reuses its memoised counts.
+        """
+        oracle = self._channel_oracle()
+        try:
+            oracle.set_threshold(threshold)
+        except (ConfigError, NotImplementedError) as exc:
+            raise ThreatModelViolation(
+                "this device has no tunable activation threshold"
+            ) from exc
+        self._threshold = float(threshold)

@@ -43,6 +43,15 @@ class ThreatModelViolation(ReproError):
     """
 
 
+class QueryBudgetExceeded(ReproError):
+    """A device session exhausted its query or inference budget.
+
+    Raised by :class:`repro.device.QueryLedger` when a charge would push a
+    counter past the budget configured on the session; the offending query
+    is *not* executed and the counters are left unchanged.
+    """
+
+
 class AttackError(ReproError):
     """An attack failed to make progress (no solution, no crossing, ...)."""
 

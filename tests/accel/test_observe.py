@@ -13,7 +13,6 @@ from repro.accel import (
     ZeroPruningChannel,
     observe_structure,
 )
-from repro.nn.shapes import PoolSpec
 from repro.nn.zoo import build_lenet
 
 from tests.conftest import build_conv_stage

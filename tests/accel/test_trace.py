@@ -16,6 +16,10 @@ def small_trace() -> MemoryTrace:
     return b.build()
 
 
+def empty_trace() -> MemoryTrace:
+    return TraceBuilder().build()
+
+
 def test_builder_produces_sorted_cycles():
     t = small_trace()
     assert len(t) == 5
@@ -37,11 +41,35 @@ def test_empty_span_is_noop():
     assert len(b.build()) == 0
 
 
+def test_builder_counts_events_incrementally():
+    b = TraceBuilder()
+    assert b.num_events == 0
+    cyc = b.add_span(0, np.array([0, 64, 128]), READ)
+    assert b.num_events == 3
+    b.add_span(cyc, np.array([256, 320]), WRITE)
+    assert b.num_events == 5
+    assert b.num_events == len(b.build())
+
+
 def test_trace_validation():
     with pytest.raises(TraceError):
         MemoryTrace(np.array([1, 0]), np.array([0, 0]), np.array([False, False]))
     with pytest.raises(TraceError):
         MemoryTrace(np.array([0]), np.array([0, 1]), np.array([False]))
+
+
+def test_rejects_decreasing_cycles():
+    with pytest.raises(TraceError, match="non-decreasing"):
+        MemoryTrace(
+            np.array([0, 5, 3]), np.array([0, 64, 128]),
+            np.array([False, False, True]),
+        )
+    # Equal consecutive cycles (parallel banks) are legal.
+    t = MemoryTrace(
+        np.array([0, 0, 1]), np.array([0, 64, 128]),
+        np.array([False, False, True]),
+    )
+    assert len(t) == 3
 
 
 def test_reads_writes_filters():
@@ -70,6 +98,16 @@ def test_unique_addresses():
     np.testing.assert_array_equal(t.unique_addresses(writes_only=True), [256])
 
 
+def test_empty_trace_queries():
+    t = empty_trace()
+    assert len(t) == 0
+    assert t.duration == 0
+    assert len(t.slice(0, 5)) == 0
+    assert len(t.in_address_range(0, 1 << 30)) == 0
+    assert len(t.reads()) == 0 and len(t.writes()) == 0
+    assert t.unique_addresses().size == 0
+
+
 def test_save_load_round_trip(tmp_path):
     t = small_trace()
     path = str(tmp_path / "trace.npz")
@@ -78,3 +116,16 @@ def test_save_load_round_trip(tmp_path):
     np.testing.assert_array_equal(loaded.cycles, t.cycles)
     np.testing.assert_array_equal(loaded.addresses, t.addresses)
     np.testing.assert_array_equal(loaded.is_write, t.is_write)
+    # Event order and the attacker-visible dtypes survive the roundtrip.
+    assert loaded.cycles.dtype == np.int64
+    assert loaded.addresses.dtype == np.int64
+    assert loaded.is_write.dtype == np.bool_
+
+
+def test_save_load_round_trip_empty(tmp_path):
+    path = str(tmp_path / "empty.npz")
+    empty_trace().save(path)
+    loaded = MemoryTrace.load(path)
+    assert len(loaded) == 0
+    assert loaded.cycles.dtype == np.int64
+    assert loaded.is_write.dtype == np.bool_

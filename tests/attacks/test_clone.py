@@ -7,7 +7,7 @@ import pytest
 
 from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks import clone_model, prediction_agreement
-from repro.attacks.clone import _counts_for, _verify_stolen_layer
+from repro.attacks.clone import _verify_stolen_layer
 from repro.accel import ZeroPruningChannel
 from repro.data import make_dataset
 from repro.errors import AttackError

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.accel import AcceleratorSim, observe_structure
 from repro.attacks.structure import analyse_trace, detect_fire_modules
-from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 from repro.nn.zoo import build_squeezenet

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.accel import AcceleratorSim, observe_structure
 from repro.attacks.structure import (
     DeviceKnowledge,

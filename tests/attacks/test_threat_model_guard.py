@@ -1,0 +1,52 @@
+"""Attacks may speak to the victim only through ``repro.device``.
+
+The session layer is the one sanctioned attacker/device boundary.  An
+attack module importing the simulator or oracle internals would be
+assuming observations the paper's Table 1 never grants, and would dodge
+the session's query accounting.  This test freezes the import direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+ATTACKS_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "attacks"
+
+# Device internals: trace emission, count oracles, the deprecated handles.
+FORBIDDEN = (
+    "repro.accel",  # the bare package re-exports the simulator
+    "repro.accel.simulator",
+    "repro.accel.oracle",
+    "repro.accel.observe",
+    "repro.accel.pruning",
+)
+# Public datasheet knowledge the structure attack is allowed to hold.
+ALLOWED = ("repro.accel.timing",)
+
+
+def imported_modules(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+def test_attacks_import_only_the_device_boundary():
+    assert ATTACKS_DIR.is_dir()
+    offenders: dict[str, list[str]] = {}
+    for path in sorted(ATTACKS_DIR.rglob("*.py")):
+        bad = [
+            mod
+            for mod in imported_modules(path)
+            if mod in FORBIDDEN and mod not in ALLOWED
+        ]
+        if bad:
+            offenders[str(path.relative_to(ATTACKS_DIR))] = bad
+    assert not offenders, (
+        "attack modules must query the victim through repro.device, not "
+        f"accelerator internals: {offenders}"
+    )

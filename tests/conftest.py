@@ -11,6 +11,7 @@ from repro.accel import (
     PruningConfig,
     ZeroPruningChannel,
 )
+from repro.device import DeviceSession
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
@@ -65,6 +66,21 @@ def pruned_channel(
         ),
     )
     return ZeroPruningChannel(sim, stage, prefer_sparse=prefer_sparse)
+
+
+def pruned_session(
+    staged: StagedNetwork,
+    stage: str = "conv1",
+    granularity: str = "plane",
+    **session_kwargs,
+) -> DeviceSession:
+    sim = AcceleratorSim(
+        staged,
+        AcceleratorConfig(
+            pruning=PruningConfig(enabled=True, granularity=granularity)
+        ),
+    )
+    return DeviceSession(sim, stage, **session_kwargs)
 
 
 def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:

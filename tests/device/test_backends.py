@@ -1,0 +1,41 @@
+"""Backend registry: resolution, capabilities, and uniqueness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.oracle import SparseStageOracle
+from repro.device import available_backends, register_backend, resolve_backend
+from repro.errors import ConfigError
+
+
+def test_builtin_backends_registered_by_priority():
+    names = available_backends()
+    assert names[0] == "sparse-oracle"
+    assert "dense-sim" in names
+
+
+def test_default_resolution_picks_highest_priority():
+    assert resolve_backend().name == "sparse-oracle"
+
+
+def test_resolution_by_name():
+    spec = resolve_backend("dense-sim")
+    assert spec.reference
+    assert not spec.vectorized
+
+
+def test_unknown_backend_lists_alternatives():
+    with pytest.raises(ConfigError, match="sparse-oracle"):
+        resolve_backend("fpga")
+
+
+def test_capability_filter():
+    assert resolve_backend(require_vectorized=True).name == "sparse-oracle"
+    with pytest.raises(ConfigError):
+        resolve_backend("dense-sim", require_vectorized=True)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError):
+        register_backend("sparse-oracle", SparseStageOracle)

@@ -1,0 +1,49 @@
+"""QueryCache: LRU semantics and reply immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import QueryCache
+from repro.errors import ConfigError
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigError):
+        QueryCache(0)
+
+
+def test_roundtrip_and_miss():
+    cache = QueryCache(4)
+    reply = np.array([1, 2, 3])
+    cache.put("a", reply)
+    assert cache.get("a") is reply
+    assert cache.get("b") is None
+    assert len(cache) == 1
+
+
+def test_cached_replies_are_read_only():
+    cache = QueryCache(4)
+    cache.put("a", np.array([1, 2, 3]))
+    with pytest.raises(ValueError):
+        cache.get("a")[0] = 99
+
+
+def test_eviction_is_least_recently_used():
+    cache = QueryCache(2)
+    cache.put("a", np.array([1]))
+    cache.put("b", np.array([2]))
+    cache.get("a")  # refresh "a"; "b" is now the oldest
+    cache.put("c", np.array([3]))
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+
+
+def test_clear():
+    cache = QueryCache(2)
+    cache.put("a", np.array([1]))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None

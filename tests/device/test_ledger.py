@@ -1,0 +1,82 @@
+"""QueryLedger: charging, budgets, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import TRACE_EVENT_BYTES, QueryBudgetExceeded, QueryLedger
+from repro.errors import ConfigError
+
+
+def test_charges_accumulate():
+    ledger = QueryLedger()
+    ledger.charge_channel()
+    ledger.charge_channel(4)
+    ledger.charge_inference(2)
+    assert ledger.channel_queries == 5
+    assert ledger.inferences == 2
+
+
+def test_channel_budget_is_a_hard_limit():
+    ledger = QueryLedger(max_queries=3)
+    for _ in range(3):
+        ledger.charge_channel()
+    with pytest.raises(QueryBudgetExceeded):
+        ledger.charge_channel()
+    # The failed charge left the account untouched.
+    assert ledger.channel_queries == 3
+
+
+def test_bulk_charge_that_would_overshoot_is_rejected():
+    ledger = QueryLedger(max_queries=10)
+    ledger.charge_channel(8)
+    with pytest.raises(QueryBudgetExceeded):
+        ledger.charge_channel(3)
+    assert ledger.channel_queries == 8
+    ledger.charge_channel(2)  # exactly reaching the budget is fine
+    assert ledger.channel_queries == 10
+
+
+def test_inference_budget():
+    ledger = QueryLedger(max_inferences=1)
+    ledger.charge_inference()
+    with pytest.raises(QueryBudgetExceeded):
+        ledger.charge_inference()
+    assert ledger.inferences == 1
+
+
+def test_negative_charges_rejected():
+    ledger = QueryLedger()
+    with pytest.raises(ConfigError):
+        ledger.charge_channel(-1)
+    with pytest.raises(ConfigError):
+        ledger.charge_inference(-2)
+
+
+def test_trace_accounting_uses_wire_size():
+    ledger = QueryLedger()
+    ledger.record_trace(100)
+    ledger.record_trace(11)
+    assert ledger.trace_events == 111
+    assert ledger.trace_bytes == 111 * TRACE_EVENT_BYTES
+
+
+def test_hit_rate():
+    ledger = QueryLedger()
+    assert ledger.hit_rate == 0.0  # no lookups yet: defined, not NaN
+    ledger.record_cache(hits=3, misses=1)
+    assert ledger.cache_lookups == 4
+    assert ledger.hit_rate == pytest.approx(0.75)
+
+
+def test_summary_mentions_every_account():
+    ledger = QueryLedger()
+    ledger.charge_channel(1234)
+    ledger.charge_inference()
+    ledger.record_cache(hits=1, misses=3)
+    ledger.record_trace(10)
+    text = ledger.summary()
+    assert "channel queries=1,234" in text
+    assert "inferences=1" in text
+    assert "25.0%" in text
+    assert "trace events=10" in text

@@ -1,0 +1,253 @@
+"""DeviceSession: the metered attacker/device boundary.
+
+Covers the acceptance bar for the session layer: bit-identity with the
+deprecated direct-channel path, exact budget semantics, cache accounting
+that matches the attack's own query report, and the Table 1 guard rails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim
+from repro.attacks.weights import AttackTarget, WeightAttack
+from repro.device import (
+    TRACE_EVENT_BYTES,
+    DeviceSession,
+    QueryBudgetExceeded,
+    QueryLedger,
+)
+from repro.errors import ConfigError, ThreatModelViolation
+from repro.nn.shapes import PoolSpec
+
+from tests.conftest import build_conv_stage, pruned_channel, pruned_session
+
+PIXEL = [(0, 2, 2)]
+
+
+# -- bit-identity with the deprecated handles -----------------------------
+
+def test_query_matches_deprecated_channel_bitwise():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = pruned_session(staged)
+    legacy = pruned_channel(staged)
+    for value in (0.0, -1.5, 2.25):
+        reply = session.query(PIXEL, [value])
+        assert reply.dtype == np.int64
+        assert np.array_equal(reply, legacy.query(PIXEL, [value]))
+
+
+def test_aggregate_mode_returns_length_one_array():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = pruned_session(staged, granularity="aggregate")
+    legacy = pruned_channel(staged, granularity="aggregate")
+    reply = session.query(PIXEL, [1.5])
+    assert reply.shape == (1,)
+    # The deprecated shim returns a bare int here; same number.
+    assert int(reply[0]) == legacy.query(PIXEL, [1.5])
+
+
+def test_session_attack_bit_identical_to_direct_channel():
+    staged, geom, _, _ = build_conv_stage(
+        pool=PoolSpec(2, 2, 0), bias_sign=-1.0, seed=4
+    )
+    target = AttackTarget.from_geometry(geom)
+    via_session = WeightAttack(pruned_session(staged), target).run()
+    via_channel = WeightAttack(pruned_channel(staged), target).run()
+    assert np.array_equal(
+        via_session.ratio_tensor(), via_channel.ratio_tensor()
+    )
+    assert np.array_equal(
+        via_session.resolved_mask(), via_channel.resolved_mask()
+    )
+
+
+# -- batching -------------------------------------------------------------
+
+def test_query_batch_rows_equal_individual_queries():
+    staged, _, _, _ = build_conv_stage(seed=3)
+    session = pruned_session(staged)
+    fresh = pruned_session(staged)
+    values = np.array([[-2.0], [0.0], [0.5], [3.0]])
+    batched = session.query_batch(PIXEL, values)
+    singles = np.stack([fresh.query(PIXEL, row) for row in values])
+    assert np.array_equal(batched, singles)
+
+
+def test_query_batch_charges_each_distinct_row_once():
+    staged, _, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    values = np.array([[1.0], [2.0], [1.0], [2.0], [3.0]])
+    session.query_batch(PIXEL, values)
+    assert session.queries == 3  # three distinct device runs
+    assert session.ledger.cache_hits == 2  # two within-batch duplicates
+
+
+def test_empty_batch_costs_nothing():
+    staged, geom, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    out = session.query_batch(PIXEL, np.empty((0, 1)))
+    assert out.shape == (0, geom.d_ofm)
+    assert session.queries == 0
+
+
+# -- caching --------------------------------------------------------------
+
+def test_repeated_query_served_from_cache():
+    staged, _, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    first = session.query(PIXEL, [1.25])
+    again = session.query(PIXEL, [1.25])
+    assert np.array_equal(first, again)
+    assert session.queries == 1
+    assert session.ledger.cache_hits == 1
+    with pytest.raises(ValueError):
+        again[0] = 7  # replies are read-only
+
+
+def test_cache_disabled_charges_every_run():
+    staged, _, _, _ = build_conv_stage()
+    session = pruned_session(staged, cache_size=0)
+    session.query(PIXEL, [1.25])
+    session.query(PIXEL, [1.25])
+    assert session.queries == 2
+
+
+def test_per_filter_decomposition_shares_cached_runs():
+    staged, geom, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    legacy = pruned_channel(staged)
+    values = np.zeros((1, geom.d_ofm))
+    values[0, 0] = 1.5  # every other filter probes the idle 0.0 run
+    counts = session.query_per_filter(PIXEL, values)
+    assert np.array_equal(counts, legacy.query_per_filter(PIXEL, values))
+    assert session.queries == 2  # the 1.5 run plus one shared 0.0 run
+
+
+def test_threshold_namespaces_the_cache():
+    staged, _, _, _ = build_conv_stage(relu_threshold=0.0, bias_sign=-1.0)
+    session = pruned_session(staged)
+    session.query(PIXEL, [2.0])
+    session.set_threshold(0.5)
+    session.query(PIXEL, [2.0])  # same probe, new threshold: a new run
+    assert session.queries == 2
+    session.set_threshold(0.0)
+    session.query(PIXEL, [2.0])  # back to the first setting: memoised
+    assert session.queries == 2
+    assert session.ledger.cache_hits == 1
+
+
+# -- budgets and accounting -----------------------------------------------
+
+def test_budget_exhaustion_is_exact():
+    staged, _, _, _ = build_conv_stage()
+    session = pruned_session(staged, max_queries=3, cache_size=0)
+    for k in range(3):
+        session.query(PIXEL, [float(k)])
+    with pytest.raises(QueryBudgetExceeded):
+        session.query(PIXEL, [99.0])
+    assert session.ledger.channel_queries == 3
+
+
+def test_attack_reported_queries_match_the_ledger():
+    staged, geom, _, _ = build_conv_stage(bias_sign=-1.0, seed=2)
+    session = pruned_session(staged)
+    result = WeightAttack(session, AttackTarget.from_geometry(geom)).run()
+    assert result.recovery_fraction() == 1.0
+    assert result.queries == session.ledger.channel_queries > 0
+    assert session.ledger.hit_rate > 0.0  # binary searches repeat probes
+
+
+def test_shared_ledger_accumulates_across_sessions():
+    staged, _, _, _ = build_conv_stage()
+    ledger = QueryLedger(max_queries=2)
+    a = pruned_session(staged, ledger=ledger, cache_size=0)
+    b = pruned_session(staged, ledger=ledger, cache_size=0)
+    a.query(PIXEL, [1.0])
+    b.query(PIXEL, [2.0])
+    with pytest.raises(QueryBudgetExceeded):
+        a.query(PIXEL, [3.0])
+    assert ledger.channel_queries == 2
+
+
+def test_structure_observation_is_metered():
+    staged, _, _, _ = build_conv_stage()
+    session = DeviceSession(AcceleratorSim(staged))
+    obs = session.observe_structure(seed=0)
+    assert session.ledger.inferences == 1
+    assert session.ledger.trace_events == len(obs.trace)
+    assert session.ledger.trace_bytes == len(obs.trace) * TRACE_EVENT_BYTES
+
+
+def test_inference_budget_guards_classify():
+    staged, _, _, _ = build_conv_stage()
+    session = DeviceSession(AcceleratorSim(staged), max_inferences=1)
+    x = np.zeros((1, *staged.network.input_shape))
+    session.classify(x)
+    with pytest.raises(QueryBudgetExceeded):
+        session.classify(x)
+
+
+# -- backends -------------------------------------------------------------
+
+def test_backends_agree_and_unknown_name_rejected():
+    staged, _, _, _ = build_conv_stage(seed=6)
+    sparse = pruned_session(staged, backend="sparse-oracle")
+    dense = pruned_session(staged, backend="dense-sim")
+    assert sparse.backend == "sparse-oracle"
+    assert dense.backend == "dense-sim"
+    values = np.array([[0.0], [1.0], [-2.5]])
+    assert np.array_equal(
+        sparse.query_batch(PIXEL, values), dense.query_batch(PIXEL, values)
+    )
+    with pytest.raises(ConfigError, match="unknown device backend"):
+        pruned_session(staged, backend="fpga").query(PIXEL, [0.0])
+
+
+# -- threat-model guard rails ---------------------------------------------
+
+def test_dense_device_has_no_channel():
+    staged, _, _, _ = build_conv_stage()
+    session = DeviceSession(AcceleratorSim(staged), "conv1")
+    with pytest.raises(ThreatModelViolation):
+        session.query(PIXEL, [1.0])
+
+
+def test_pruned_device_refuses_structure_observation():
+    staged, _, _, _ = build_conv_stage()
+    with pytest.raises(ThreatModelViolation):
+        pruned_session(staged).observe_structure()
+
+
+def test_out_of_range_values_rejected_without_charge():
+    staged, _, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    with pytest.raises(ThreatModelViolation):
+        session.query(PIXEL, [1e9])
+    assert session.queries == 0
+
+
+def test_per_filter_requires_plane_substreams():
+    staged, geom, _, _ = build_conv_stage()
+    session = pruned_session(staged, granularity="aggregate")
+    with pytest.raises(ThreatModelViolation):
+        session.query_per_filter(PIXEL, np.zeros((1, geom.d_ofm)))
+
+
+def test_untunable_device_rejects_set_threshold():
+    staged, _, _, _ = build_conv_stage()  # plain ReLU, no knob
+    session = pruned_session(staged)
+    with pytest.raises(ThreatModelViolation):
+        session.set_threshold(0.5)
+
+
+def test_shape_validation():
+    staged, geom, _, _ = build_conv_stage()
+    session = pruned_session(staged)
+    with pytest.raises(ConfigError):
+        session.query(PIXEL, [1.0, 2.0])
+    with pytest.raises(ConfigError):
+        session.query_batch(PIXEL, np.zeros((2, 3)))
+    with pytest.raises(ConfigError):
+        session.query_per_filter(PIXEL, np.zeros((2, geom.d_ofm)))

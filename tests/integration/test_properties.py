@@ -9,7 +9,6 @@ exactly.  Hypothesis drives the victim generator.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accel import (
@@ -20,7 +19,7 @@ from repro.accel import (
 )
 from repro.attacks.structure import run_structure_attack
 from repro.attacks.weights import AttackTarget, ThresholdWeightAttack
-from repro.nn.shapes import PoolSpec, pool_output_width
+from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 
