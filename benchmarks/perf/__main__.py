@@ -1,0 +1,221 @@
+"""Entry point: ``python -m benchmarks.perf [--quick] [--workers N]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.accel import (  # noqa: E402
+    AcceleratorConfig,
+    AcceleratorSim,
+    PruningConfig,
+)
+from repro.attacks.structure import run_structure_attack  # noqa: E402
+from repro.attacks.structure.ranking import rank_candidates  # noqa: E402
+from repro.attacks.weights import AttackTarget, WeightAttack  # noqa: E402
+from repro.data import make_dataset  # noqa: E402
+from repro.device import DeviceSession  # noqa: E402
+from repro.nn.shapes import PoolSpec  # noqa: E402
+from repro.nn.spec import LayerGeometry  # noqa: E402
+from repro.nn.stages import StagedNetworkBuilder  # noqa: E402
+from repro.nn.zoo import build_model  # noqa: E402
+from repro.parallel import WorkerPool  # noqa: E402
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _entry(serial_s: float, parallel_s: float, workers: int,
+           scale: str, identical: bool) -> dict:
+    return {
+        "wall_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "workers": workers,
+        "scale": scale,
+        "serial_wall_s": round(serial_s, 4),
+        "identical": bool(identical),
+    }
+
+
+# -- bench: candidate ranking ------------------------------------------------
+def bench_ranking(workers: int, quick: bool, scale: str) -> dict:
+    staged = build_model("lenet")
+    result = run_structure_attack(AcceleratorSim(staged), tolerance=0.25)
+    n_cands = 3 if quick else min(8, len(result.candidates))
+    cands = result.candidates[:n_cands]
+    per_class = 2 if quick else 6
+    ds = make_dataset(
+        num_classes=10, image_size=28, channels=1,
+        train_per_class=per_class, val_per_class=max(1, per_class // 2),
+        seed=0,
+    )
+    epochs = 1 if quick else 2
+
+    def run(w):
+        return rank_candidates(
+            cands, ds, (1, 28, 28), 10, epochs=epochs, seed=7, workers=w
+        )
+
+    serial_s, r1 = _timed(lambda: run(1))
+    parallel_s, rn = _timed(lambda: run(workers))
+    identical = [
+        (r.index, r.top1, r.top5, r.train_loss) for r in r1
+    ] == [(r.index, r.top1, r.top5, r.train_loss) for r in rn]
+    return _entry(serial_s, parallel_s, workers, scale, identical)
+
+
+# -- bench: sharded weight recovery ------------------------------------------
+def _weight_victim(size: int, filters: int, f: int = 11, s: int = 4,
+                   seed: int = 0):
+    rng = np.random.default_rng(seed)
+    builder = StagedNetworkBuilder(
+        "victim", (3, size, size), relu_threshold=0.0
+    )
+    geom = LayerGeometry.from_conv(
+        size, 3, filters, f, s, 0, pool=PoolSpec(3, 2, 0)
+    )
+    builder.add_conv("conv1", geom)
+    staged = builder.build()
+    conv = staged.network.nodes["conv1/conv"].layer
+    weights = rng.normal(size=conv.weight.value.shape) * 0.1
+    weights[np.abs(weights) < 0.03] = 0.0
+    conv.weight.value[:] = weights
+    conv.bias.value[:] = -rng.uniform(0.05, 0.3, size=filters)
+    return staged, geom
+
+
+def bench_weights(workers: int, quick: bool, scale: str) -> dict:
+    if quick:
+        size, filters, f, s = 19, 4, 5, 2
+    else:
+        size, filters, f, s = 43, 8, 11, 4
+    staged, geom = _weight_victim(size, filters, f=f, s=s)
+    target = AttackTarget.from_geometry(geom)
+
+    def run(w):
+        sim = AcceleratorSim(
+            staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+        )
+        session = DeviceSession(sim, "conv1")
+        return WeightAttack(session, target, workers=w).run()
+
+    serial_s, r1 = _timed(lambda: run(1))
+    parallel_s, rn = _timed(lambda: run(workers))
+    identical = np.array_equal(r1.ratio_tensor(), rn.ratio_tensor()) and (
+        r1.status_tensor() == rn.status_tensor()
+    ).all()
+    return _entry(serial_s, parallel_s, workers, scale, identical)
+
+
+# -- bench: structure-candidate enumeration ----------------------------------
+def bench_structure(workers: int, quick: bool, scale: str) -> dict:
+    staged = build_model("lenet" if quick else "convnet")
+
+    def run(w):
+        return run_structure_attack(
+            AcceleratorSim(staged), tolerance=0.25, workers=w
+        )
+
+    serial_s, r1 = _timed(lambda: run(1))
+    parallel_s, rn = _timed(lambda: run(workers))
+    identical = r1.count == rn.count and [
+        c.describe() for c in r1.candidates
+    ] == [c.describe() for c in rn.candidates]
+    return _entry(serial_s, parallel_s, workers, scale, identical)
+
+
+# -- bench: raw simulator throughput -----------------------------------------
+_SIM = None
+
+
+def _sim_init(staged) -> None:
+    global _SIM
+    _SIM = AcceleratorSim(staged)
+
+
+def _sim_run(seed: int) -> int:
+    x = np.random.default_rng(seed).normal(size=(1, *_SIM.staged.network.input_shape))
+    return _SIM.run(x).total_cycles
+
+
+def bench_simulator(workers: int, quick: bool, scale: str) -> dict:
+    staged = build_model("lenet")
+    n_runs = 4 if quick else 16
+
+    def run(w):
+        with WorkerPool(w, initializer=_sim_init, initargs=(staged,)) as pool:
+            return pool.map(_sim_run, list(range(n_runs)))
+
+    serial_s, r1 = _timed(lambda: run(1))
+    parallel_s, rn = _timed(lambda: run(workers))
+    return _entry(serial_s, parallel_s, workers, scale, r1 == rn)
+
+
+BENCHES = {
+    "ranking": bench_ranking,
+    "weights": bench_weights,
+    "structure": bench_structure,
+    "simulator": bench_simulator,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf", description=__doc__
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink every workload (CI smoke run)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel arm's worker count "
+                             "(default: all cores, minimum 2)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    workers = args.workers or max(2, os.cpu_count() or 1)
+    scale = "small" if args.quick else os.environ.get(
+        "REPRO_BENCH_SCALE", "small"
+    )
+    try:
+        effective = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        effective = os.cpu_count() or 1
+
+    results: dict[str, dict] = {}
+    for name, bench in BENCHES.items():
+        print(f"[{name}] workers=1 vs workers={workers} ...", flush=True)
+        results[name] = bench(workers, args.quick, scale)
+        e = results[name]
+        print(f"  serial {e['serial_wall_s']:.2f}s  parallel "
+              f"{e['wall_s']:.2f}s  speedup {e['speedup']:.2f}x  "
+              f"identical={e['identical']}")
+        if not e["identical"]:
+            print(f"  ERROR: {name} parallel result diverged", file=sys.stderr)
+            return 1
+
+    results["_meta"] = {
+        "cpu_count": os.cpu_count(),
+        "effective_cpus": effective,
+        "python": platform.python_version(),
+        "quick": args.quick,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@ structure count (paper: 24).
 
 Usage::
 
-    python examples/structure_attack_alexnet.py [--tolerance 0.05]
+    python examples/structure_attack_alexnet.py [--tolerance 0.05] \
+        [--workers 4]
 """
 
 from __future__ import annotations
@@ -37,6 +38,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="timing filter tolerance (Algorithm 1 step 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for candidate enumeration "
+                             "(default: serial; results are bit-identical)")
     args = parser.parse_args()
 
     victim = build_alexnet()
@@ -46,6 +50,7 @@ def main() -> None:
         session,
         tolerance=args.tolerance,
         rules=PracticalityRules(exact_pool_division=True),
+        workers=args.workers,
     )
     print(f"trace: {len(result.observation.trace):,} transactions; "
           f"{result.num_layers} layers detected "

@@ -9,7 +9,8 @@ aggregate-stream variant that only leaks the crossing multiset.
 
 Usage::
 
-    python examples/weight_attack_pooling.py [--filters 8] [--size 59]
+    python examples/weight_attack_pooling.py [--filters 8] [--size 59] \
+        [--workers 4]
 """
 
 from __future__ import annotations
@@ -53,6 +54,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--filters", type=int, default=8)
     parser.add_argument("--size", type=int, default=59)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the filter range over this many worker "
+                             "processes (default: serial; ratios are "
+                             "bit-identical at any worker count)")
     args = parser.parse_args()
 
     staged, geom, weights, biases = build_victim(args.size, args.filters)
@@ -66,7 +71,7 @@ def main() -> None:
     target = AttackTarget.from_geometry(geom)
 
     print("\n[1] ratio attack (plain ReLU, per-plane write counts)")
-    recovery = WeightAttack(session, target).run()
+    recovery = WeightAttack(session, target, workers=args.workers).run()
     err = recovery.max_ratio_error(weights, biases)
     print(f"    recovered {recovery.recovery_fraction():.1%} of weights in "
           f"{recovery.queries:,} queries "

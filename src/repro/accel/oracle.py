@@ -132,6 +132,7 @@ class DenseStageOracle(StageOracle):
         self._stage, self._conv, self._act, self._pool = _stage_components(
             staged, stage_name
         )
+        self._conv.requires_grad_(False)  # count queries never backprop
         geom = self._stage.geometry
         self.d_ofm = geom.d_ofm
         self.input_shape = (geom.d_ifm, geom.w_ifm, geom.w_ifm)

@@ -125,6 +125,9 @@ class AcceleratorSim:
 
     def __init__(self, staged: StagedNetwork, config: AcceleratorConfig | None = None):
         self.staged = staged
+        # The accelerator only ever runs forward; training a clone later
+        # re-enables caching through Trainer.
+        staged.network.requires_grad_(False)
         self.config = config or AcceleratorConfig()
         self.allocator = DramAllocator(self.config.memory)
         self._shapes = staged.network.infer_shapes()

@@ -89,6 +89,7 @@ def _counts_for(
         geometry.d_ifm, geometry.d_ofm, geometry.f_conv,
         geometry.s_conv, geometry.p_conv, name="hypothesis",
     )
+    conv.requires_grad_(False)
     conv.weight.value[:] = weights
     conv.bias.value[:] = biases
     out = ReLU().forward(conv.forward(x[None]))
@@ -183,6 +184,7 @@ def clone_model(
     distill_epochs: int = 10,
     lr: float = 3e-3,
     seed: int = 0,
+    workers: int | None = None,
 ) -> CloneResult:
     """Duplicate a victim model end to end.
 
@@ -197,6 +199,9 @@ def clone_model(
         t1, t2: thresholds for the exact weight recovery.
         tolerance: structure-attack timing tolerance.
         distill_epochs: training epochs on the victim-labelled probes.
+        workers: worker processes for the structure phase's candidate
+            enumeration (the threshold weight recovery is already
+            batched per filter and runs serially).
     """
     dense = (
         dense_sim
@@ -211,6 +216,7 @@ def clone_model(
     structure = run_structure_attack(
         dense, tolerance=tolerance,
         rules=PracticalityRules(exact_pool_division=True),
+        workers=workers,
     )
     if not structure.candidates:
         raise AttackError("structure attack produced no candidates")

@@ -50,6 +50,7 @@ def run_structure_attack(
     enumerate_limit: int = 100_000,
     seed: int = 0,
     runs: int = 1,
+    workers: int | None = None,
 ) -> StructureAttackResult:
     """Run Algorithm 1 against a victim accelerator.
 
@@ -69,6 +70,9 @@ def run_structure_attack(
             (the count is still computed exactly by DP).
         runs: number of inferences to observe; per-layer durations are
             averaged, countering device timing noise.
+        workers: partition the candidate enumeration over this many
+            worker processes (serial by default; the result is
+            bit-identical either way).
     """
     session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
     observation = session.observe_structure(x, seed=seed)
@@ -89,7 +93,9 @@ def run_structure_attack(
     )
     count = search.count()
     candidates = (
-        search.enumerate(enumerate_limit) if count <= enumerate_limit else []
+        search.enumerate(enumerate_limit, workers=workers)
+        if count <= enumerate_limit
+        else []
     )
     return StructureAttackResult(
         observation=observation,

@@ -43,6 +43,7 @@ from repro.attacks.structure.trace_analysis import (
     TraceAnalysis,
 )
 from repro.nn.spec import FCGeometry, LayerGeometry
+from repro.parallel import WorkerPool, resolve_workers, shard_indices
 
 __all__ = [
     "ShapeState",
@@ -311,34 +312,81 @@ class StructureSearch:
         return new_frontier
 
     # -- public API ---------------------------------------------------------------
-    def enumerate(self, limit: int = 100_000) -> list[CandidateStructure]:
-        """All candidate structures (DFS); raises if ``limit`` exceeded."""
+    def _dfs(
+        self,
+        index: int,
+        frontier: dict[int, ShapeState],
+        micro: dict[str, MicroParams],
+        prefix: list[CandidateLayer],
+        results: list[CandidateStructure],
+        limit: int,
+    ) -> None:
+        if index == self.analysis.num_layers:
+            results.append(CandidateStructure(tuple(prefix)))
+            if len(results) > limit:
+                raise SolverError(_limit_message(limit))
+            return
+        for cand, out, new_micro in self._candidates_at(
+            index, frontier, micro
+        ):
+            prefix.append(cand)
+            self._dfs(
+                index + 1, self._step_frontier(index, frontier, out),
+                new_micro, prefix, results, limit,
+            )
+            prefix.pop()
+
+    def _initial_frontier(self) -> dict[int, ShapeState]:
+        return {INPUT_SOURCE: self._input_state}
+
+    def _enumerate_first_options(
+        self, first_indices: list[int], limit: int
+    ) -> list[CandidateStructure]:
+        """DFS restricted to the given first-layer candidate options.
+
+        This is the parallel partitioning unit: the DFS forest's roots
+        are the first layer's candidate options, and each worker walks
+        a contiguous subset of roots.  Concatenating the per-root
+        results in option order reproduces the serial DFS order.
+        """
+        frontier = self._initial_frontier()
+        options = self._candidates_at(0, frontier, {})
         results: list[CandidateStructure] = []
-        n = self.analysis.num_layers
+        for k in first_indices:
+            cand, out, new_micro = options[k]
+            self._dfs(
+                1, self._step_frontier(0, frontier, out),
+                new_micro, [cand], results, limit,
+            )
+        return results
 
-        def dfs(
-            index: int,
-            frontier: dict[int, ShapeState],
-            micro: dict[str, MicroParams],
-            prefix: list[CandidateLayer],
-        ) -> None:
-            if index == n:
-                results.append(CandidateStructure(tuple(prefix)))
+    def enumerate(
+        self, limit: int = 100_000, workers: int | None = None
+    ) -> list[CandidateStructure]:
+        """All candidate structures (DFS); raises if ``limit`` exceeded.
+
+        ``workers > 1`` partitions the DFS by first-layer candidate
+        across worker processes; the concatenated result (and the
+        over-``limit`` error) is identical to the serial walk.
+        """
+        n_workers = resolve_workers(workers)
+        if n_workers > 1 and self.analysis.num_layers > 0:
+            frontier = self._initial_frontier()
+            first = self._candidates_at(0, frontier, {})
+            if len(first) > 1:
+                shards = shard_indices(len(first), n_workers)
+                with WorkerPool(
+                    len(shards),
+                    initializer=_enumerate_init,
+                    initargs=(self, limit),
+                ) as pool:
+                    shard_results = pool.map(_enumerate_shard, shards)
+                results = [c for chunk in shard_results for c in chunk]
                 if len(results) > limit:
-                    raise SolverError(
-                        f"more than {limit} candidate structures; use "
-                        "count() or tighten constraints"
-                    )
-                return
-            for cand, out, new_micro in self._candidates_at(
-                index, frontier, micro
-            ):
-                prefix.append(cand)
-                dfs(index + 1, self._step_frontier(index, frontier, out),
-                    new_micro, prefix)
-                prefix.pop()
-
-        dfs(0, {INPUT_SOURCE: self._input_state}, {}, [])
+                    raise SolverError(_limit_message(limit))
+                return results
+        results: list[CandidateStructure] = []
+        self._dfs(0, self._initial_frontier(), {}, [], results, limit)
         return results
 
     def count(self) -> int:
@@ -372,3 +420,27 @@ class StructureSearch:
             frozenset({(INPUT_SOURCE, self._input_state)}),
             frozenset(),
         )
+
+
+def _limit_message(limit: int) -> str:
+    return (
+        f"more than {limit} candidate structures; use "
+        "count() or tighten constraints"
+    )
+
+
+# Worker-process state for the partitioned enumeration: the search
+# object (fork-inherited, including its per-layer solve cache) and the
+# global candidate limit.
+_ENUM_STATE: tuple[StructureSearch, int] | None = None
+
+
+def _enumerate_init(search: StructureSearch, limit: int) -> None:
+    global _ENUM_STATE
+    _ENUM_STATE = (search, limit)
+
+
+def _enumerate_shard(first_indices: list[int]) -> list[CandidateStructure]:
+    assert _ENUM_STATE is not None, "worker used before _enumerate_init"
+    search, limit = _ENUM_STATE
+    return search._enumerate_first_options(first_indices, limit)

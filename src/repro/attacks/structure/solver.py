@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import SolverError
 from repro.attacks.structure.constraints import DeviceKnowledge, timing_consistent
@@ -142,14 +143,20 @@ def _pool_paddings(
     return [p for p in range(p_lo, p_hi + 1) if p < f_pool]
 
 
+@lru_cache(maxsize=4096)
 def _pool_options(
     w_conv: int, w_ofm: int, rules: PracticalityRules
-) -> list[tuple[int, int, int]]:
+) -> tuple[tuple[int, int, int], ...]:
     """(F_pool, S_pool, P_pool) assignments pooling W_conv down to W_ofm.
 
     Enumerates strides, solving for windows/paddings; applies Eq. (6),
     Eq. (8) and the practicality rules.  Identity pooling (W unchanged,
     F = S = 1) is excluded — it is indistinguishable from no pooling.
+
+    The same ``(w_conv, w_ofm)`` pair recurs for every ``(f, d_ofm, s,
+    p)`` combination in :func:`solve_conv_layer`'s inner loop, so the
+    result is memoised — ``PracticalityRules`` is a frozen dataclass and
+    hashes by value.
     """
     options: list[tuple[int, int, int]] = []
     for s_pool in range(1, w_conv + 1):
@@ -171,7 +178,7 @@ def _pool_options(
         if rules.minimal_pool_window and per_stride:
             per_stride = [min(per_stride, key=lambda t: (t[2], t[0]))]
         options.extend(per_stride)
-    return options
+    return tuple(options)
 
 
 def solve_conv_layer(

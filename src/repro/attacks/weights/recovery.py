@@ -36,7 +36,13 @@ extension):
 
 Binary searches for all ``D_OFM`` filters advance in lockstep through
 batched per-filter queries, so the whole 96-filter AlexNet CONV1 case
-study runs in minutes on one core.
+study runs in minutes on one core.  Because plane ``f``'s count in a
+per-filter batch depends only on run ``f``'s own input, every filter's
+search trajectory is independent of every other filter's — the attack
+therefore shards by contiguous filter ranges across worker processes
+(``workers > 1``), each worker driving its own forked
+:class:`~repro.device.DeviceSession`, with ratios bit-identical to the
+serial run.  The lockstep batching *inside* a shard is unchanged.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ import numpy as np
 from repro.errors import AttackError
 from repro.device import DeviceSession
 from repro.attacks.weights.target import AttackTarget
+from repro.parallel import WorkerPool, shard_ranges
 
 __all__ = [
     "WeightStatus",
@@ -133,6 +140,11 @@ class WeightAttack:
             float64 resolution over any practical input range).
         max_resolution_rounds: extra passes resolving pooling-masked
             weights through alternate probes.
+        workers: shard the filter range over this many worker
+            processes; ``None``/``0``/``1`` (default) runs serially.
+        filter_range: restrict the attack to filters ``[lo, hi)`` —
+            the shard a parallel worker owns.  Results then contain
+            only those filters.
     """
 
     def __init__(
@@ -141,6 +153,8 @@ class WeightAttack:
         target: AttackTarget,
         search_steps: int = 64,
         max_resolution_rounds: int = 4,
+        workers: int | None = None,
+        filter_range: tuple[int, int] | None = None,
     ):
         if not channel.per_plane:
             raise AttackError(
@@ -163,10 +177,22 @@ class WeightAttack:
         self.target = target
         self.search_steps = search_steps
         self.max_resolution_rounds = max_resolution_rounds
+        self.workers = workers
         self.x_max = float(min(abs(channel.input_range[0]), channel.input_range[1]))
         if self.x_max <= 0:
             raise AttackError("device input range does not straddle zero")
         self._d = target.d_ofm
+        lo, hi = filter_range if filter_range is not None else (0, self._d)
+        if not 0 <= lo < hi <= self._d:
+            raise AttackError(
+                f"filter range [{lo}, {hi}) outside [0, {self._d})"
+            )
+        self.filter_range = (lo, hi)
+        # Arrays stay full-width (per-filter queries are full batches of
+        # d_ofm runs); the shard mask keeps out-of-range filters inert —
+        # they are never live, so their probe columns are always 0.
+        self._shard_mask = np.zeros(self._d, dtype=bool)
+        self._shard_mask[lo:hi] = True
 
     # ------------------------------------------------------------------
     # Count model: everything in terms of rho = w/b and the bias sign.
@@ -541,66 +567,6 @@ class WeightAttack:
                     rho_new[moved & ~found] = rho[moved & ~found]
                     found |= moved
 
-    # ------------------------------------------------------------------
-    # Main driver
-    # ------------------------------------------------------------------
-    def run(self) -> WeightAttackResult:
-        """Run the full attack over every input channel and position."""
-        t = self.target
-        base = np.asarray(self.channel.query([(0, 0, 0)], [0.0]))
-        plane = (t.w_pool if t.has_pool else t.w_conv) ** 2
-        bias_pos = base >= plane
-        ratios = np.zeros((self._d, t.d_ifm, t.f_conv, t.f_conv))
-        status = np.full(
-            (self._d, t.d_ifm, t.f_conv, t.f_conv),
-            WeightStatus.UNKNOWN,
-            dtype=object,
-        )
-        if t.has_pool:
-            # A positive bias keeps every pooled window non-zero for any
-            # input: the count never changes and the channel is silent.
-            status[bias_pos] = WeightStatus.SATURATED
-
-        positions = [
-            (c, i, j)
-            for c in range(t.d_ifm)
-            for i in range(t.f_conv)
-            for j in range(t.f_conv)
-        ]
-
-        # Main pass + resolution rounds over alternate probes.
-        for round_no in range(1 + self.max_resolution_rounds):
-            progress = False
-            for (c, i, j) in positions:
-                todo = np.isin(
-                    status[:, c, i, j],
-                    (WeightStatus.UNKNOWN, WeightStatus.MASKED),
-                )
-                if not todo.any():
-                    continue
-                progress |= self._resolve_weight(
-                    c, i, j, ratios, status, bias_pos, base, todo,
-                    deep=round_no > 0,
-                )
-            if not progress:
-                break
-
-        unknown = status == WeightStatus.UNKNOWN
-        status[unknown] = WeightStatus.MASKED
-
-        filters = [
-            FilterRecovery(
-                filter_index=f,
-                bias_positive=bool(bias_pos[f]),
-                ratios=ratios[f],
-                status=status[f],
-            )
-            for f in range(self._d)
-        ]
-        return WeightAttackResult(
-            target=t, filters=filters, queries=self.channel.queries
-        )
-
     def _alternate_outputs(self, wi: int, wj: int) -> list[tuple[int, int]]:
         """Conv outputs usable to probe weight (wi, wj), nearest first."""
         t = self.target
@@ -663,3 +629,145 @@ class WeightAttack:
             if mark.any():
                 status[mark, c, i, j] = WeightStatus.MASKED
         return progress
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+    def run(self) -> WeightAttackResult:
+        """Run the full attack over every input channel and position.
+
+        With ``workers > 1`` the filter range is split into contiguous
+        shards, each recovered in a worker process against a forked
+        session; shard results and ledgers are merged back here.
+        """
+        if WorkerPool(self.workers).workers > 1:
+            return self._run_sharded()
+        return self._run_shard_local()
+
+    def _run_shard_local(self) -> WeightAttackResult:
+        """Serial recovery of this attack's own filter range."""
+        t = self.target
+        base = np.asarray(self.channel.query([(0, 0, 0)], [0.0]))
+        plane = (t.w_pool if t.has_pool else t.w_conv) ** 2
+        bias_pos = base >= plane
+        ratios = np.zeros((self._d, t.d_ifm, t.f_conv, t.f_conv))
+        status = np.full(
+            (self._d, t.d_ifm, t.f_conv, t.f_conv),
+            WeightStatus.UNKNOWN,
+            dtype=object,
+        )
+        if t.has_pool:
+            # A positive bias keeps every pooled window non-zero for any
+            # input: the count never changes and the channel is silent.
+            status[bias_pos] = WeightStatus.SATURATED
+
+        positions = [
+            (c, i, j)
+            for c in range(t.d_ifm)
+            for i in range(t.f_conv)
+            for j in range(t.f_conv)
+        ]
+
+        # Main pass + resolution rounds over alternate probes.
+        for round_no in range(1 + self.max_resolution_rounds):
+            progress = False
+            for (c, i, j) in positions:
+                todo = (
+                    np.isin(
+                        status[:, c, i, j],
+                        (WeightStatus.UNKNOWN, WeightStatus.MASKED),
+                    )
+                    & self._shard_mask
+                )
+                if not todo.any():
+                    continue
+                progress |= self._resolve_weight(
+                    c, i, j, ratios, status, bias_pos, base, todo,
+                    deep=round_no > 0,
+                )
+            if not progress:
+                break
+
+        unknown = (status == WeightStatus.UNKNOWN) & self._shard_mask[
+            :, None, None, None
+        ]
+        status[unknown] = WeightStatus.MASKED
+
+        lo, hi = self.filter_range
+        filters = [
+            FilterRecovery(
+                filter_index=f,
+                bias_positive=bool(bias_pos[f]),
+                ratios=ratios[f],
+                status=status[f],
+            )
+            for f in range(lo, hi)
+        ]
+        return WeightAttackResult(
+            target=t, filters=filters, queries=self.channel.queries
+        )
+
+    def _run_sharded(self) -> WeightAttackResult:
+        """Fan the filter range out over worker processes and merge."""
+        lo, hi = self.filter_range
+        shards = [
+            (lo + s_lo, lo + s_hi)
+            for s_lo, s_hi in shard_ranges(hi - lo, WorkerPool(self.workers).workers)
+        ]
+        context = _ShardContext(
+            channel=self.channel,
+            target=self.target,
+            search_steps=self.search_steps,
+            max_resolution_rounds=self.max_resolution_rounds,
+        )
+        with WorkerPool(
+            len(shards), initializer=_shard_init, initargs=(context,)
+        ) as pool:
+            shard_results = pool.map(_recover_shard, shards)
+        filters: list[FilterRecovery] = []
+        for result, ledger in shard_results:
+            filters.extend(result.filters)
+            self.channel.ledger.merge(ledger)
+        filters.sort(key=lambda f: f.filter_index)
+        return WeightAttackResult(
+            target=self.target, filters=filters, queries=self.channel.queries
+        )
+
+
+@dataclass
+class _ShardContext:
+    """Worker payload: the parent session plus attack hyper-parameters.
+
+    Under the fork start method the session (and the victim device it
+    wraps) is inherited copy-on-write; each worker then *forks the
+    session* so its backend oracle is re-instantiated locally and its
+    queries land on a private ledger.
+    """
+
+    channel: DeviceSession
+    target: AttackTarget
+    search_steps: int
+    max_resolution_rounds: int
+
+
+_SHARD_CONTEXT: _ShardContext | None = None
+
+
+def _shard_init(context: _ShardContext) -> None:
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = context
+
+
+def _recover_shard(filter_range: tuple[int, int]):
+    """Recover one contiguous filter shard on a forked session."""
+    ctx = _SHARD_CONTEXT
+    assert ctx is not None, "worker used before _shard_init"
+    session = ctx.channel.fork()
+    attack = WeightAttack(
+        session,
+        ctx.target,
+        search_steps=ctx.search_steps,
+        max_resolution_rounds=ctx.max_resolution_rounds,
+        filter_range=filter_range,
+    )
+    return attack._run_shard_local(), session.ledger

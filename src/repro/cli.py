@@ -95,7 +95,8 @@ def cmd_structure(args) -> int:
     sim = AcceleratorSim(staged)
     rules = PracticalityRules(exact_pool_division=not args.loose_rules)
     result = run_structure_attack(
-        sim, tolerance=args.tolerance, rules=rules, runs=args.runs
+        sim, tolerance=args.tolerance, rules=rules, runs=args.runs,
+        workers=args.workers,
     )
     obs = result.observation
     boundaries = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
@@ -156,7 +157,7 @@ def cmd_weights(args) -> int:
         print(f"max |w| error: {result.max_weight_error(weights):.3e}")
         print(f"max |b| error: {result.max_bias_error(biases):.3e}")
     else:
-        result = WeightAttack(session, target).run()
+        result = WeightAttack(session, target, workers=args.workers).run()
         print(f"ratio attack: resolved {result.recovery_fraction():.1%} "
               f"in {result.queries:,} queries")
         print(f"max |w/b| error: "
@@ -188,7 +189,8 @@ def cmd_clone(args) -> int:
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     ))
     result = clone_model(
-        dense, pruned, ds.train_images, distill_epochs=args.epochs
+        dense, pruned, ds.train_images, distill_epochs=args.epochs,
+        workers=args.workers,
     )
     stolen = result.network.network.nodes[
         f"{result.network.stages[0].name}/conv"
@@ -234,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--loose-rules", action="store_true")
     st.add_argument("--show", type=int, default=1,
                     help="candidates to print in full")
+    _add_workers_flag(st)
     st.set_defaults(func=cmd_structure)
 
     wt = sub.add_parser("weights", help="run the Section 4 attack (demo victim)")
@@ -244,14 +247,25 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--backend", default=None,
                     help="device backend (see repro.device.available_backends)")
     wt.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(wt)
     wt.set_defaults(func=cmd_weights)
 
     cl = sub.add_parser("clone", help="duplicate a demo victim end to end")
     cl.add_argument("--probes", type=int, default=120)
     cl.add_argument("--epochs", type=int, default=20)
     cl.add_argument("--seed", type=int, default=4)
+    _add_workers_flag(cl)
     cl.set_defaults(func=cmd_clone)
     return parser
+
+
+def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the attack's parallel loops "
+             "(default: serial; -1 uses all cores; results are "
+             "bit-identical at any worker count)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -79,6 +79,28 @@ class QueryLedger:
         self.cache_hits += hits
         self.cache_misses += misses
 
+    # -- merging ----------------------------------------------------------
+    def merge(self, *others: "QueryLedger") -> "QueryLedger":
+        """Fold other ledgers' counters into this one; returns ``self``.
+
+        Used by the parallel execution layer: each worker accounts its
+        shard on a forked session's ledger, and the parent merges them
+        so the top-level account covers the whole attack.  Budgets are
+        *not* merged — they belong to the parent — and merged counts may
+        legitimately exceed a serial run's (workers cannot share a memo
+        cache across process boundaries, so runs deduplicated serially
+        can be charged once per shard).  The merge itself is budget-
+        exempt: the work already happened on the shard's own account.
+        """
+        for other in others:
+            self.channel_queries += other.channel_queries
+            self.inferences += other.inferences
+            self.trace_events += other.trace_events
+            self.trace_bytes += other.trace_bytes
+            self.cache_hits += other.cache_hits
+            self.cache_misses += other.cache_misses
+        return self
+
     # -- reporting --------------------------------------------------------
     @property
     def cache_lookups(self) -> int:

@@ -104,10 +104,36 @@ class DeviceSession:
             )
         )
         self._cache = QueryCache(cache_size) if cache_size else None
+        self._cache_size = cache_size
         self._requested_backend = backend
         self._backend_spec: BackendSpec | None = None
         self._oracle: StageOracle | None = None
         self._threshold = 0.0
+
+    def fork(self) -> "DeviceSession":
+        """A fresh session on the same device, for one parallel worker.
+
+        The fork shares the victim device (device state is the victim's,
+        not the attacker's) but gets its own ledger, its own memo cache
+        and — crucially — a backend that is re-resolved and re-
+        instantiated lazily in the worker process, so no oracle object
+        ever crosses a process boundary.  Budgets carry over per fork;
+        a tuned pruning threshold is re-applied so forked queries hit
+        the same device configuration.  The parent later folds worker
+        accounts back with :meth:`QueryLedger.merge`.
+        """
+        forked = DeviceSession(
+            self.device,
+            self.stage_name,
+            backend=self._requested_backend,
+            input_range=self.input_range,
+            max_queries=self.ledger.max_queries,
+            max_inferences=self.ledger.max_inferences,
+            cache_size=self._cache_size,
+        )
+        if self._threshold != 0.0:
+            forked.set_threshold(self._threshold)
+        return forked
 
     # -- device facts -----------------------------------------------------
     @property
@@ -143,6 +169,11 @@ class DeviceSession:
     def queries(self) -> int:
         """Channel queries charged so far (attack cost metric)."""
         return self.ledger.channel_queries
+
+    @property
+    def threshold(self) -> float:
+        """The pruning threshold this session last tuned (0.0 = stock)."""
+        return self._threshold
 
     # -- structure side (paper Section 3) ---------------------------------
     def observe_structure(

@@ -180,6 +180,12 @@ class Network:
     def eval(self) -> "Network":
         return self.train(False)
 
+    def requires_grad_(self, flag: bool = True) -> "Network":
+        """Toggle backward-pass caching on every layer."""
+        for node in self.nodes.values():
+            node.layer.requires_grad_(flag)
+        return self
+
     # -- introspection --------------------------------------------------------
     def layers(self) -> Iterator[tuple[str, Layer]]:
         for name in self._order:

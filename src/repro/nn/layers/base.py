@@ -46,11 +46,16 @@ class Layer:
 
     Sub-classes implement :meth:`forward` and :meth:`backward`; layers with
     learnable state override :meth:`parameters`.  ``training`` toggles
-    behaviours such as dropout masking.
+    behaviours such as dropout masking; ``grad_enabled`` toggles whether
+    :meth:`forward` retains the intermediates its backward pass would
+    need.  Inference-only holders (the accelerator simulator, the stage
+    oracles, the attacks' hypothesis evaluations) switch it off so a
+    forward pass allocates nothing beyond its output.
     """
 
     def __init__(self) -> None:
         self.training = False
+        self.grad_enabled = True
 
     # -- interface -----------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -69,6 +74,11 @@ class Layer:
 
     def eval(self) -> "Layer":
         return self.train(False)
+
+    def requires_grad_(self, flag: bool = True) -> "Layer":
+        """Enable/disable backward-pass caching in :meth:`forward`."""
+        self.grad_enabled = flag
+        return self
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)

@@ -143,7 +143,11 @@ class Conv2D(Layer):
         if self.bias is not None:
             out += self.bias.value
         out = out.transpose(0, 3, 1, 2)
-        self._cache = (x.shape, cols)
+        # The cols matrix is the largest tensor in the whole forward pass
+        # (d_ifm * f * f per output pixel); only keep it when a backward
+        # pass can follow.  Inference-only holders (simulator, oracles,
+        # attacks) run with grad disabled and retain nothing.
+        self._cache = (x.shape, cols) if self.grad_enabled else None
         return np.ascontiguousarray(out)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

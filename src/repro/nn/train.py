@@ -84,6 +84,7 @@ class Trainer:
     def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One pass over the training set; returns mean loss."""
         self.net.train(True)
+        self.net.requires_grad_(True)  # undo any inference-only marking
         idx = self._rng.permutation(len(images))
         losses = []
         for start in range(0, len(idx), self.batch_size):

@@ -1,0 +1,31 @@
+"""Parallel attack execution: deterministic process-pool work sharding.
+
+Both expensive loops of the paper's pipeline are embarrassingly parallel
+— short-training 24-172 candidate structures (Figures 4/5) and
+binary-searching 96 filters through the zero-pruning channel (Section 4)
+— and related attacks enumerate far larger spaces still.  This package
+provides the one execution layer they all share: a :class:`WorkerPool`
+that runs picklable tasks across worker processes (or inline when
+``workers <= 1``), plus deterministic sharding helpers.
+
+The determinism contract: work items are self-contained (per-item seeds
+are derived from ``(seed, index)``, never from shared RNG state), shards
+are contiguous index ranges, and results are merged back in input order
+— so every attack result is bit-identical at any worker count, and the
+serial path *is* the one-worker path.  Parallelism changes wall-clock
+only, never observations; see DESIGN.md section 8.
+"""
+
+from repro.parallel.pool import (
+    WorkerPool,
+    resolve_workers,
+    shard_indices,
+    shard_ranges,
+)
+
+__all__ = [
+    "WorkerPool",
+    "resolve_workers",
+    "shard_indices",
+    "shard_ranges",
+]
