@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+from repro.device import DeviceSession
 from repro.attacks.structure import find_layer_boundaries
 from repro.defenses import OramConfig, apply_path_oram, measure_padding_overhead
 from repro.nn.zoo import build_alexnet, build_lenet
@@ -31,7 +32,7 @@ def test_ablation_defense_costs(benchmark):
         rows = []
         for name, victim in victims.items():
             sim = AcceleratorSim(victim)
-            obs = observe_structure(sim, seed=0)
+            obs = DeviceSession(sim).observe_structure(seed=0)
             oram = apply_path_oram(obs.trace, OramConfig(bucket_size=4))
             plain = len(
                 find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)

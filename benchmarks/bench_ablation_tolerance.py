@@ -8,7 +8,8 @@ versus from the memory-size constraints alone.
 
 from __future__ import annotations
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+from repro.device import DeviceSession
 from repro.attacks.structure import (
     DeviceKnowledge,
     PracticalityRules,
@@ -26,7 +27,7 @@ TOLERANCES = (0.02, 0.05, 0.1, 0.2, 0.5, 2.0)
 def test_ablation_timing_tolerance(benchmark):
     victim = build_alexnet()
     sim = AcceleratorSim(victim)
-    analysis = analyse_trace(observe_structure(sim, seed=1))
+    analysis = analyse_trace(DeviceSession(sim).observe_structure(seed=1))
     device = DeviceKnowledge.from_timing(sim.config.timing)
     truth = tuple(g.canonical() for g in victim.geometries())
 

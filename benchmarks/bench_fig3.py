@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+from repro.device import DeviceSession
 from repro.attacks.structure import find_layer_boundaries
 from repro.nn.zoo import build_alexnet
 
@@ -43,7 +44,8 @@ def test_fig3_memory_access_pattern(benchmark):
     )
     sim = AcceleratorSim(victim)
     obs = benchmark.pedantic(
-        lambda: observe_structure(sim, seed=0), rounds=1, iterations=1
+        lambda: DeviceSession(sim).observe_structure(seed=0),
+        rounds=1, iterations=1,
     )
     boundaries = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
     text = ascii_access_pattern(obs.trace, boundaries)

@@ -20,7 +20,6 @@ from repro.accel import (
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
-    ZeroPruningChannel,
 )
 from repro.attacks.weights import AttackTarget, WeightAttack
 from repro.device import DeviceSession
@@ -98,10 +97,11 @@ def test_fig7_weight_bias_ratio_recovery(benchmark):
     assert zero_hits == (weights == 0).sum()
 
     if not paper_scale():
-        # The batched/cached session path must reproduce the direct
-        # (deprecated) per-probe channel path bit for bit.
+        # The memoised session path must reproduce an uncached session
+        # (one device run per probe) bit for bit.
         direct = WeightAttack(
-            ZeroPruningChannel(sim, "conv1"), AttackTarget.from_geometry(geom)
+            DeviceSession(sim, "conv1", cache_size=0),
+            AttackTarget.from_geometry(geom),
         ).run()
         assert np.array_equal(direct.ratio_tensor(), est)
         assert np.array_equal(direct.resolved_mask(), resolved)

@@ -7,7 +7,9 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -19,8 +21,13 @@ from repro.accel import (  # noqa: E402
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
+    SpoolSink,
 )
-from repro.attacks.structure import run_structure_attack  # noqa: E402
+from repro.attacks.structure import (  # noqa: E402
+    StreamingTraceAnalyzer,
+    analyse_trace,
+    run_structure_attack,
+)
 from repro.attacks.structure.ranking import rank_candidates  # noqa: E402
 from repro.attacks.weights import AttackTarget, WeightAttack  # noqa: E402
 from repro.data import make_dataset  # noqa: E402
@@ -28,7 +35,7 @@ from repro.device import DeviceSession  # noqa: E402
 from repro.nn.shapes import PoolSpec  # noqa: E402
 from repro.nn.spec import LayerGeometry  # noqa: E402
 from repro.nn.stages import StagedNetworkBuilder  # noqa: E402
-from repro.nn.zoo import build_model  # noqa: E402
+from repro.nn.zoo import build_alexnet, build_lenet, build_model  # noqa: E402
 from repro.parallel import WorkerPool  # noqa: E402
 
 
@@ -164,11 +171,93 @@ def bench_simulator(workers: int, quick: bool, scale: str) -> dict:
     return _entry(serial_s, parallel_s, workers, scale, r1 == rn)
 
 
+# -- bench: trace memory footprint (materialize vs spool+stream) --------------
+def _traced(fn):
+    """(wall seconds, tracemalloc peak bytes, result) for one arm."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    out = fn()
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return wall, peak, out
+
+
+def bench_memory(workers: int, quick: bool, scale: str) -> dict:
+    """Peak traced allocations: full-trace analysis vs the spooled stream.
+
+    Both arms share one untraced simulation phase (model weights and
+    compute transients are identical either way and would swamp the
+    trace numbers); ``tracemalloc`` then covers only the trace path.
+    The serial arm holds the whole materialised trace and runs the
+    batch ``analyse_trace``; the parallel-slot arm replays spool chunks
+    through ``StreamingTraceAnalyzer`` in O(chunk) memory.  Both must
+    produce the same ``TraceAnalysis`` bit for bit, and the streaming
+    peak must stay under the configured streaming budget.
+    """
+    import dataclasses
+
+    from repro.accel.trace import MemoryTrace
+
+    if quick:
+        make, budget = build_lenet, 128 << 10
+    else:
+        make, budget = (
+            lambda: build_alexnet(width_scale=0.25, num_classes=100),
+            1 << 20,
+        )
+    flush = budget // 4  # spool chunk size: leaves headroom for fold temps
+
+    # Untraced phase: simulate once per arm, trace path not yet running.
+    obs = DeviceSession(AcceleratorSim(make())).observe_structure(seed=3)
+    n_events = len(obs.trace)
+    spool_session = DeviceSession(AcceleratorSim(make()))
+    with SpoolSink(budget_bytes=flush) as spool, \
+            tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        streamed_obs = spool_session.observe_structure(seed=3, sink=spool)
+        path = os.path.join(tmp, "trace.npz")
+        obs.trace.save(path)
+        obs_sans_trace = dataclasses.replace(obs, trace=None)
+        del obs
+
+        def run_materialize():
+            loaded = MemoryTrace.load(path)
+            return analyse_trace(
+                dataclasses.replace(obs_sans_trace, trace=loaded)
+            )
+
+        def run_streaming():
+            analyzer = StreamingTraceAnalyzer(
+                spool_session.image_shape,
+                spool_session.element_bytes,
+                spool_session.block_bytes,
+            )
+            for sp in spool.spans():
+                analyzer.emit(sp)
+            return analyzer.finish(streamed_obs)
+
+        serial_s, peak_mat, batch = _traced(run_materialize)
+        stream_s, peak_stream, streamed = _traced(run_streaming)
+
+    entry = _entry(serial_s, stream_s, workers, scale, streamed == batch)
+    entry.update(
+        peak_materialize_bytes=int(peak_mat),
+        peak_streaming_bytes=int(peak_stream),
+        budget_bytes=budget,
+        spool_flush_bytes=flush,
+        trace_events=int(n_events),
+        memory_ratio=round(peak_mat / peak_stream, 3) if peak_stream else 0.0,
+        bounded=bool(peak_stream < budget < peak_mat),
+    )
+    return entry
+
+
 BENCHES = {
     "ranking": bench_ranking,
     "weights": bench_weights,
     "structure": bench_structure,
     "simulator": bench_simulator,
+    "memory": bench_memory,
 }
 
 
@@ -204,6 +293,11 @@ def main(argv: list[str] | None = None) -> int:
               f"identical={e['identical']}")
         if not e["identical"]:
             print(f"  ERROR: {name} parallel result diverged", file=sys.stderr)
+            return 1
+        if not e.get("bounded", True):
+            print(f"  ERROR: {name} streaming peak escaped its budget "
+                  f"({e['peak_streaming_bytes']} vs {e['budget_bytes']})",
+                  file=sys.stderr)
             return 1
 
     results["_meta"] = {

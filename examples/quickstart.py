@@ -39,7 +39,7 @@ def main() -> None:
         session, tolerance=0.25,
         rules=PracticalityRules(exact_pool_division=True),
     )
-    print(f"memory trace: {len(result.observation.trace):,} transactions, "
+    print(f"memory trace: {result.ledger.trace_events:,} transactions, "
           f"{result.observation.total_cycles:,} cycles")
     print(f"layer boundaries found: {result.num_layers}")
     rows = [

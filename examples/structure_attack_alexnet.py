@@ -52,7 +52,7 @@ def main() -> None:
         rules=PracticalityRules(exact_pool_division=True),
         workers=args.workers,
     )
-    print(f"trace: {len(result.observation.trace):,} transactions; "
+    print(f"trace: {result.ledger.trace_events:,} transactions; "
           f"{result.num_layers} layers detected "
           f"(5 CONV + 3 FC, as in the paper)\n")
 

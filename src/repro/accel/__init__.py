@@ -2,16 +2,13 @@
 
 Executes staged networks as the paper's Figure 1 accelerator would and
 emits the externally visible artefacts — the off-chip memory trace and
-per-stage timing — plus the dynamic zero-pruning write channel.
-Adversary access goes through :mod:`repro.accel.observe`.
+per-stage timing — plus the dynamic zero-pruning write channel.  Traces
+stream as :class:`TraceSpan` chunks into a :class:`TraceSink` (see
+:mod:`repro.accel.sinks`).  Adversary access goes through
+:class:`repro.device.DeviceSession`.
 """
 
 from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
-from repro.accel.observe import (
-    StructureObservation,
-    ZeroPruningChannel,
-    observe_structure,
-)
 from repro.accel.oracle import (
     DenseStageOracle,
     SparseStageOracle,
@@ -25,18 +22,41 @@ from repro.accel.simulator import (
     SimulationResult,
     StageWindow,
 )
+from repro.accel.sinks import (
+    MaterializeSink,
+    SpoolSink,
+    StageStats,
+    StatsSink,
+    TeeSink,
+)
 from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
 from repro.accel.timing import TimingModel
-from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+from repro.accel.trace import (
+    READ,
+    TRACE_EVENT_BYTES,
+    WRITE,
+    MemoryTrace,
+    TraceBuilder,
+    TraceSink,
+    TraceSpan,
+)
 
 __all__ = [
     "MemoryConfig",
     "MemoryRegion",
     "DramAllocator",
     "MemoryTrace",
+    "TraceSpan",
+    "TraceSink",
     "TraceBuilder",
     "READ",
     "WRITE",
+    "TRACE_EVENT_BYTES",
+    "MaterializeSink",
+    "SpoolSink",
+    "StatsSink",
+    "StageStats",
+    "TeeSink",
     "TimingModel",
     "BufferConfig",
     "plan_conv_tiles",
@@ -52,7 +72,4 @@ __all__ = [
     "DenseStageOracle",
     "SparseStageOracle",
     "make_stage_oracle",
-    "StructureObservation",
-    "ZeroPruningChannel",
-    "observe_structure",
 ]

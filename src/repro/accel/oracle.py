@@ -18,7 +18,7 @@ Equality of the two paths on random stages is enforced by tests — the
 sparse path is an optimisation of the simulator, not a shortcut through
 the threat model.  Oracles are *device-side* objects (they hold the
 secret weights); adversaries access them only through the counting
-channel in :mod:`repro.accel.observe`.
+channel of :class:`repro.device.DeviceSession`.
 """
 
 from __future__ import annotations

@@ -15,8 +15,15 @@ With dynamic zero pruning enabled, OFM writes are compressed per
 :mod:`repro.accel.pruning`, producing the Section 4 leak.
 
 Nothing here exposes data values to the adversary; attacker-facing
-access goes through :mod:`repro.accel.observe`, which enforces the
-threat model.
+access goes through :class:`repro.device.DeviceSession`, which enforces
+the threat model.
+
+``run`` accepts an optional :class:`~repro.accel.trace.TraceSink`:
+spans are pushed downstream as stages execute and no monolithic trace
+is retained, so peak trace memory is the sink's choice (see
+:mod:`repro.accel.sinks`).  Without a sink the result carries the
+materialised :class:`~repro.accel.trace.MemoryTrace`, exactly as
+before.
 """
 
 from __future__ import annotations
@@ -35,7 +42,8 @@ from repro.accel.pruning import (
 )
 from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
 from repro.accel.timing import TimingModel
-from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+from repro.accel.sinks import MaterializeSink
+from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder, TraceSink
 from repro.nn.graph import INPUT
 from repro.nn.spec import FCGeometry, LayerGeometry
 from repro.nn.stages import Stage, StagedNetwork
@@ -77,10 +85,11 @@ class SimulationResult:
     ``trace`` plus the wall-clock ``total_cycles`` are what the threat
     model exposes; ``windows``, ``nnz`` and ``output`` are ground truth
     used by tests, oracles and the host (the host legitimately sees the
-    classification output).
+    classification output).  ``trace`` is ``None`` when the run streamed
+    its spans to an external (non-materialising) sink.
     """
 
-    trace: MemoryTrace
+    trace: MemoryTrace | None
     windows: list[StageWindow]
     output: np.ndarray
     nnz: dict[str, np.ndarray]
@@ -167,11 +176,17 @@ class AcceleratorSim:
         return self.region(f"{stage_name}.ofm")
 
     # -- execution -----------------------------------------------------------
-    def run(self, x: np.ndarray) -> SimulationResult:
+    def run(
+        self, x: np.ndarray, sink: TraceSink | None = None
+    ) -> SimulationResult:
         """Execute one inference and emit its memory trace.
 
         ``x`` is a single sample ``(C, H, W)`` or batch-of-one
         ``(1, C, H, W)`` — the accelerator processes one image at a time.
+        ``sink`` receives the trace as vectorised spans while stages
+        execute; without one, a private
+        :class:`~repro.accel.sinks.MaterializeSink` collects the spans
+        and the result carries the full :class:`MemoryTrace`.
         """
         if x.ndim == 3:
             x = x[None]
@@ -185,13 +200,16 @@ class AcceleratorSim:
         self._run_counter += 1
         self._jitter_rng = np.random.default_rng(self._run_counter)
 
-        builder = TraceBuilder()
+        if sink is None:
+            sink = MaterializeSink()
+        builder = TraceBuilder(sink)
         windows: list[StageWindow] = []
         nnz: dict[str, np.ndarray] = {}
         layouts: dict[str, PrunedLayout | None] = {INPUT: None}
         cycle = 0
 
         for stage in self.staged.stages:
+            sink.begin_stage(stage.name, stage.kind)
             cycle += self.config.timing.stage_overhead
             start_cycle = cycle
             reads_before = builder.num_events
@@ -219,8 +237,9 @@ class AcceleratorSim:
                 )
             )
 
+        sink.close()
         return SimulationResult(
-            trace=builder.build(),
+            trace=sink.trace() if isinstance(sink, MaterializeSink) else None,
             windows=windows,
             output=output,
             nnz=nnz,

@@ -7,22 +7,88 @@ memory access", plus wall-clock timing).  Values are encrypted and never
 appear here.
 
 Traces can run to millions of events (AlexNet's FC weights alone are
-~2M block reads), so events are stored as parallel numpy arrays and
-builders append whole vectorised spans.
+~2M block reads), so events travel as vectorised :class:`TraceSpan`
+chunks.  Producers push spans into a :class:`TraceSink` as they execute;
+:class:`MemoryTrace` is what a fully materialised trace looks like once
+a :class:`~repro.accel.sinks.MaterializeSink` (or a builder without a
+sink) has collected every span.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.errors import TraceError
 
-__all__ = ["MemoryTrace", "TraceBuilder", "READ", "WRITE"]
+__all__ = [
+    "MemoryTrace",
+    "TraceSpan",
+    "TraceSink",
+    "TraceBuilder",
+    "READ",
+    "WRITE",
+    "TRACE_EVENT_BYTES",
+]
 
 READ = False
 WRITE = True
+
+# Wire size of one trace event as the adversary records it: an int64
+# cycle stamp, an int64 block address and a one-byte R/W flag.
+TRACE_EVENT_BYTES = 17
+
+# Stamped into saved ``.npz`` traces; bumped on layout changes so stale
+# files fail loudly instead of deserialising garbage.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One vectorised chunk of consecutive trace events.
+
+    The streaming unit of the trace pipeline: producers emit spans into
+    a :class:`TraceSink` instead of materialising whole traces.  The
+    arrays are parallel, exactly like :class:`MemoryTrace` (of which a
+    span is simply a contiguous piece).
+    """
+
+    cycles: np.ndarray
+    addresses: np.ndarray
+    is_write: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.cycles)
+        if len(self.addresses) != n or len(self.is_write) != n:
+            raise TraceError("span arrays have mismatched lengths")
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def nbytes(self) -> int:
+        """Adversary-side wire size of this span."""
+        return len(self) * TRACE_EVENT_BYTES
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Streaming consumer of trace spans.
+
+    ``emit`` receives each span in trace order.  ``begin_stage`` is a
+    producer-side (ground truth) signal announcing the stage about to
+    execute — it never crosses the attacker/device boundary (the
+    session strips it); attacker-facing sinks may ignore it.  ``close``
+    marks the end of the stream.
+    """
+
+    def emit(self, span: TraceSpan) -> None: ...
+
+    def begin_stage(self, name: str, kind: str) -> None: ...
+
+    def close(self) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -95,11 +161,29 @@ class MemoryTrace:
             cycles=self.cycles,
             addresses=self.addresses,
             is_write=self.is_write,
+            format_version=np.int64(TRACE_FORMAT_VERSION),
         )
 
     @staticmethod
     def load(path: str) -> "MemoryTrace":
-        with np.load(path) as data:
+        try:
+            data = np.load(path)
+        except (OSError, ValueError) as exc:
+            raise TraceError(f"cannot read trace file {path!r}: {exc}") from exc
+        with data:
+            missing = {"cycles", "addresses", "is_write", "format_version"}
+            missing -= set(data.files)
+            if missing:
+                raise TraceError(
+                    f"{path!r} is not a memory-trace file: missing "
+                    f"{sorted(missing)}"
+                )
+            version = int(data["format_version"])
+            if version != TRACE_FORMAT_VERSION:
+                raise TraceError(
+                    f"{path!r} has trace format version {version}; this "
+                    f"build reads version {TRACE_FORMAT_VERSION}"
+                )
             return MemoryTrace(
                 data["cycles"].astype(np.int64),
                 data["addresses"].astype(np.int64),
@@ -111,9 +195,18 @@ class MemoryTrace:
 
 
 class TraceBuilder:
-    """Accumulates vectorised event spans, then freezes to a trace."""
+    """Turns per-access address bursts into timed spans.
 
-    def __init__(self) -> None:
+    Without a sink the builder accumulates spans internally and
+    :meth:`build` freezes them into a :class:`MemoryTrace` — the
+    materialize-in-place path.  With a sink, every :meth:`add_span`
+    emits a :class:`TraceSpan` downstream and nothing is retained here;
+    :meth:`build` is then a :class:`~repro.errors.TraceError` (the sink
+    owns the events).
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self._sink = sink
         self._cycles: list[np.ndarray] = []
         self._addresses: list[np.ndarray] = []
         self._is_write: list[np.ndarray] = []
@@ -138,9 +231,13 @@ class TraceBuilder:
                 f"{self._last_cycle}"
             )
         cyc = start_cycle + np.arange(n, dtype=np.int64) * cycles_per_access
-        self._cycles.append(cyc)
-        self._addresses.append(addresses)
-        self._is_write.append(np.full(n, is_write, dtype=bool))
+        flags = np.full(n, is_write, dtype=bool)
+        if self._sink is not None:
+            self._sink.emit(TraceSpan(cyc, addresses, flags))
+        else:
+            self._cycles.append(cyc)
+            self._addresses.append(addresses)
+            self._is_write.append(flags)
         self._num_events += n
         self._last_cycle = int(cyc[-1])
         return self._last_cycle + cycles_per_access
@@ -155,6 +252,10 @@ class TraceBuilder:
         return self._num_events
 
     def build(self) -> MemoryTrace:
+        if self._sink is not None:
+            raise TraceError(
+                "builder is streaming to a sink; the sink owns the events"
+            )
         if not self._cycles:
             return MemoryTrace(
                 np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, bool)

@@ -19,8 +19,11 @@ from repro.attacks.structure.solver import (
 )
 from repro.attacks.structure.trace_analysis import (
     INPUT_SOURCE,
+    BoundaryTracker,
     LayerObservation,
+    RawBoundaryTracker,
     SizeRange,
+    StreamingTraceAnalyzer,
     TraceAnalysis,
     analyse_trace,
     average_analyses,
@@ -52,5 +55,8 @@ __all__ = [
     "average_analyses",
     "find_layer_boundaries",
     "find_layer_boundaries_raw",
+    "BoundaryTracker",
+    "RawBoundaryTracker",
+    "StreamingTraceAnalyzer",
     "INPUT_SOURCE",
 ]

@@ -17,9 +17,11 @@ from repro.attacks.structure.modules import detect_fire_modules
 from repro.attacks.structure.pipeline import CandidateStructure, StructureSearch
 from repro.attacks.structure.solver import PracticalityRules
 from repro.attacks.structure.trace_analysis import (
+    StreamingTraceAnalyzer,
     TraceAnalysis,
     analyse_trace,
     average_analyses,
+    find_layer_boundaries,
 )
 
 __all__ = ["StructureAttackResult", "run_structure_attack"]
@@ -35,6 +37,7 @@ class StructureAttackResult:
     count: int
     module_roles: dict[int, str]
     ledger: QueryLedger | None = None
+    boundaries: list[int] | None = None
 
     @property
     def num_layers(self) -> int:
@@ -51,6 +54,7 @@ def run_structure_attack(
     seed: int = 0,
     runs: int = 1,
     workers: int | None = None,
+    streaming: bool = True,
 ) -> StructureAttackResult:
     """Run Algorithm 1 against a victim accelerator.
 
@@ -73,15 +77,29 @@ def run_structure_attack(
         workers: partition the candidate enumeration over this many
             worker processes (serial by default; the result is
             bit-identical either way).
+        streaming: analyse the trace span-by-span as the device runs
+            (the default: O(chunk) memory, no materialised trace on the
+            result's observation).  ``False`` materialises the trace
+            and runs the batch analysis — same result bit for bit.
     """
     session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
-    observation = session.observe_structure(x, seed=seed)
-    analysis = analyse_trace(observation)
+
+    def _one_run(k: int) -> tuple[StructureObservation, TraceAnalysis, list[int]]:
+        if streaming:
+            analyzer = StreamingTraceAnalyzer(
+                session.image_shape,
+                session.element_bytes,
+                session.block_bytes,
+            )
+            obs = session.observe_structure(x, seed=seed + k, sink=analyzer)
+            return obs, analyzer.finish(obs), analyzer.boundaries
+        obs = session.observe_structure(x, seed=seed + k)
+        bounds = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
+        return obs, analyse_trace(obs), bounds
+
+    observation, analysis, boundaries = _one_run(0)
     if runs > 1:
-        extra = [
-            analyse_trace(session.observe_structure(x, seed=seed + k))
-            for k in range(1, runs)
-        ]
+        extra = [_one_run(k)[1] for k in range(1, runs)]
         analysis = average_analyses([analysis] + extra)
     roles = detect_fire_modules(analysis) if use_modular_assumption else {}
     search = StructureSearch(
@@ -104,4 +122,5 @@ def run_structure_attack(
         count=count,
         module_roles=roles,
         ledger=session.ledger,
+        boundaries=boundaries,
     )

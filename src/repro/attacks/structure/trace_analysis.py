@@ -20,6 +20,17 @@ attacker-visible trace:
 Merge layers (element-wise bypass additions and depth concatenations)
 read previously written data but no filters; they are classified by
 comparing their OFM size against their operand sizes.
+
+Every step exists in two forms: the batch functions
+(:func:`find_layer_boundaries`, :func:`find_layer_boundaries_raw`,
+:func:`analyse_trace`) operate on a fully materialised trace, and the
+streaming classes (:class:`BoundaryTracker`, :class:`RawBoundaryTracker`,
+:class:`StreamingTraceAnalyzer`) fold vectorised event chunks as they
+arrive — the adversary's tap records a *stream*, so the analysis runs in
+O(chunk) memory no matter how large the victim.  The streaming path is
+bit-identical to the batch path (asserted in tests) and plugs directly
+into :meth:`repro.device.DeviceSession.observe_structure` as a trace
+sink.
 """
 
 from __future__ import annotations
@@ -37,6 +48,9 @@ __all__ = [
     "TraceAnalysis",
     "find_layer_boundaries",
     "find_layer_boundaries_raw",
+    "BoundaryTracker",
+    "RawBoundaryTracker",
+    "StreamingTraceAnalyzer",
     "analyse_trace",
     "average_analyses",
 ]
@@ -219,6 +233,423 @@ def find_layer_boundaries(
     return boundaries
 
 
+class BoundaryTracker:
+    """Streaming counterpart of :func:`find_layer_boundaries`.
+
+    Feed event chunks in trace order; the protocol rule needs only the
+    R/W flags and two scalars of state (events seen, whether the current
+    window has written yet), so memory is O(1) regardless of trace
+    length.  The boundary sequence equals the batch function's on the
+    concatenated flags, for any chunking.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._boundaries: list[int] = [0]
+        self._awaiting_read = False
+
+    @property
+    def num_events(self) -> int:
+        return self._n
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Boundaries found so far (the batch function's return value)."""
+        if self._n == 0:
+            raise TraceError("empty trace")
+        return list(self._boundaries)
+
+    def feed(self, is_write: np.ndarray) -> list[int]:
+        """Fold one chunk of R/W flags; returns boundaries found in it."""
+        is_write = np.asarray(is_write, dtype=bool)
+        base = self._n
+        new: list[int] = []
+        pos, n = 0, len(is_write)
+        while pos < n:
+            if not self._awaiting_read:
+                w = np.flatnonzero(is_write[pos:])
+                if len(w) == 0:
+                    break
+                pos += int(w[0])
+                self._awaiting_read = True
+            else:
+                r = np.flatnonzero(~is_write[pos:])
+                if len(r) == 0:
+                    break
+                pos += int(r[0])
+                new.append(base + pos)
+                self._awaiting_read = False
+        self._n += n
+        self._boundaries.extend(new)
+        return new
+
+
+class RawBoundaryTracker:
+    """Streaming counterpart of :func:`find_layer_boundaries_raw`.
+
+    The batch rule materialises a previous-write RAW index over the
+    whole trace; here it becomes an incrementally maintained
+    address→last-write map, bounded by the device's unique block count
+    rather than by trace length.  Chunks resolve RAW edges locally via
+    :func:`_previous_write_index` and reach into the carried map only
+    for addresses with no earlier write in the chunk.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._boundaries: list[int] = [0]
+        self._start = 0
+        self._last_write: dict[int, int] = {}
+
+    @property
+    def num_events(self) -> int:
+        return self._n
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Boundaries found so far (the batch function's return value)."""
+        if self._n == 0:
+            raise TraceError("empty trace")
+        return list(self._boundaries)
+
+    def feed(self, addresses: np.ndarray, is_write: np.ndarray) -> list[int]:
+        """Fold one event chunk; returns boundaries found in it."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        n = len(addresses)
+        if n == 0:
+            return []
+        base = self._n
+        local_prev = _previous_write_index(addresses, is_write)
+        prev = np.where(local_prev >= 0, base + local_prev, np.int64(-1))
+        carried_needed = local_prev < 0
+        if carried_needed.any():
+            uniq, inv = np.unique(
+                addresses[carried_needed], return_inverse=True
+            )
+            carried = np.fromiter(
+                (self._last_write.get(int(a), -1) for a in uniq),
+                dtype=np.int64,
+                count=len(uniq),
+            )
+            prev[carried_needed] = carried[inv]
+
+        new: list[int] = []
+        cand = np.flatnonzero((~is_write) & (prev >= 0))
+        cand_prev = prev[cand]
+        pos = 0
+        while pos < len(cand):
+            rel_start = self._start - base
+            hits = np.flatnonzero(
+                (cand[pos:] >= rel_start) & (cand_prev[pos:] >= self._start)
+            )
+            if len(hits) == 0:
+                break
+            j = pos + int(hits[0])
+            self._start = base + int(cand[j])
+            new.append(self._start)
+            pos = j + 1
+
+        w = np.flatnonzero(is_write)
+        if len(w):
+            wa = addresses[w]
+            uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
+            last_local = w[len(wa) - 1 - rev_first]
+            for a, g in zip(uniq_w.tolist(), (base + last_local).tolist()):
+                self._last_write[a] = g
+
+        self._n += n
+        self._boundaries.extend(new)
+        return new
+
+
+class _BlockIntervalSet:
+    """Sorted disjoint ``[lo, hi)`` byte intervals at block granularity.
+
+    The streaming replacement for holding a layer's unique block
+    addresses: memory is O(intervals) — regions are contiguous arrays
+    per the paper, so this is a handful of entries — while still
+    answering the exact unique-block count and extent the batch path
+    derives from ``np.unique``.
+    """
+
+    __slots__ = ("_block", "_iv")
+
+    def __init__(self, block_bytes: int) -> None:
+        self._block = block_bytes
+        self._iv: list[list[int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._iv)
+
+    def add(self, unique_addresses: np.ndarray) -> None:
+        """Fold a sorted array of unique block addresses in."""
+        if len(unique_addresses) == 0:
+            return
+        a = unique_addresses
+        breaks = np.flatnonzero(np.diff(a) != self._block)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [len(a) - 1]))
+        new = [
+            [int(a[s]), int(a[e]) + self._block]
+            for s, e in zip(starts, ends)
+        ]
+        merged: list[list[int]] = []
+        i = j = 0
+        old = self._iv
+        while i < len(old) or j < len(new):
+            if j >= len(new) or (i < len(old) and old[i][0] <= new[j][0]):
+                cur = old[i]
+                i += 1
+            else:
+                cur = new[j]
+                j += 1
+            if merged and cur[0] <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], cur[1])
+            else:
+                merged.append(cur)
+        self._iv = merged
+
+    @property
+    def blocks(self) -> int:
+        """Exact count of distinct blocks folded in."""
+        return sum(hi - lo for lo, hi in self._iv) // self._block
+
+    @property
+    def extent(self) -> tuple[int, int]:
+        return self._iv[0][0], self._iv[-1][1]
+
+    def contiguous_extent(self) -> tuple[int, int]:
+        """The batch path's :func:`_contiguous_extent`, from intervals."""
+        lo, hi = self.extent
+        if len(self._iv) != 1:
+            raise TraceError(
+                f"address set is not contiguous: {self.blocks} blocks "
+                f"across {(hi - lo) // self._block} block slots"
+            )
+        return lo, hi
+
+    def split(self, cut: int) -> tuple["_BlockIntervalSet", "_BlockIntervalSet"]:
+        """Partition into (< cut, >= cut) at a block-aligned boundary."""
+        below = _BlockIntervalSet(self._block)
+        above = _BlockIntervalSet(self._block)
+        for lo, hi in self._iv:
+            if hi <= cut:
+                below._iv.append([lo, hi])
+            elif lo >= cut:
+                above._iv.append([lo, hi])
+            else:
+                below._iv.append([lo, cut])
+                above._iv.append([cut, hi])
+        return below, above
+
+
+class StreamingTraceAnalyzer:
+    """Folds trace spans into a :class:`TraceAnalysis` in O(chunk) memory.
+
+    Implements the trace-sink protocol, so it can be handed straight to
+    :meth:`repro.device.DeviceSession.observe_structure` as ``sink`` —
+    the analysis then runs *while the device executes* and no trace is
+    ever materialised.  Constructor arguments are exactly what the
+    adversary knows before the run (they feed the inputs and read the
+    device datasheet); wall-clock duration and the class count arrive
+    with the observation at :meth:`finish`.
+
+    The result is bit-identical to ``analyse_trace`` on the
+    materialised trace, for any chunking (asserted in tests): per-layer
+    state is the OFM / unattributed-read interval sets, per-source hit
+    flags against finalized write ranges, and two transaction counters —
+    all independent of trace length.
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int],
+        element_bytes: int,
+        block_bytes: int,
+    ) -> None:
+        self.input_shape = tuple(input_shape)
+        self.element_bytes = element_bytes
+        self.block_bytes = block_bytes
+        self._tracker = BoundaryTracker()
+        self._write_ranges: list[tuple[int, int]] = []
+        self._layers: list[LayerObservation] = []
+        self._finished = False
+        self._layer_start_cycle = 0
+        self._reset_layer()
+
+    def _reset_layer(self) -> None:
+        self._ofm = _BlockIntervalSet(self.block_bytes)
+        self._unattributed = _BlockIntervalSet(self.block_bytes)
+        self._source_hit = [False] * len(self._write_ranges)
+        self._reads = 0
+        self._writes = 0
+
+    # -- sink protocol ----------------------------------------------------
+    def emit(self, span) -> None:
+        self.feed(span.cycles, span.addresses, span.is_write)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- streaming --------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return self._tracker.num_events
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Layer boundaries detected so far (protocol rule)."""
+        return self._tracker.boundaries
+
+    def feed(
+        self,
+        cycles: np.ndarray,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+    ) -> None:
+        """Fold one event chunk (a span, or a whole trace) in."""
+        if self._finished:
+            raise TraceError("analyzer already finished")
+        cycles = np.asarray(cycles, dtype=np.int64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        n = len(addresses)
+        if len(cycles) != n or len(is_write) != n:
+            raise TraceError("chunk arrays have mismatched lengths")
+        if n == 0:
+            return
+        if self._tracker.num_events == 0:
+            self._layer_start_cycle = int(cycles[0])
+        base = self._tracker.num_events
+        prev = 0
+        for b in self._tracker.feed(is_write):
+            local = b - base
+            self._consume(addresses[prev:local], is_write[prev:local])
+            self._finalize_layer(end_cycle=int(cycles[local]))
+            self._layer_start_cycle = int(cycles[local])
+            prev = local
+        self._consume(addresses[prev:], is_write[prev:])
+
+    def _consume(self, addresses: np.ndarray, is_write: np.ndarray) -> None:
+        """Accumulate events that all belong to the current layer."""
+        if len(addresses) == 0:
+            return
+        write_addrs = addresses[is_write]
+        read_addrs = addresses[~is_write]
+        self._writes += len(write_addrs)
+        self._reads += len(read_addrs)
+        if len(write_addrs):
+            self._ofm.add(np.unique(write_addrs))
+        if len(read_addrs):
+            unattributed = np.ones(len(read_addrs), dtype=bool)
+            for src, (w_lo, w_hi) in enumerate(self._write_ranges):
+                mask = (read_addrs >= w_lo) & (read_addrs < w_hi)
+                if mask.any():
+                    self._source_hit[src] = True
+                    unattributed &= ~mask
+            rest = read_addrs[unattributed]
+            if len(rest):
+                self._unattributed.add(np.unique(rest))
+
+    def _finalize_layer(self, end_cycle: int) -> None:
+        li = len(self._layers)
+        if not self._ofm:
+            raise TraceError(f"layer {li} wrote no OFM")
+        ofm_lo, ofm_hi = self._ofm.contiguous_extent()
+        size_ofm = SizeRange.from_byte_extent(
+            ofm_hi - ofm_lo, self.element_bytes, self.block_bytes
+        )
+
+        sources = [
+            src
+            for src in range(len(self._write_ranges))
+            if self._source_hit[src]
+        ]
+        ifm_sizes = [
+            SizeRange.from_byte_extent(
+                self._write_ranges[src][1] - self._write_ranges[src][0],
+                self.element_bytes,
+                self.block_bytes,
+            )
+            for src in sources
+        ]
+        remaining = self._unattributed
+        if li == 0 and remaining:
+            c, h, w = self.input_shape
+            input_elements = c * h * w
+            input_bytes = (
+                -(-input_elements * self.element_bytes // self.block_bytes)
+                * self.block_bytes
+            )
+            base = remaining.extent[0]
+            ifm_part, remaining = remaining.split(base + input_bytes)
+            if ifm_part:
+                sources.insert(0, INPUT_SOURCE)
+                ifm_sizes.insert(
+                    0, SizeRange(lo=input_elements, hi=input_elements)
+                )
+
+        if remaining:
+            f_lo, f_hi = remaining.contiguous_extent()
+            size_fltr: SizeRange | None = SizeRange.from_byte_extent(
+                f_hi - f_lo, self.element_bytes, self.block_bytes
+            )
+            kind = "compute"
+        else:
+            size_fltr = None
+            kind = "merge"
+
+        self._layers.append(
+            LayerObservation(
+                index=li,
+                kind=kind,
+                sources=tuple(sources),
+                size_ifm_per_source=tuple(ifm_sizes),
+                size_ofm=size_ofm,
+                size_fltr=size_fltr,
+                duration=max(1, end_cycle - self._layer_start_cycle),
+                read_transactions=self._reads,
+                write_transactions=self._writes,
+            )
+        )
+        self._write_ranges.append((ofm_lo, ofm_hi))
+        self._reset_layer()
+
+    def finish(self, obs: StructureObservation) -> TraceAnalysis:
+        """Finalise the last layer and assemble the analysis.
+
+        ``obs`` supplies what only the completed run knows: the
+        wall-clock duration (which closes the final layer's window, as
+        in the batch path) and the class count read off the host API.
+        """
+        if self._finished:
+            raise TraceError("analyzer already finished")
+        if self._tracker.num_events == 0:
+            raise TraceError("empty trace")
+        if (
+            tuple(obs.input_shape) != self.input_shape
+            or obs.element_bytes != self.element_bytes
+            or obs.block_bytes != self.block_bytes
+        ):
+            raise TraceError(
+                "observation geometry disagrees with the analyzer's "
+                "construction parameters"
+            )
+        self._finalize_layer(end_cycle=obs.total_cycles)
+        self._finished = True
+        return TraceAnalysis(
+            layers=tuple(self._layers),
+            input_shape=self.input_shape,  # type: ignore[arg-type]
+            num_classes=obs.num_classes,
+            element_bytes=self.element_bytes,
+            block_bytes=self.block_bytes,
+        )
+
+
 def _contiguous_extent(addresses: np.ndarray, block_bytes: int) -> tuple[int, int]:
     """(lo, hi_exclusive) byte extent of a set of block addresses.
 
@@ -257,8 +688,18 @@ def _split_first_layer_reads(
 
 
 def analyse_trace(obs: StructureObservation) -> TraceAnalysis:
-    """Run the full trace analysis on a structure-attack observation."""
+    """Run the full trace analysis on a structure-attack observation.
+
+    This is the batch reference implementation; it needs the whole trace
+    in memory.  Observations captured through a streaming sink carry no
+    trace — analyse those with :class:`StreamingTraceAnalyzer` instead.
+    """
     trace = obs.trace
+    if trace is None:
+        raise TraceError(
+            "observation carries no materialised trace (it was streamed "
+            "to a sink); use StreamingTraceAnalyzer for streaming runs"
+        )
     addresses, is_write, cycles = trace.addresses, trace.is_write, trace.cycles
     boundaries = find_layer_boundaries(addresses, is_write)
     n_events = len(addresses)

@@ -133,8 +133,8 @@ class WeightAttack:
         channel: the attacker's :class:`~repro.device.DeviceSession` on
             the victim (must be per-plane; aggregate devices are attacked
             with :mod:`repro.attacks.weights.aggregate`).  Any object
-            with the session's channel surface works — the deprecated
-            ``ZeroPruningChannel`` and defence wrappers included.
+            with the session's channel surface works — defence wrappers
+            included.
         target: structural knowledge of the attacked stage.
         search_steps: bisection iterations per crossing (64 reaches
             float64 resolution over any practical input range).

@@ -22,12 +22,14 @@ from repro.accel import (
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
+    SpoolSink,
+    StatsSink,
+    TeeSink,
     TimingModel,
 )
 from repro.attacks.clone import clone_model, prediction_agreement
 from repro.attacks.structure import (
     PracticalityRules,
-    find_layer_boundaries,
     run_structure_attack,
 )
 from repro.attacks.weights import (
@@ -42,7 +44,7 @@ from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 from repro.nn.zoo import MODEL_BUILDERS, build_model
 from repro.report import render_table
-from repro.report.traceviz import render_access_pattern, render_layer_timeline
+from repro.report.traceviz import AccessPatternRaster, render_layer_timeline
 
 __all__ = ["main"]
 
@@ -73,20 +75,31 @@ def cmd_simulate(args) -> int:
     x = np.random.default_rng(args.seed).normal(
         size=(1, *staged.network.input_shape)
     )
-    result = sim.run(x)
-    print(f"model: {staged.name}  stages: {len(staged.stages)}  "
-          f"parameters: {staged.network.num_parameters:,}")
-    print(f"trace: {len(result.trace):,} transactions over "
-          f"{result.total_cycles:,} cycles "
-          f"({'pruned' if args.pruned else 'dense'} writes)\n")
-    names = [w.name for w in result.windows]
-    durations = [w.duration for w in result.windows]
-    print(render_layer_timeline(names, durations))
-    print()
-    print(render_access_pattern(result.trace, rows=18, cols=72))
-    if args.save_trace:
-        result.trace.save(args.save_trace)
-        print(f"\ntrace saved to {args.save_trace}")
+    # Stream the trace: stats for extents/counts, a disk spool for the
+    # two-pass renderer and export — never the whole trace in memory.
+    stats = StatsSink()
+    with SpoolSink() as spool:
+        result = sim.run(x, sink=TeeSink(spool, stats))
+        print(f"model: {staged.name}  stages: {len(staged.stages)}  "
+              f"parameters: {staged.network.num_parameters:,}")
+        print(f"trace: {stats.events:,} transactions over "
+              f"{result.total_cycles:,} cycles "
+              f"({'pruned' if args.pruned else 'dense'} writes)\n")
+        names = [w.name for w in result.windows]
+        durations = [w.duration for w in result.windows]
+        print(render_layer_timeline(names, durations))
+        print()
+        raster = AccessPatternRaster(
+            stats.min_address, stats.max_address,
+            stats.min_cycle, stats.max_cycle,
+            rows=18, cols=72,
+        )
+        for span in spool.spans():
+            raster.emit(span)
+        print(raster.render())
+        if args.save_trace:
+            spool.trace().save(args.save_trace)
+            print(f"\ntrace saved to {args.save_trace}")
     return 0
 
 
@@ -98,9 +111,7 @@ def cmd_structure(args) -> int:
         sim, tolerance=args.tolerance, rules=rules, runs=args.runs,
         workers=args.workers,
     )
-    obs = result.observation
-    boundaries = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
-    print(f"layers detected: {len(boundaries)}")
+    print(f"layers detected: {len(result.boundaries)}")
     rows = [
         (l.index, l.kind, l.sources, str(l.size_ofm), str(l.size_fltr),
          f"{l.duration:,}")

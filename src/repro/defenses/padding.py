@@ -27,11 +27,11 @@ __all__ = ["PaddedChannel", "PaddingOverhead", "measure_padding_overhead"]
 class PaddedChannel:
     """A zero-pruning channel whose device pads writes to worst case.
 
-    Wraps a :class:`~repro.device.DeviceSession` (or the deprecated
-    ``ZeroPruningChannel``) but returns the plane capacity for every
-    query — exactly what the adversary would count when every plane is
-    padded with dummy writes.  The query accounting still runs on the
-    inner handle so attack cost comparisons stay meaningful.
+    Wraps a :class:`~repro.device.DeviceSession` but returns the plane
+    capacity for every query — exactly what the adversary would count
+    when every plane is padded with dummy writes.  The query accounting
+    still runs on the inner session so attack cost comparisons stay
+    meaningful.
     """
 
     def __init__(self, inner: DeviceSession):

@@ -1,16 +1,17 @@
 """The attacker/device boundary: sessions, accounting, backends.
 
 This package is the only sanctioned way for attacks to touch a victim
-device.  :class:`DeviceSession` subsumes the deprecated
-``repro.accel.observe`` handles (``observe_structure`` /
-``ZeroPruningChannel``) and adds query accounting, memoisation and
-batched channel queries; :mod:`repro.device.backends` replaces the old
-``prefer_sparse`` flag with a capability-based registry.  A guard test
-asserts that nothing under :mod:`repro.attacks` imports simulator or
-oracle internals directly.
+device.  :class:`DeviceSession` meters every inference, channel query
+and trace byte on a :class:`QueryLedger`, memoises and batches channel
+queries, and streams structure-attack traces span-by-span into an
+attacker-supplied :class:`~repro.accel.trace.TraceSink`;
+:mod:`repro.device.backends` replaces the old ``prefer_sparse`` flag
+with a capability-based registry.  A guard test asserts that nothing
+under :mod:`repro.attacks` imports simulator or oracle internals
+directly.
 """
 
-from repro.accel.observe import StructureObservation
+from repro.device.observation import StructureObservation
 from repro.device.backends import (
     BackendSpec,
     available_backends,

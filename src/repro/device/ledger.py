@@ -11,13 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.accel.trace import TRACE_EVENT_BYTES
 from repro.errors import ConfigError, QueryBudgetExceeded
 
 __all__ = ["QueryLedger", "TRACE_EVENT_BYTES"]
-
-# Wire size of one trace event as the adversary records it: an int64
-# cycle stamp, an int64 block address and a one-byte R/W flag.
-TRACE_EVENT_BYTES = 17
 
 
 @dataclass

@@ -1,0 +1,53 @@
+"""The structure attacker's observation record (paper Section 3).
+
+Table 1 of the paper gives each attack a different assumption set:
+
+=============================  =========  =======
+Assumption                     Structure  Weights
+=============================  =========  =======
+Observe memory access pattern  Y          y (writes only)
+Observe the input value        N          Y
+Control the input value        N          Y
+Possess training data          Y          N
+Know the network structure     n/a        Y
+=============================  =========  =======
+
+:class:`StructureObservation` is everything the structure side may use:
+the memory trace (or, when the observation streamed through a sink, the
+attacker's own sink holds the spans and ``trace`` is ``None``), the
+wall-clock timing, and the public I/O geometry — never values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.trace import MemoryTrace
+
+__all__ = ["StructureObservation"]
+
+
+@dataclass(frozen=True)
+class StructureObservation:
+    """Everything the structure attacker may use (paper Section 3).
+
+    Attributes:
+        trace: the off-chip memory trace (addresses, R/W, cycles), or
+            ``None`` when the observation was streamed span-by-span into
+            an attacker-supplied sink (the sink saw every event; nothing
+            was materialised device-side).
+        input_shape: the accelerator's input geometry ``(C, H, W)`` —
+            the adversary feeds the inputs, so their shape is known.
+        num_classes: size of the classification output the host reads.
+        element_bytes: public device parameter (data word size).
+        block_bytes: public device parameter (DRAM transaction size).
+        total_cycles: wall-clock duration of the inference — the
+            adversary can always time the device end to end.
+    """
+
+    trace: MemoryTrace | None
+    input_shape: tuple[int, int, int]
+    num_classes: int
+    element_bytes: int
+    block_bytes: int
+    total_cycles: int

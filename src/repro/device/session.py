@@ -4,8 +4,8 @@ A :class:`DeviceSession` wraps a victim device (anything satisfying the
 :class:`VictimDevice` protocol — in practice an
 :class:`~repro.accel.simulator.AcceleratorSim`) and is the only handle
 attacks are allowed to hold.  Table 1 of the paper still governs what
-crosses the boundary; on top of that the session adds what the scattered
-``observe_structure`` / ``ZeroPruningChannel`` handles never had:
+crosses the boundary; on top of that the session adds what the old
+scattered per-attack handles never had:
 
 * **query accounting** — every inference, channel query and trace byte
   is metered in a :class:`~repro.device.ledger.QueryLedger`, with hard
@@ -30,14 +30,14 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.accel.observe import StructureObservation
-from repro.accel.observe import observe_structure as _observe_structure
 from repro.accel.oracle import Pixel, StageOracle
 from repro.accel.simulator import AcceleratorConfig, SimulationResult
 from repro.accel.timing import TimingModel
+from repro.accel.trace import TraceSink, TraceSpan
 from repro.device.backends import BackendSpec, resolve_backend
 from repro.device.cache import QueryCache
 from repro.device.ledger import QueryLedger
+from repro.device.observation import StructureObservation
 from repro.errors import ConfigError, ThreatModelViolation
 from repro.nn.stages import StagedNetwork
 
@@ -56,7 +56,33 @@ class VictimDevice(Protocol):
     staged: StagedNetwork
     config: AcceleratorConfig
 
-    def run(self, x: np.ndarray) -> SimulationResult: ...
+    def run(
+        self, x: np.ndarray, sink: TraceSink | None = None
+    ) -> SimulationResult: ...
+
+
+class _MeteredBoundary:
+    """The session's wrapper around an attacker-supplied trace sink.
+
+    Spans cross the boundary untouched (the access pattern is exactly
+    what the threat model leaks) and are counted for ledger accounting;
+    ``begin_stage`` is swallowed — stage identity is device ground
+    truth, not an attacker observation.
+    """
+
+    def __init__(self, inner: TraceSink) -> None:
+        self._inner = inner
+        self.events = 0
+
+    def emit(self, span: TraceSpan) -> None:
+        self.events += len(span)
+        self._inner.emit(span)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        pass
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 class DeviceSession:
@@ -159,6 +185,26 @@ class DeviceSession:
         return self._channel_oracle().input_shape
 
     @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """The device's input geometry ``(C, H, W)``.
+
+        Attacker-known before any trace is observed (the adversary feeds
+        the inputs) — unlike :attr:`input_shape` it does not touch the
+        zero-pruning channel, so it is available on dense devices too.
+        """
+        return self.device.staged.network.input_shape  # type: ignore[return-value]
+
+    @property
+    def element_bytes(self) -> int:
+        """Public device parameter: data word size in bytes."""
+        return self.device.config.memory.element_bytes
+
+    @property
+    def block_bytes(self) -> int:
+        """Public device parameter: DRAM transaction size in bytes."""
+        return self.device.config.memory.block_bytes
+
+    @property
     def backend(self) -> str:
         """Name of the backend serving this session's channel queries."""
         if self._backend_spec is None:
@@ -177,19 +223,49 @@ class DeviceSession:
 
     # -- structure side (paper Section 3) ---------------------------------
     def observe_structure(
-        self, x: np.ndarray | None = None, seed: int = 0
+        self,
+        x: np.ndarray | None = None,
+        seed: int = 0,
+        sink: TraceSink | None = None,
     ) -> StructureObservation:
-        """One metered inference yielding the structure attacker's view."""
+        """One metered inference yielding the structure attacker's view.
+
+        The structure attack does not need to *choose* inputs (Table 1:
+        control = N), so by default a generic random image is used.
+
+        With ``sink``, trace spans stream into the attacker's sink as
+        the device executes and the returned observation carries
+        ``trace=None`` — nothing is materialised, so trace memory is
+        whatever the sink retains.  Either way the full event count is
+        recorded on the ledger.
+        """
         if self.pruning_enabled:
             raise ThreatModelViolation(
                 "the Section 3 structure attack is defined on a dense-write "
                 "accelerator; use the pruning ablation benches for the "
                 "pruned-trace variant"
             )
+        if x is None:
+            rng = np.random.default_rng(seed)
+            x = rng.normal(size=(1, *self.image_shape))
         self.ledger.charge_inference()
-        observation = _observe_structure(self.device, x, seed=seed)
-        self.ledger.record_trace(len(observation.trace))
-        return observation
+        if sink is None:
+            result = self.device.run(x)
+            trace = result.trace
+            self.ledger.record_trace(len(trace))
+        else:
+            boundary = _MeteredBoundary(sink)
+            result = self.device.run(x, sink=boundary)
+            trace = None
+            self.ledger.record_trace(boundary.events)
+        return StructureObservation(
+            trace=trace,
+            input_shape=self.image_shape,
+            num_classes=int(result.output.shape[-1]),
+            element_bytes=self.element_bytes,
+            block_bytes=self.block_bytes,
+            total_cycles=result.total_cycles,
+        )
 
     def classify(self, x: np.ndarray) -> np.ndarray:
         """Submit an input batch and read the classification scores.
@@ -281,8 +357,7 @@ class DeviceSession:
         """Non-zero write counts for one crafted sparse input.
 
         Always returns an array: per-plane counts, or a length-1 array
-        holding the total in aggregate mode (unlike the deprecated
-        ``ZeroPruningChannel.query``, which returned a bare int there).
+        holding the total in aggregate mode.
         """
         values = np.atleast_1d(np.asarray(values, dtype=float))
         if values.shape != (len(pixels),):

@@ -37,9 +37,9 @@ class TraceError(ReproError):
 class ThreatModelViolation(ReproError):
     """An attack tried to observe state its threat model forbids.
 
-    The observation layer (:mod:`repro.accel.observe`) raises this when an
-    attack requests information outside the assumption matrix of Table 1
-    in the paper, e.g. the structure attack asking for data values.
+    The session layer (:mod:`repro.device`) raises this when an attack
+    requests information outside the assumption matrix of Table 1 in
+    the paper, e.g. the structure attack asking for data values.
     """
 
 

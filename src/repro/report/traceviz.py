@@ -4,6 +4,13 @@ Renders an address-vs-time density plot of a trace with read/write
 markers and optional layer-boundary ticks — the textual equivalent of
 the paper's Figure 3.  Used by the benches and handy for interactive
 trace inspection.
+
+The raster itself is streaming-friendly: :class:`AccessPatternRaster`
+downsamples event chunks into a fixed ``rows x cols`` grid as they
+arrive, so arbitrarily long traces render in O(grid) memory.  It
+implements the trace-sink protocol and can be fed directly from the
+simulator; :func:`render_access_pattern` is the batch wrapper over it
+for a materialised :class:`~repro.accel.trace.MemoryTrace`.
 """
 
 from __future__ import annotations
@@ -13,7 +20,113 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.accel.trace import MemoryTrace
 
-__all__ = ["render_access_pattern", "render_layer_timeline"]
+__all__ = [
+    "AccessPatternRaster",
+    "render_access_pattern",
+    "render_layer_timeline",
+]
+
+
+class AccessPatternRaster:
+    """Streaming address-vs-time raster with a fixed memory footprint.
+
+    The extents must be known up front (they fix the binning); a
+    streaming caller gets them from a cheap first pass — e.g. a
+    :class:`~repro.accel.sinks.StatsSink` tallied during simulation —
+    and replays spooled spans into the raster for the second pass.
+    Writes always win a shared cell, whatever order chunks arrive in,
+    so the rendering is bit-identical to the batch path's.
+    """
+
+    def __init__(
+        self,
+        min_address: int,
+        max_address: int,
+        min_cycle: int,
+        max_cycle: int,
+        rows: int = 24,
+        cols: int = 96,
+    ) -> None:
+        if rows < 2 or cols < 2:
+            raise ConfigError("plot needs at least 2x2 cells")
+        self.rows = rows
+        self.cols = cols
+        self._lo_a = int(min_address)
+        self._hi_a = int(max_address) + 1
+        self._lo_c = int(min_cycle)
+        self._hi_c = int(max_cycle) + 1
+        self._read_hit = np.zeros((rows, cols), dtype=bool)
+        self._write_hit = np.zeros((rows, cols), dtype=bool)
+        self._events = 0
+
+    def _bin(self, cycles: np.ndarray, addresses: np.ndarray):
+        r = (
+            (addresses - self._lo_a)
+            * (self.rows - 1)
+            // max(1, self._hi_a - self._lo_a - 1)
+        ).astype(int)
+        c = (
+            (cycles - self._lo_c)
+            * (self.cols - 1)
+            // max(1, self._hi_c - self._lo_c - 1)
+        ).astype(int)
+        return r, c
+
+    def add(
+        self,
+        cycles: np.ndarray,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+    ) -> None:
+        """Downsample one event chunk into the grid."""
+        cycles = np.asarray(cycles)
+        addresses = np.asarray(addresses)
+        is_write = np.asarray(is_write, dtype=bool)
+        if len(cycles) == 0:
+            return
+        r, c = self._bin(cycles, addresses)
+        self._read_hit[r[~is_write], c[~is_write]] = True
+        self._write_hit[r[is_write], c[is_write]] = True
+        self._events += len(cycles)
+
+    # -- sink protocol ----------------------------------------------------
+    def emit(self, span) -> None:
+        self.add(span.cycles, span.addresses, span.is_write)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- rendering --------------------------------------------------------
+    def render(self, boundary_cycles: list[int] | None = None) -> str:
+        """The finished plot; ``boundary_cycles`` get ``^`` ruler ticks."""
+        if self._events == 0:
+            raise ConfigError("cannot render an empty trace")
+        grid = np.full((self.rows, self.cols), " ")
+        grid[self._read_hit] = "."
+        grid[self._write_hit] = "W"
+        lines = ["".join(row) for row in grid[::-1]]
+        if boundary_cycles is not None:
+            ruler = [" "] * self.cols
+            for cycle in boundary_cycles:
+                pos = int(
+                    (cycle - self._lo_c)
+                    * (self.cols - 1)
+                    // max(1, self._hi_c - self._lo_c - 1)
+                )
+                ruler[pos] = "^"
+            lines.append("".join(ruler))
+        lines.append(
+            "(address ^ vs time ->; '.'=read 'W'=write"
+            + (
+                " '^'=layer boundary)"
+                if boundary_cycles is not None
+                else ")"
+            )
+        )
+        return "\n".join(lines)
 
 
 def render_access_pattern(
@@ -32,32 +145,21 @@ def render_access_pattern(
         raise ConfigError("plot needs at least 2x2 cells")
     if len(trace) == 0:
         raise ConfigError("cannot render an empty trace")
-    lo_a, hi_a = int(trace.addresses.min()), int(trace.addresses.max()) + 1
-    lo_c, hi_c = int(trace.cycles.min()), int(trace.cycles.max()) + 1
-    grid = np.full((rows, cols), " ")
-    r = (
-        (trace.addresses - lo_a) * (rows - 1) // max(1, hi_a - lo_a - 1)
-    ).astype(int)
-    c = ((trace.cycles - lo_c) * (cols - 1) // max(1, hi_c - lo_c - 1)).astype(
-        int
+    raster = AccessPatternRaster(
+        min_address=int(trace.addresses.min()),
+        max_address=int(trace.addresses.max()),
+        min_cycle=int(trace.cycles.min()),
+        max_cycle=int(trace.cycles.max()),
+        rows=rows,
+        cols=cols,
     )
-    for is_write, marker in ((False, "."), (True, "W")):
-        sel = trace.is_write == is_write
-        grid[r[sel], c[sel]] = marker
-    lines = ["".join(row) for row in grid[::-1]]
-    if boundaries is not None:
-        ruler = [" "] * cols
-        for b in boundaries:
-            pos = int(
-                (trace.cycles[b] - lo_c) * (cols - 1) // max(1, hi_c - lo_c - 1)
-            )
-            ruler[pos] = "^"
-        lines.append("".join(ruler))
-    lines.append(
-        "(address ^ vs time ->; '.'=read 'W'=write"
-        + (" '^'=layer boundary)" if boundaries is not None else ")")
+    raster.add(trace.cycles, trace.addresses, trace.is_write)
+    boundary_cycles = (
+        [int(trace.cycles[b]) for b in boundaries]
+        if boundaries is not None
+        else None
     )
-    return "\n".join(lines)
+    return raster.render(boundary_cycles)
 
 
 def render_layer_timeline(

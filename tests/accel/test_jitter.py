@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import AcceleratorConfig, AcceleratorSim, TimingModel, observe_structure
+from repro.accel import AcceleratorConfig, AcceleratorSim, TimingModel
+
+from tests.conftest import observe_structure
 from repro.attacks.structure import analyse_trace, average_analyses
 from repro.errors import ConfigError, TraceError
 from repro.nn.zoo import build_lenet

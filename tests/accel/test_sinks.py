@@ -1,0 +1,280 @@
+"""Trace sinks: materialise / spool / stats / tee, and builder streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.accel import AcceleratorSim
+from repro.accel.sinks import (
+    MaterializeSink,
+    SpoolSink,
+    StatsSink,
+    TeeSink,
+)
+from repro.accel.trace import (
+    READ,
+    TRACE_EVENT_BYTES,
+    WRITE,
+    MemoryTrace,
+    TraceBuilder,
+    TraceSink,
+    TraceSpan,
+)
+from repro.nn.zoo import build_lenet
+
+
+def span(cycles, addresses, is_write) -> TraceSpan:
+    return TraceSpan(
+        np.asarray(cycles, np.int64),
+        np.asarray(addresses, np.int64),
+        np.asarray(is_write, bool),
+    )
+
+
+def feed(sink, *spans) -> None:
+    for s in spans:
+        sink.emit(s)
+    sink.close()
+
+
+SPANS = (
+    span([0, 1, 2], [0, 64, 128], [False, False, False]),
+    span([3], [256], [True]),
+    span([7, 8], [0, 64], [False, True]),
+)
+
+
+# -- span invariants -------------------------------------------------------
+
+def test_span_length_and_wire_size():
+    s = SPANS[0]
+    assert len(s) == 3
+    assert s.nbytes == 3 * TRACE_EVENT_BYTES
+
+
+def test_span_rejects_mismatched_arrays():
+    with pytest.raises(TraceError, match="mismatched lengths"):
+        span([0, 1], [0], [False])
+
+
+def test_all_sinks_satisfy_the_protocol():
+    for sink in (MaterializeSink(), StatsSink(), TeeSink(StatsSink())):
+        assert isinstance(sink, TraceSink)
+    with SpoolSink() as spool:
+        assert isinstance(spool, TraceSink)
+
+
+# -- MaterializeSink -------------------------------------------------------
+
+def test_materialize_concatenates_in_order():
+    sink = MaterializeSink()
+    feed(sink, *SPANS)
+    t = sink.trace()
+    assert sink.num_events == len(t) == 6
+    np.testing.assert_array_equal(t.cycles, [0, 1, 2, 3, 7, 8])
+    np.testing.assert_array_equal(t.addresses, [0, 64, 128, 256, 0, 64])
+    np.testing.assert_array_equal(
+        t.is_write, [False, False, False, True, False, True]
+    )
+
+
+def test_materialize_empty_stream_is_empty_trace():
+    sink = MaterializeSink()
+    sink.close()
+    t = sink.trace()
+    assert isinstance(t, MemoryTrace)
+    assert len(t) == 0
+
+
+# -- SpoolSink -------------------------------------------------------------
+
+def test_spool_without_spill_replays_buffered_spans():
+    with SpoolSink(budget_bytes=1 << 20) as spool:
+        feed(spool, *SPANS)
+        assert spool.num_chunks == 0
+        assert spool.buffered_bytes == 6 * TRACE_EVENT_BYTES
+        assert spool.spilled_bytes == 0
+        replayed = list(spool.spans())
+        assert [len(s) for s in replayed] == [3, 1, 2]
+
+
+def test_spool_spills_past_budget_and_replays_in_order():
+    # A tiny budget forces a flush after every span.
+    with SpoolSink(budget_bytes=1) as spool:
+        feed(spool, *SPANS)
+        assert spool.num_chunks == 3
+        assert spool.buffered_bytes == 0
+        assert spool.spilled_bytes == 6 * TRACE_EVENT_BYTES
+        t = spool.trace()
+        np.testing.assert_array_equal(t.cycles, [0, 1, 2, 3, 7, 8])
+        np.testing.assert_array_equal(t.addresses, [0, 64, 128, 256, 0, 64])
+
+
+def test_spool_replay_is_repeatable():
+    with SpoolSink(budget_bytes=40) as spool:
+        feed(spool, *SPANS)
+        first = [s.cycles for s in spool.spans()]
+        second = [s.cycles for s in spool.spans()]
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+def test_spool_trace_bit_identical_to_materialize():
+    mat = MaterializeSink()
+    feed(mat, *SPANS)
+    with SpoolSink(budget_bytes=1) as spool:
+        feed(spool, *SPANS)
+        spooled = spool.trace()
+    direct = mat.trace()
+    np.testing.assert_array_equal(spooled.cycles, direct.cycles)
+    np.testing.assert_array_equal(spooled.addresses, direct.addresses)
+    np.testing.assert_array_equal(spooled.is_write, direct.is_write)
+
+
+def test_spool_cleanup_removes_chunks(tmp_path):
+    spool = SpoolSink(budget_bytes=1, directory=str(tmp_path))
+    feed(spool, *SPANS)
+    assert len(list(tmp_path.iterdir())) == 3
+    spool.cleanup()
+    assert list(tmp_path.iterdir()) == []
+    assert spool.num_events == 0
+
+
+def test_spool_rejects_nonpositive_budget():
+    with pytest.raises(TraceError, match="budget must be positive"):
+        SpoolSink(budget_bytes=0)
+
+
+# -- StatsSink -------------------------------------------------------------
+
+def test_stats_tallies_and_extents():
+    sink = StatsSink()
+    feed(sink, *SPANS)
+    assert sink.events == 6
+    assert sink.reads == 4
+    assert sink.writes == 2
+    assert sink.bytes == 6 * TRACE_EVENT_BYTES
+    assert sink.min_address == 0
+    assert sink.max_address == 256
+    assert sink.min_cycle == 0
+    assert sink.max_cycle == 8
+
+
+def test_stats_without_stage_signals_has_no_stages():
+    sink = StatsSink()
+    feed(sink, *SPANS)
+    assert sink.stages == []
+
+
+def test_stats_per_stage_tallies():
+    sink = StatsSink()
+    sink.begin_stage("conv1", "conv")
+    sink.emit(SPANS[0])
+    sink.emit(SPANS[1])
+    sink.begin_stage("fc2", "fc")
+    sink.emit(SPANS[2])
+    sink.close()
+    assert [s.name for s in sink.stages] == ["conv1", "fc2"]
+    assert [s.events for s in sink.stages] == [4, 2]
+    assert sink.stages[0].writes == 1
+    assert sink.stages[1].reads == 1
+    assert sum(s.bytes for s in sink.stages) == sink.bytes
+
+
+def test_stats_extents_undefined_when_empty():
+    sink = StatsSink()
+    sink.close()
+    with pytest.raises(TraceError, match="extents are undefined"):
+        sink.min_address
+
+
+# -- TeeSink ---------------------------------------------------------------
+
+def test_tee_fans_out_to_all_sinks():
+    mat = MaterializeSink()
+    stats = StatsSink()
+    tee = TeeSink(mat, stats)
+    tee.begin_stage("conv1", "conv")
+    feed(tee, *SPANS)
+    assert mat.num_events == stats.events == 6
+    assert [s.name for s in stats.stages] == ["conv1"]
+
+
+def test_tee_requires_a_downstream():
+    with pytest.raises(TraceError, match="at least one downstream"):
+        TeeSink()
+
+
+# -- TraceBuilder streaming ------------------------------------------------
+
+def test_builder_with_sink_emits_and_refuses_build():
+    sink = MaterializeSink()
+    b = TraceBuilder(sink)
+    nxt = b.add_span(0, np.array([0, 64]), READ)
+    b.add_span(nxt, np.array([128]), WRITE)
+    assert sink.num_events == 3
+    with pytest.raises(TraceError, match="sink owns the events"):
+        b.build()
+
+
+def test_builder_with_sink_matches_builder_without():
+    plain = TraceBuilder()
+    sink = MaterializeSink()
+    streaming = TraceBuilder(sink)
+    for builder in (plain, streaming):
+        nxt = builder.add_span(
+            5, np.array([0, 64, 128]), READ, cycles_per_access=2
+        )
+        builder.add_span(nxt, np.array([256]), WRITE)
+    direct = plain.build()
+    streamed = sink.trace()
+    np.testing.assert_array_equal(streamed.cycles, direct.cycles)
+    np.testing.assert_array_equal(streamed.addresses, direct.addresses)
+    np.testing.assert_array_equal(streamed.is_write, direct.is_write)
+
+
+# -- simulator integration -------------------------------------------------
+
+def test_simulator_default_and_explicit_materialize_agree():
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    default = AcceleratorSim(build_lenet()).run(x)
+    sink = MaterializeSink()
+    explicit = AcceleratorSim(build_lenet()).run(x, sink=sink)
+    assert explicit.trace is not None  # MaterializeSink keeps the trace
+    np.testing.assert_array_equal(
+        default.trace.cycles, explicit.trace.cycles
+    )
+    np.testing.assert_array_equal(
+        default.trace.addresses, explicit.trace.addresses
+    )
+    np.testing.assert_array_equal(
+        default.trace.is_write, explicit.trace.is_write
+    )
+
+
+def test_simulator_with_external_sink_materialises_nothing():
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    stats = StatsSink()
+    result = AcceleratorSim(build_lenet()).run(x, sink=stats)
+    assert result.trace is None
+    assert stats.events > 0
+    # The device-side stream announces every stage in execution order.
+    assert [s.name for s in stats.stages] == [
+        st.name for st in build_lenet().stages
+    ]
+
+
+def test_simulator_spooled_trace_bit_identical_to_default():
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    default = AcceleratorSim(build_lenet()).run(x)
+    with SpoolSink(budget_bytes=4096) as spool:
+        result = AcceleratorSim(build_lenet()).run(x, sink=spool)
+        assert result.trace is None
+        assert spool.num_chunks > 0  # genuinely spilled to disk
+        spooled = spool.trace()
+    np.testing.assert_array_equal(default.trace.cycles, spooled.cycles)
+    np.testing.assert_array_equal(default.trace.addresses, spooled.addresses)
+    np.testing.assert_array_equal(default.trace.is_write, spooled.is_write)

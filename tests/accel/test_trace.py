@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder
+from repro.accel.trace import (
+    READ,
+    TRACE_FORMAT_VERSION,
+    WRITE,
+    MemoryTrace,
+    TraceBuilder,
+)
 
 
 def small_trace() -> MemoryTrace:
@@ -129,3 +135,85 @@ def test_save_load_round_trip_empty(tmp_path):
     assert len(loaded) == 0
     assert loaded.cycles.dtype == np.int64
     assert loaded.is_write.dtype == np.bool_
+
+
+# -- persistence error paths ----------------------------------------------
+
+def test_load_rejects_unreadable_file(tmp_path):
+    path = str(tmp_path / "garbage.npz")
+    with open(path, "wb") as fh:
+        fh.write(b"not an npz archive at all")
+    with pytest.raises(TraceError, match="cannot read trace file"):
+        MemoryTrace.load(path)
+    with pytest.raises(TraceError, match="cannot read trace file"):
+        MemoryTrace.load(str(tmp_path / "does-not-exist.npz"))
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    # A legitimate .npz that is simply not a trace (e.g. a spool chunk
+    # or somebody's weights) fails with a named-keys TraceError, not a
+    # bare KeyError.
+    path = str(tmp_path / "foreign.npz")
+    np.savez(path, weights=np.zeros(4), biases=np.zeros(2))
+    with pytest.raises(TraceError, match="is not a memory-trace file"):
+        MemoryTrace.load(path)
+
+
+def test_load_rejects_unversioned_trace(tmp_path):
+    # Pre-versioning files carry the arrays but no format stamp.
+    path = str(tmp_path / "old.npz")
+    t = small_trace()
+    np.savez(
+        path, cycles=t.cycles, addresses=t.addresses, is_write=t.is_write
+    )
+    with pytest.raises(TraceError, match="format_version"):
+        MemoryTrace.load(path)
+
+
+def test_load_rejects_future_format_version(tmp_path):
+    path = str(tmp_path / "future.npz")
+    t = small_trace()
+    np.savez(
+        path,
+        cycles=t.cycles,
+        addresses=t.addresses,
+        is_write=t.is_write,
+        format_version=np.int64(TRACE_FORMAT_VERSION + 1),
+    )
+    with pytest.raises(TraceError, match="format version"):
+        MemoryTrace.load(path)
+
+
+def test_saved_trace_is_version_stamped(tmp_path):
+    path = str(tmp_path / "stamped.npz")
+    small_trace().save(path)
+    with np.load(path) as data:
+        assert int(data["format_version"]) == TRACE_FORMAT_VERSION
+
+
+# -- multi-cycle access pacing --------------------------------------------
+
+def test_add_span_returns_next_free_cycle_with_slow_accesses():
+    b = TraceBuilder()
+    nxt = b.add_span(10, np.array([0, 64, 128]), READ, cycles_per_access=3)
+    # Accesses land at 10, 13, 16; the bus frees at 19.
+    assert nxt == 19
+    t = b.build()
+    np.testing.assert_array_equal(t.cycles, [10, 13, 16])
+
+
+def test_back_to_back_spans_with_slow_accesses_stay_monotonic():
+    b = TraceBuilder()
+    nxt = b.add_span(0, np.array([0, 64]), READ, cycles_per_access=4)
+    nxt = b.add_span(nxt, np.array([128, 192]), WRITE, cycles_per_access=2)
+    t = b.build()
+    assert (np.diff(t.cycles) > 0).all()
+    np.testing.assert_array_equal(t.cycles, [0, 4, 8, 10])
+
+
+def test_slow_access_span_rejects_preceding_start():
+    b = TraceBuilder()
+    b.add_span(0, np.array([0, 64, 128]), READ, cycles_per_access=5)
+    # The last access issued at cycle 10; starting earlier is time travel.
+    with pytest.raises(TraceError, match="precedes trace end"):
+        b.add_span(9, np.array([256]), WRITE)

@@ -8,7 +8,7 @@ import pytest
 from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
 from repro.attacks import clone_model, prediction_agreement
 from repro.attacks.clone import _verify_stolen_layer
-from repro.accel import ZeroPruningChannel
+from repro.device import DeviceSession
 from repro.data import make_dataset
 from repro.errors import AttackError
 from repro.nn.shapes import PoolSpec
@@ -80,7 +80,7 @@ def test_counts_predictor_matches_device():
     pruned = AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(pruned, "conv1")
+    channel = DeviceSession(pruned, "conv1")
     assert _verify_stolen_layer(
         channel, geom, conv.weight.value, conv.bias.value
     )

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+
+from tests.conftest import observe_structure
 from repro.attacks.structure import (
     DeviceKnowledge,
     PracticalityRules,

@@ -32,10 +32,10 @@ def test_observation_layer_refuses_pruned_structure_attack():
     sim = AcceleratorSim(
         build_lenet(), AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    from repro.accel import observe_structure
+    from repro.device import DeviceSession
 
     with pytest.raises(ThreatModelViolation):
-        observe_structure(sim)
+        DeviceSession(sim).observe_structure()
 
 
 def test_boundaries_still_visible_in_pruned_trace():
@@ -52,7 +52,7 @@ def test_size_extraction_breaks_on_pruned_trace():
     input-dependent, so the extracted extents either stop being
     contiguous (TraceError) or no longer contain the true tensor sizes
     — either way the attacker's Eq. (1)-(3) inputs are corrupted."""
-    from repro.accel.observe import StructureObservation
+    from repro.device import StructureObservation
 
     result = pruned_trace()
     sim_cfg = AcceleratorConfig(pruning=PruningConfig(enabled=True))

@@ -1,0 +1,172 @@
+"""Streaming trace analysis: bit-identity with the batch reference.
+
+The acceptance bar of the streaming refactor: for LeNet AND AlexNet,
+folding the span stream through :class:`StreamingTraceAnalyzer` (and the
+boundary trackers) yields exactly the objects the batch functions
+compute from the materialised trace — for any chunking of the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim
+from repro.attacks.structure import run_structure_attack
+from repro.attacks.structure.trace_analysis import (
+    BoundaryTracker,
+    RawBoundaryTracker,
+    StreamingTraceAnalyzer,
+    analyse_trace,
+    find_layer_boundaries,
+    find_layer_boundaries_raw,
+)
+from repro.device import DeviceSession
+from repro.errors import TraceError
+from repro.nn.zoo import build_alexnet, build_lenet
+
+VICTIMS = {
+    "lenet": lambda: build_lenet(),
+    "alexnet": lambda: build_alexnet(width_scale=0.25, num_classes=100),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(VICTIMS))
+def observed(request):
+    """(name, materialised observation, batch analysis) per victim."""
+    session = DeviceSession(AcceleratorSim(VICTIMS[request.param]()))
+    obs = session.observe_structure(seed=1)
+    return request.param, obs, analyse_trace(obs)
+
+
+def chunked(trace, size):
+    for lo in range(0, len(trace), size):
+        hi = min(lo + size, len(trace))
+        yield (
+            trace.cycles[lo:hi],
+            trace.addresses[lo:hi],
+            trace.is_write[lo:hi],
+        )
+
+
+# -- boundary trackers -----------------------------------------------------
+
+@pytest.mark.parametrize("chunk", [1, 7, 1000])
+def test_boundary_tracker_matches_batch_for_any_chunking(observed, chunk):
+    _, obs, _ = observed
+    trace = obs.trace
+    tracker = BoundaryTracker()
+    for _, _, is_write in chunked(trace, chunk):
+        tracker.feed(is_write)
+    assert tracker.boundaries == find_layer_boundaries(
+        trace.addresses, trace.is_write
+    )
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 1000])
+def test_raw_boundary_tracker_matches_batch_for_any_chunking(observed, chunk):
+    _, obs, _ = observed
+    trace = obs.trace
+    tracker = RawBoundaryTracker()
+    for _, addresses, is_write in chunked(trace, chunk):
+        tracker.feed(addresses, is_write)
+    assert tracker.boundaries == find_layer_boundaries_raw(
+        trace.addresses, trace.is_write
+    )
+
+
+def test_empty_trackers_raise_like_the_batch_functions():
+    with pytest.raises(TraceError, match="empty trace"):
+        BoundaryTracker().boundaries
+    with pytest.raises(TraceError, match="empty trace"):
+        RawBoundaryTracker().boundaries
+
+
+# -- streaming analyzer ----------------------------------------------------
+
+@pytest.mark.parametrize("chunk", [13, 4096])
+def test_streaming_analysis_bit_identical_to_batch(observed, chunk):
+    _, obs, batch = observed
+    analyzer = StreamingTraceAnalyzer(
+        obs.input_shape, obs.element_bytes, obs.block_bytes
+    )
+    for cycles, addresses, is_write in chunked(obs.trace, chunk):
+        analyzer.feed(cycles, addresses, is_write)
+    assert analyzer.finish(obs) == batch
+
+
+def test_end_to_end_sink_analysis_bit_identical(observed):
+    # The analyzer runs as the session's sink: nothing materialised,
+    # same TraceAnalysis bit for bit.
+    name, obs, batch = observed
+    session = DeviceSession(AcceleratorSim(VICTIMS[name]()))
+    analyzer = StreamingTraceAnalyzer(
+        session.image_shape, session.element_bytes, session.block_bytes
+    )
+    streamed_obs = session.observe_structure(seed=1, sink=analyzer)
+    assert streamed_obs.trace is None
+    assert session.ledger.trace_events == len(obs.trace)
+    assert analyzer.finish(streamed_obs) == batch
+    assert analyzer.boundaries == find_layer_boundaries(
+        obs.trace.addresses, obs.trace.is_write
+    )
+
+
+def test_streaming_attack_equals_batch_attack(observed):
+    name, _, _ = observed
+    streaming = run_structure_attack(
+        AcceleratorSim(VICTIMS[name]()), seed=1, streaming=True
+    )
+    batch = run_structure_attack(
+        AcceleratorSim(VICTIMS[name]()), seed=1, streaming=False
+    )
+    assert streaming.observation.trace is None
+    assert batch.observation.trace is not None
+    assert streaming.analysis == batch.analysis
+    assert streaming.boundaries == batch.boundaries
+    assert streaming.count == batch.count
+    assert len(streaming.candidates) == len(batch.candidates)
+
+
+# -- error paths -----------------------------------------------------------
+
+def test_analyzer_finish_requires_events():
+    analyzer = StreamingTraceAnalyzer((1, 8, 8), 1, 64)
+    with pytest.raises(TraceError, match="empty trace"):
+        analyzer.finish(None)
+
+
+def test_analyzer_rejects_geometry_mismatch(observed):
+    _, obs, _ = observed
+    analyzer = StreamingTraceAnalyzer(
+        obs.input_shape, obs.element_bytes * 2, obs.block_bytes
+    )
+    for chunk in chunked(obs.trace, 4096):
+        analyzer.feed(*chunk)
+    with pytest.raises(TraceError, match="geometry disagrees"):
+        analyzer.finish(obs)
+
+
+def test_analyzer_single_use(observed):
+    _, obs, _ = observed
+    analyzer = StreamingTraceAnalyzer(
+        obs.input_shape, obs.element_bytes, obs.block_bytes
+    )
+    for chunk in chunked(obs.trace, 4096):
+        analyzer.feed(*chunk)
+    analyzer.finish(obs)
+    with pytest.raises(TraceError, match="already finished"):
+        analyzer.feed(obs.trace.cycles, obs.trace.addresses, obs.trace.is_write)
+    with pytest.raises(TraceError, match="already finished"):
+        analyzer.finish(obs)
+
+
+def test_batch_analysis_refuses_streamed_observation(observed):
+    name, _, _ = observed
+    session = DeviceSession(AcceleratorSim(VICTIMS[name]()))
+    analyzer = StreamingTraceAnalyzer(
+        session.image_shape, session.element_bytes, session.block_bytes
+    )
+    streamed_obs = session.observe_structure(seed=1, sink=analyzer)
+    with pytest.raises(TraceError, match="no materialised trace"):
+        analyse_trace(streamed_obs)

@@ -13,12 +13,12 @@ from pathlib import Path
 
 ATTACKS_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "attacks"
 
-# Device internals: trace emission, count oracles, the deprecated handles.
+# Device internals: trace emission, count oracles, sink implementations.
 FORBIDDEN = (
     "repro.accel",  # the bare package re-exports the simulator
     "repro.accel.simulator",
     "repro.accel.oracle",
-    "repro.accel.observe",
+    "repro.accel.sinks",
     "repro.accel.pruning",
 )
 # Public datasheet knowledge the structure attack is allowed to hold.

@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+
+from tests.conftest import observe_structure
 from repro.attacks.structure import (
     INPUT_SOURCE,
     SizeRange,

@@ -14,12 +14,12 @@ from repro.attacks.weights import (
 from repro.errors import AttackError
 from repro.nn.shapes import PoolSpec
 
-from tests.conftest import build_conv_stage, pruned_channel
+from tests.conftest import build_conv_stage, pruned_session
 
 
 def test_positive_bias_sweep_recovers_biases():
     staged, _, _, biases = build_conv_stage(relu_threshold=0.0, seed=5, w=10, c=1, d=5)
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     recovered = recover_positive_biases(channel)
     positive = biases > 0
     np.testing.assert_allclose(recovered[positive], biases[positive], atol=1e-9)
@@ -30,7 +30,7 @@ def test_threshold_attack_exact_weights_no_pool():
     staged, geom, weights, biases = build_conv_stage(
         relu_threshold=0.0, seed=5, w=10, c=1, d=5
     )
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     result = ThresholdWeightAttack(
         channel, AttackTarget.from_geometry(geom), t1=2.0, t2=5.0
     ).run()
@@ -45,7 +45,7 @@ def test_threshold_attack_desaturates_pooled_positive_bias():
         relu_threshold=0.0, seed=6, w=10, c=1, d=4,
         pool=PoolSpec(2, 2, 0), bias_sign=1.0,
     )
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     t1 = float(biases.max()) + 0.5
     result = ThresholdWeightAttack(
         channel, AttackTarget.from_geometry(geom), t1=t1, t2=t1 + 3.0
@@ -57,14 +57,14 @@ def test_threshold_attack_desaturates_pooled_positive_bias():
 
 def test_threshold_attack_validation():
     staged, geom, _, _ = build_conv_stage(relu_threshold=0.0)
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     with pytest.raises(AttackError):
         ThresholdWeightAttack(channel, AttackTarget.from_geometry(geom), t1=1.0, t2=1.0)
 
 
 def test_threshold_restored_after_attack():
     staged, geom, _, _ = build_conv_stage(relu_threshold=0.0, w=8, c=1, d=2)
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     ThresholdWeightAttack(
         channel, AttackTarget.from_geometry(geom), t1=1.0, t2=2.0
     ).run()
@@ -76,7 +76,7 @@ def test_aggregate_attack_recovers_visible_crossings():
     staged, geom, weights, biases = build_conv_stage(
         seed=5, w=10, c=1, d=5, bias_sign=None, zero_fraction=0.0
     )
-    channel = pruned_channel(staged, granularity="aggregate")
+    channel = pruned_session(staged, granularity="aggregate")
     # Resolution must separate neighbouring crossings or their steps
     # merge (documented limitation); 8192 segments over [-256, 256]
     # resolve anything further apart than 1/16.
@@ -96,13 +96,13 @@ def test_aggregate_attack_recovers_visible_crossings():
 
 def test_aggregate_attack_works_on_plane_channel_too():
     staged, _, weights, biases = build_conv_stage(seed=5, w=10, c=1, d=3, zero_fraction=0.0)
-    channel = pruned_channel(staged, granularity="plane")
+    channel = pruned_session(staged, granularity="plane")
     result = recover_crossing_multiset(channel, resolution=256)
     assert len(result.crossings) >= 1
 
 
 def test_aggregate_resolution_validation():
     staged, _, _, _ = build_conv_stage()
-    channel = pruned_channel(staged, granularity="aggregate")
+    channel = pruned_session(staged, granularity="aggregate")
     with pytest.raises(AttackError):
         recover_crossing_multiset(channel, resolution=1)

@@ -15,14 +15,14 @@ from repro.attacks.weights import AttackTarget, WeightAttack, WeightStatus
 from repro.errors import AttackError
 from repro.nn.shapes import PoolSpec
 
-from tests.conftest import build_conv_stage, pruned_channel
+from tests.conftest import build_conv_stage, pruned_session
 
 PAPER_BOUND = 2.0**-10
 
 
 def run_attack(**kwargs):
     staged, geom, weights, biases = build_conv_stage(**kwargs)
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     result = WeightAttack(channel, AttackTarget.from_geometry(geom)).run()
     return result, weights, biases
 
@@ -94,14 +94,14 @@ def test_query_accounting_positive():
 
 def test_requires_per_plane_channel():
     staged, geom, _, _ = build_conv_stage()
-    channel = pruned_channel(staged, granularity="aggregate")
+    channel = pruned_session(staged, granularity="aggregate")
     with pytest.raises(AttackError):
         WeightAttack(channel, AttackTarget.from_geometry(geom))
 
 
 def test_geometry_mismatch_rejected():
     staged, geom, _, _ = build_conv_stage()
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     wrong = AttackTarget(
         w_ifm=geom.w_ifm + 2, d_ifm=geom.d_ifm, d_ofm=geom.d_ofm,
         f_conv=geom.f_conv, s_conv=geom.s_conv,
@@ -114,10 +114,10 @@ def test_attack_through_dense_oracle_matches_sparse():
     """The attack works identically through the slow reference oracle."""
     staged, geom, weights, biases = build_conv_stage(w=8, c=1, d=3, seed=2)
     fast = WeightAttack(
-        pruned_channel(staged), AttackTarget.from_geometry(geom)
+        pruned_session(staged), AttackTarget.from_geometry(geom)
     ).run()
     slow = WeightAttack(
-        pruned_channel(staged, prefer_sparse=False),
+        pruned_session(staged, backend="dense-sim"),
         AttackTarget.from_geometry(geom),
     ).run()
     np.testing.assert_allclose(fast.ratio_tensor(), slow.ratio_tensor())
@@ -129,7 +129,7 @@ def test_recovery_property_no_pool(seed):
     staged, geom, weights, biases = build_conv_stage(
         w=8, c=1, d=3, f=3, seed=seed
     )
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     result = WeightAttack(channel, AttackTarget.from_geometry(geom)).run()
     assert result.recovery_fraction() == 1.0
     assert result.max_ratio_error(weights, biases) < 1e-9
@@ -141,7 +141,7 @@ def test_recovery_property_pooled(seed):
     staged, geom, weights, biases = build_conv_stage(
         w=10, c=1, d=3, f=3, pool=PoolSpec(2, 2, 0), bias_sign=-1.0, seed=seed
     )
-    channel = pruned_channel(staged)
+    channel = pruned_session(staged)
     result = WeightAttack(channel, AttackTarget.from_geometry(geom)).run()
     resolved = result.resolved_mask()
     assert resolved.mean() > 0.95

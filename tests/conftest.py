@@ -9,7 +9,6 @@ from repro.accel import (
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
-    ZeroPruningChannel,
 )
 from repro.device import DeviceSession
 from repro.nn.shapes import PoolSpec
@@ -53,19 +52,13 @@ def build_conv_stage(
     return staged, geom, weights, biases
 
 
-def pruned_channel(
-    staged: StagedNetwork,
-    stage: str = "conv1",
-    granularity: str = "plane",
-    prefer_sparse: bool = True,
-) -> ZeroPruningChannel:
-    sim = AcceleratorSim(
-        staged,
-        AcceleratorConfig(
-            pruning=PruningConfig(enabled=True, granularity=granularity)
-        ),
-    )
-    return ZeroPruningChannel(sim, stage, prefer_sparse=prefer_sparse)
+def observe_structure(sim, x=None, seed: int = 0):
+    """Structure observation via the sanctioned session path.
+
+    Wraps the device in a throwaway :class:`DeviceSession` and returns a
+    materialised observation — the shape most tests want.
+    """
+    return DeviceSession(sim).observe_structure(x, seed=seed)
 
 
 def pruned_session(

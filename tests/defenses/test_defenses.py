@@ -6,7 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
 from repro.attacks.structure import find_layer_boundaries
 from repro.attacks.weights import AttackTarget, WeightAttack
 from repro.defenses import (
@@ -18,7 +18,7 @@ from repro.defenses import (
 from repro.errors import ConfigError
 from repro.nn.zoo import build_lenet
 
-from tests.conftest import build_conv_stage, pruned_channel
+from tests.conftest import build_conv_stage, observe_structure, pruned_session
 
 
 @pytest.fixture(scope="module")
@@ -64,7 +64,7 @@ def test_oram_config_validation():
 
 def test_padded_channel_is_constant():
     staged, geom, _, _ = build_conv_stage(seed=8)
-    channel = PaddedChannel(pruned_channel(staged))
+    channel = PaddedChannel(pruned_session(staged))
     a = channel.query([(0, 0, 0)], [5.0])
     b = channel.query([(0, 3, 3)], [-7.0])
     np.testing.assert_array_equal(a, b)
@@ -74,7 +74,7 @@ def test_padded_channel_is_constant():
 
 def test_weight_attack_fails_against_padding():
     staged, geom, _, _ = build_conv_stage(seed=8, w=8, c=1, d=3)
-    channel = PaddedChannel(pruned_channel(staged))
+    channel = PaddedChannel(pruned_session(staged))
     result = WeightAttack(channel, AttackTarget.from_geometry(geom)).run()
     # Constant counts look like "every weight is zero": nothing real is
     # recovered (no weight gets a non-zero ratio).

@@ -1,7 +1,7 @@
 """DeviceSession: the metered attacker/device boundary.
 
 Covers the acceptance bar for the session layer: bit-identity with the
-deprecated direct-channel path, exact budget semantics, cache accounting
+device's own pruning oracle, exact budget semantics, cache accounting
 that matches the attack's own query report, and the Table 1 guard rails.
 """
 
@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.accel import AcceleratorSim
+from repro.accel.oracle import make_stage_oracle
 from repro.attacks.weights import AttackTarget, WeightAttack
 from repro.device import (
     TRACE_EVENT_BYTES,
@@ -21,46 +22,47 @@ from repro.device import (
 from repro.errors import ConfigError, ThreatModelViolation
 from repro.nn.shapes import PoolSpec
 
-from tests.conftest import build_conv_stage, pruned_channel, pruned_session
+from tests.conftest import build_conv_stage, pruned_session
 
 PIXEL = [(0, 2, 2)]
 
 
-# -- bit-identity with the deprecated handles -----------------------------
+# -- bit-identity with the device's own oracle ----------------------------
 
-def test_query_matches_deprecated_channel_bitwise():
+def test_query_matches_device_oracle_bitwise():
     staged, _, _, _ = build_conv_stage(seed=5)
     session = pruned_session(staged)
-    legacy = pruned_channel(staged)
+    oracle = make_stage_oracle(staged, "conv1")
     for value in (0.0, -1.5, 2.25):
         reply = session.query(PIXEL, [value])
         assert reply.dtype == np.int64
-        assert np.array_equal(reply, legacy.query(PIXEL, [value]))
+        assert np.array_equal(
+            reply, oracle.nnz(PIXEL, np.asarray([value]))
+        )
 
 
 def test_aggregate_mode_returns_length_one_array():
     staged, _, _, _ = build_conv_stage(seed=5)
     session = pruned_session(staged, granularity="aggregate")
-    legacy = pruned_channel(staged, granularity="aggregate")
+    oracle = make_stage_oracle(staged, "conv1")
     reply = session.query(PIXEL, [1.5])
     assert reply.shape == (1,)
-    # The deprecated shim returns a bare int here; same number.
-    assert int(reply[0]) == legacy.query(PIXEL, [1.5])
+    # One aggregate stream: the sum of the device's per-plane counts.
+    assert int(reply[0]) == int(oracle.nnz(PIXEL, np.asarray([1.5])).sum())
 
 
-def test_session_attack_bit_identical_to_direct_channel():
+def test_session_attack_bit_identical_with_and_without_cache():
+    # Caching changes attack *cost*, never attack *observations*.
     staged, geom, _, _ = build_conv_stage(
         pool=PoolSpec(2, 2, 0), bias_sign=-1.0, seed=4
     )
     target = AttackTarget.from_geometry(geom)
-    via_session = WeightAttack(pruned_session(staged), target).run()
-    via_channel = WeightAttack(pruned_channel(staged), target).run()
-    assert np.array_equal(
-        via_session.ratio_tensor(), via_channel.ratio_tensor()
-    )
-    assert np.array_equal(
-        via_session.resolved_mask(), via_channel.resolved_mask()
-    )
+    cached = WeightAttack(pruned_session(staged), target).run()
+    uncached = WeightAttack(
+        pruned_session(staged, cache_size=0), target
+    ).run()
+    assert np.array_equal(cached.ratio_tensor(), uncached.ratio_tensor())
+    assert np.array_equal(cached.resolved_mask(), uncached.resolved_mask())
 
 
 # -- batching -------------------------------------------------------------
@@ -117,11 +119,11 @@ def test_cache_disabled_charges_every_run():
 def test_per_filter_decomposition_shares_cached_runs():
     staged, geom, _, _ = build_conv_stage()
     session = pruned_session(staged)
-    legacy = pruned_channel(staged)
+    oracle = make_stage_oracle(staged, "conv1")
     values = np.zeros((1, geom.d_ofm))
     values[0, 0] = 1.5  # every other filter probes the idle 0.0 run
     counts = session.query_per_filter(PIXEL, values)
-    assert np.array_equal(counts, legacy.query_per_filter(PIXEL, values))
+    assert np.array_equal(counts, oracle.nnz_per_filter(PIXEL, values))
     assert session.queries == 2  # the 1.5 run plus one shared 0.0 run
 
 
@@ -169,6 +171,18 @@ def test_shared_ledger_accumulates_across_sessions():
     with pytest.raises(QueryBudgetExceeded):
         a.query(PIXEL, [3.0])
     assert ledger.channel_queries == 2
+
+
+def test_structure_observation_fields():
+    staged, _, _, _ = build_conv_stage()
+    session = DeviceSession(AcceleratorSim(staged))
+    obs = session.observe_structure(seed=0)
+    assert obs.input_shape == session.image_shape
+    assert obs.num_classes > 0
+    assert obs.total_cycles > 0
+    assert len(obs.trace) > 0
+    # No data values anywhere in the observation (Table 1).
+    assert not hasattr(obs, "output")
 
 
 def test_structure_observation_is_metered():

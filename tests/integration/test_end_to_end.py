@@ -8,8 +8,6 @@ from repro.accel import (
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
-    ZeroPruningChannel,
-    observe_structure,
 )
 from repro.attacks.structure import (
     PracticalityRules,
@@ -19,11 +17,14 @@ from repro.attacks.structure import (
     run_structure_attack,
 )
 from repro.attacks.weights import AttackTarget, WeightAttack
+from repro.device import DeviceSession
 from repro.data import make_dataset
 from repro.nn.shapes import PoolSpec
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 from repro.nn.zoo import build_lenet
+
+from tests.conftest import observe_structure
 
 
 def test_structure_then_rank_pipeline():
@@ -79,7 +80,7 @@ def test_structure_then_weight_attack_chain():
     pruned_sim = AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(pruned_sim, "conv1")
+    channel = DeviceSession(pruned_sim, "conv1")
     attack = WeightAttack(channel, AttackTarget.from_geometry(match))
     result = attack.run()
     assert result.recovery_fraction() == 1.0
@@ -121,7 +122,7 @@ def test_weight_attack_against_full_trace_counts():
     sim = AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(sim, "conv1")
+    channel = DeviceSession(sim, "conv1")
     x = np.zeros((1, 1, 10, 10))
     x[0, 0, 4, 4] = 1.7
     run = sim.run(x)

@@ -15,8 +15,8 @@ from repro.accel import (
     AcceleratorConfig,
     AcceleratorSim,
     PruningConfig,
-    ZeroPruningChannel,
 )
+from repro.device import DeviceSession
 from repro.attacks.structure import run_structure_attack
 from repro.attacks.weights import AttackTarget, ThresholdWeightAttack
 from repro.nn.shapes import PoolSpec
@@ -93,7 +93,7 @@ def test_threshold_attack_exact_on_random_filters(seed):
     sim = AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    channel = ZeroPruningChannel(sim, "conv1")
+    channel = DeviceSession(sim, "conv1")
     result = ThresholdWeightAttack(
         channel, AttackTarget.from_geometry(geom), t1=0.0, t2=2.0
     ).run()

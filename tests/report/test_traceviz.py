@@ -5,11 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import AcceleratorSim, observe_structure
+from repro.accel import AcceleratorSim
+
+from tests.conftest import observe_structure
 from repro.attacks.structure import find_layer_boundaries
 from repro.errors import ConfigError
 from repro.nn.zoo import build_lenet
-from repro.report.traceviz import render_access_pattern, render_layer_timeline
+from repro.report.traceviz import (
+    AccessPatternRaster,
+    render_access_pattern,
+    render_layer_timeline,
+)
 
 
 def test_access_pattern_renders_markers():
@@ -42,6 +48,34 @@ def test_access_pattern_validation():
     )
     with pytest.raises(ConfigError):
         render_access_pattern(empty)
+
+
+def test_streamed_raster_matches_batch_render():
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    trace = obs.trace
+    boundaries = find_layer_boundaries(trace.addresses, trace.is_write)
+    batch = render_access_pattern(trace, boundaries, rows=12, cols=48)
+    raster = AccessPatternRaster(
+        int(trace.addresses.min()), int(trace.addresses.max()),
+        int(trace.cycles.min()), int(trace.cycles.max()),
+        rows=12, cols=48,
+    )
+    # Awkward chunking reorders nothing but splits read/write cells
+    # across add() calls; writes must still win their cells.
+    for lo in range(0, len(trace), 29):
+        hi = min(lo + 29, len(trace))
+        raster.add(
+            trace.cycles[lo:hi], trace.addresses[lo:hi], trace.is_write[lo:hi]
+        )
+    streamed = raster.render([int(trace.cycles[b]) for b in boundaries])
+    assert streamed == batch
+
+
+def test_raster_refuses_empty_render():
+    raster = AccessPatternRaster(0, 64, 0, 10, rows=4, cols=8)
+    with pytest.raises(ConfigError):
+        raster.render()
 
 
 def test_layer_timeline_bars():
