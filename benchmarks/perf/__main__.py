@@ -252,12 +252,91 @@ def bench_memory(workers: int, quick: bool, scale: str) -> dict:
     return entry
 
 
+# -- bench: noisy-channel attack smoke ----------------------------------------
+def bench_channel(workers: int, quick: bool, scale: str) -> dict:
+    """Channel-ablation smoke: robust attacks under two noise points.
+
+    Point one is a noisy trace channel (drops, duplication, latency
+    reordering) driving the consensus boundary recovery on a tiny
+    ConvNet; point two is a noisy nnz counter driving the calibrated
+    repeat-and-vote weight attack, serial vs sharded.  ``identical``
+    asserts the parallel-determinism contract extends to noise: the
+    voted ratios match bit for bit at any worker count *and* equal the
+    ideal-channel result.
+    """
+    from repro.attacks.robust import (
+        VotingChannel,
+        boundary_cycles_from_trace,
+        boundary_f1,
+        calibrate_channel,
+        recover_boundaries,
+    )
+    from repro.channel import ChannelModel
+
+    # Trace-noise point: boundary recovery must stay exact.
+    net = build_model("convnet" if not quick else "lenet")
+    truth = boundary_cycles_from_trace(
+        DeviceSession(AcceleratorSim(net)).observe_structure(seed=0).trace
+    )
+    trace_channel = ChannelModel(
+        drop_rate=0.02, dup_rate=0.01, cycle_sigma=60.0, seed=11
+    )
+    noisy = DeviceSession(AcceleratorSim(net), channel=trace_channel)
+    result = recover_boundaries(noisy, runs=3)
+    f1 = boundary_f1(
+        result.boundaries, truth, tol=trace_channel.latency_window + 50
+    ).f1
+
+    # Counter-noise point: voted weight attack, workers=1 vs workers=N.
+    # Single input channel keeps the repeat-inflated query count small
+    # enough for a smoke run (sigma 0.5 calibrates to ~60 repeats).
+    size, filters = (8, 3) if quick else (10, 4)
+    rng = np.random.default_rng(5)
+    builder = StagedNetworkBuilder("victim", (1, size, size), relu_threshold=0.0)
+    geom = LayerGeometry.from_conv(size, 1, filters, 3, 1, 0, pool=None)
+    builder.add_conv("conv1", geom)
+    staged = builder.build()
+    conv = staged.network.nodes["conv1/conv"].layer
+    w0 = rng.normal(size=conv.weight.value.shape)
+    w0[np.abs(w0) < 0.15] = 0.0
+    conv.weight.value[:] = w0
+    conv.bias.value[:] = -rng.uniform(0.3, 1.2, size=filters)
+    target = AttackTarget.from_geometry(geom)
+    counter_channel = ChannelModel(counter_sigma=0.5, seed=3)
+    steps = 18 if quick else 28
+
+    def session(channel=None):
+        sim = AcceleratorSim(
+            staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+        )
+        return DeviceSession(sim, "conv1", channel=channel)
+
+    ideal = WeightAttack(
+        session(), target, search_steps=steps
+    ).run().ratio_tensor()
+
+    def run(w):
+        cal = calibrate_channel(session(counter_channel), repeats=32)
+        voting = VotingChannel(session(counter_channel), sigma=cal.counter_sigma)
+        return WeightAttack(
+            voting, target, search_steps=steps, workers=w
+        ).run().ratio_tensor()
+
+    serial_s, r1 = _timed(lambda: run(1))
+    parallel_s, rn = _timed(lambda: run(workers))
+    identical = np.array_equal(r1, rn) and np.array_equal(r1, ideal)
+    entry = _entry(serial_s, parallel_s, workers, scale, identical)
+    entry.update(structure_f1=round(f1, 4), bounded=f1 == 1.0)
+    return entry
+
+
 BENCHES = {
     "ranking": bench_ranking,
     "weights": bench_weights,
     "structure": bench_structure,
     "simulator": bench_simulator,
     "memory": bench_memory,
+    "channel": bench_channel,
 }
 
 

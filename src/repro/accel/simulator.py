@@ -44,6 +44,7 @@ from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
 from repro.accel.timing import TimingModel
 from repro.accel.sinks import MaterializeSink
 from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder, TraceSink
+from repro.channel.rng import stream_rng
 from repro.nn.graph import INPUT
 from repro.nn.spec import FCGeometry, LayerGeometry
 from repro.nn.stages import Stage, StagedNetwork
@@ -198,7 +199,13 @@ class AcceleratorSim:
         output = self.staged.network.forward(x)
         acts = self.staged.network.activations
         self._run_counter += 1
-        self._jitter_rng = np.random.default_rng(self._run_counter)
+        # Timing noise shares the channel subsystem's seeding story: a
+        # named stream keyed by (noise_seed, run) — fresh jitter every
+        # run, never colliding with the "trace"/"counter" noise streams
+        # even when all root seeds are equal.
+        self._jitter_rng = stream_rng(
+            self.config.timing.noise_seed, "timing", self._run_counter
+        )
 
         if sink is None:
             sink = MaterializeSink()

@@ -34,13 +34,21 @@ class TimingModel:
             devices show run-to-run timing variation from DRAM refresh,
             arbitration and clock domain crossings; the structure
             attack's timing filter must survive it (see the noise
-            ablation bench).  0 disables noise.
+            ablation bench).  0 disables noise.  The magnitude knob is
+            kept here (a device property); the random stream itself is
+            derived through :func:`repro.channel.rng.stream_rng` under
+            ``noise_seed`` so timing noise can never silently share a
+            stream with the measurement channel's event noise.
+        noise_seed: root entropy of the timing-noise stream.  Two
+            devices with equal seeds replay the same jitter sequence
+            run for run; vary it to model distinct physical devices.
     """
 
     pe_macs_per_cycle: int = 256
     cycles_per_block: int = 4
     stage_overhead: int = 100
     jitter: float = 0.0
+    noise_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.pe_macs_per_cycle <= 0:

@@ -203,14 +203,17 @@ def clone_model(
             enumeration (the threshold weight recovery is already
             batched per filter and runs serially).
     """
+    # Anything already speaking the session surface passes through —
+    # a DeviceSession, or a wrapper over one (e.g. the robust
+    # VotingChannel); bare devices get a session of their own.
     dense = (
         dense_sim
-        if isinstance(dense_sim, DeviceSession)
+        if hasattr(dense_sim, "ledger")
         else DeviceSession(dense_sim)
     )
     pruned = (
         pruned_sim
-        if isinstance(pruned_sim, DeviceSession)
+        if hasattr(pruned_sim, "ledger")
         else DeviceSession(pruned_sim)
     )
     structure = run_structure_attack(

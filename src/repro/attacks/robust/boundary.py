@@ -1,0 +1,291 @@
+"""Consensus boundary detection for noisy trace streams.
+
+The paper's Section 3.1 rule — a layer starts at the first read of an
+address written since the previous boundary — is exact on a perfect
+tap but brittle on a real one.  Under a lossy, latency-reordering,
+granularity-truncated channel two artefacts appear:
+
+* a *delayed OFM write* delivered amid the next layer's reads forges a
+  RAW edge mid-layer (the naive tracker commits a false boundary on a
+  single event);
+* *address truncation* aliases neighbouring regions, adding spurious
+  last-write entries.
+
+Both artefacts are thin: they contribute RAW reads on a handful of
+distinct addresses.  A genuine layer start is thick — the new layer
+immediately streams its whole IFM, hundreds of distinct freshly
+written blocks.  :class:`RobustRawBoundaryTracker` therefore commits a
+boundary only after a *candidate* RAW read is corroborated by
+``min_support`` distinct RAW addresses within an ``expiry`` window
+(hysteresis), and :func:`consensus_boundaries` stacks several
+observation runs — each with independent channel noise — keeping only
+boundaries seen by a quorum of runs.  :func:`boundary_f1` scores a
+recovered boundary list against ground truth in cycle space (event
+indices shift under drops and duplication; cycle stamps survive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.structure.trace_analysis import _previous_write_index
+from repro.errors import ConfigError
+
+__all__ = [
+    "RobustRawBoundaryTracker",
+    "consensus_boundaries",
+    "boundary_f1",
+    "BoundaryScore",
+]
+
+
+class RobustRawBoundaryTracker:
+    """Streaming RAW boundary detector with support-based hysteresis.
+
+    Implements the trace-sink protocol, so it can be handed straight to
+    :meth:`repro.device.DeviceSession.observe_structure` as ``sink``.
+
+    Args:
+        min_support: distinct RAW-read addresses required before a
+            candidate boundary commits.  1 reduces to the naive rule.
+        expiry: events a candidate may wait for support before being
+            discarded as a channel artefact.
+        refractory: *cycles* after a committed boundary during which
+            new candidates are ignored, and within which writes do not
+            qualify as RAW producers.  Channel latency makes a boundary
+            echo — late (or duplicated) writes of the finished layer
+            delivered just after the transition — whose addresses the
+            new layer may re-read much later (tiled conv re-fetches IFM
+            rows), forging RAW edges arbitrarily far downstream.  Both
+            suppressions share one principle: a write delivered within
+            the latency window of a committed boundary belongs to the
+            *old* layer, while genuine next-boundary support is written
+            throughout the new layer.  The natural setting is the
+            channel's :attr:`~repro.channel.ChannelModel.latency_window`.
+            A layer shorter than the window is unresolvable by any
+            estimator on that channel; the refractory makes that limit
+            explicit instead of emitting echo boundaries.
+    """
+
+    def __init__(
+        self, min_support: int = 3, expiry: int = 4096, refractory: int = 0
+    ) -> None:
+        if min_support < 1:
+            raise ConfigError(f"min_support must be >= 1, got {min_support}")
+        if expiry < min_support:
+            raise ConfigError(
+                f"expiry ({expiry}) must allow min_support ({min_support}) "
+                f"events to accrue"
+            )
+        if refractory < 0:
+            raise ConfigError(f"refractory must be >= 0, got {refractory}")
+        self.min_support = min_support
+        self.expiry = expiry
+        self.refractory = refractory
+        self._n = 0
+        self._start = 0
+        self._last_commit_cycle = 0
+        self._boundaries: list[int] = [0]
+        self._boundary_cycles: list[int] = []
+        # address -> (global index, delivered cycle) of its last write
+        self._last_write: dict[int, tuple[int, int]] = {}
+        self._cand_index: int | None = None
+        self._cand_cycle = 0
+        self._cand_support: set[int] = set()
+
+    # -- results -----------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return self._n
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Committed boundary event indices (0 is always a boundary)."""
+        return list(self._boundaries)
+
+    @property
+    def boundary_cycles(self) -> list[int]:
+        """Cycle stamps of the committed boundaries, same order."""
+        return list(self._boundary_cycles)
+
+    # -- sink protocol -----------------------------------------------------
+    def emit(self, span) -> None:
+        self.feed(span.cycles, span.addresses, span.is_write)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- streaming ---------------------------------------------------------
+    def feed(
+        self,
+        cycles: np.ndarray,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+    ) -> list[int]:
+        """Fold one event chunk; returns boundaries committed in it."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        cycles = np.asarray(cycles, dtype=np.int64)
+        n = len(addresses)
+        if n == 0:
+            return []
+        base = self._n
+        if base == 0:
+            self._boundary_cycles.append(int(cycles[0]))
+            self._last_commit_cycle = int(cycles[0])
+        # Previous-write indices and cycles: local edges vectorised,
+        # cross-chunk edges via the carried address→last-write map (the
+        # same incremental scheme as the naive streaming tracker).
+        local_prev = _previous_write_index(addresses, is_write)
+        prev = np.where(local_prev >= 0, base + local_prev, np.int64(-1))
+        prev_cyc = np.where(
+            local_prev >= 0, cycles[local_prev], np.int64(-1)
+        )
+        carried_needed = local_prev < 0
+        if carried_needed.any():
+            uniq, inv = np.unique(
+                addresses[carried_needed], return_inverse=True
+            )
+            carried = np.array(
+                [self._last_write.get(int(a), (-1, -1)) for a in uniq],
+                dtype=np.int64,
+            ).reshape(len(uniq), 2)
+            prev[carried_needed] = carried[inv, 0]
+            prev_cyc[carried_needed] = carried[inv, 1]
+
+        new: list[int] = []
+        cand_local = np.flatnonzero((~is_write) & (prev >= 0))
+        for li in cand_local.tolist():
+            gi = base + li
+            if (
+                self._cand_index is not None
+                and gi - self._cand_index > self.expiry
+            ):
+                # Support never arrived: a channel artefact, not a layer.
+                self._cand_index = None
+                self._cand_support.clear()
+            if prev[li] < self._start:
+                continue  # not a RAW read under the current window
+            if prev_cyc[li] < self._last_commit_cycle + self.refractory:
+                # The producing write was delivered inside the previous
+                # boundary's echo window — a late or duplicated copy of
+                # the finished layer's output, not new-layer evidence.
+                continue
+            addr = int(addresses[li])
+            if self._cand_index is None:
+                if int(cycles[li]) - self._last_commit_cycle < self.refractory:
+                    continue  # echo of the previous transition
+                self._cand_index = gi
+                self._cand_cycle = int(cycles[li])
+                self._cand_support = {addr}
+            else:
+                self._cand_support.add(addr)
+            if len(self._cand_support) >= self.min_support:
+                self._start = self._cand_index
+                self._last_commit_cycle = self._cand_cycle
+                self._boundaries.append(self._cand_index)
+                self._boundary_cycles.append(self._cand_cycle)
+                new.append(self._cand_index)
+                self._cand_index = None
+                self._cand_support.clear()
+
+        w = np.flatnonzero(is_write)
+        if len(w):
+            wa = addresses[w]
+            uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
+            last_local = w[len(wa) - 1 - rev_first]
+            for a, g, cy in zip(
+                uniq_w.tolist(),
+                (base + last_local).tolist(),
+                cycles[last_local].tolist(),
+            ):
+                self._last_write[a] = (g, cy)
+
+        self._n += n
+        return new
+
+
+def consensus_boundaries(
+    runs: list[list[int]], quorum: int, tol: int
+) -> list[int]:
+    """Cross-run boundary consensus in cycle space.
+
+    ``runs[r]`` is run ``r``'s boundary cycle list.  Boundaries within
+    ``tol`` cycles of each other are clustered; a cluster supported by
+    at least ``quorum`` distinct runs contributes its median cycle.
+    Single-run artefacts (a forged RAW edge is a product of one run's
+    noise draw) fail the quorum and vanish.
+    """
+    if quorum < 1:
+        raise ConfigError(f"quorum must be >= 1, got {quorum}")
+    if tol < 0:
+        raise ConfigError(f"tol must be >= 0, got {tol}")
+    stamped = sorted(
+        (cycle, run_id)
+        for run_id, cycles in enumerate(runs)
+        for cycle in cycles
+    )
+    out: list[int] = []
+    cluster: list[tuple[int, int]] = []
+    for cycle, run_id in stamped:
+        if cluster and cycle - cluster[-1][0] > tol:
+            _commit_cluster(cluster, quorum, out)
+            cluster = []
+        cluster.append((cycle, run_id))
+    _commit_cluster(cluster, quorum, out)
+    return out
+
+
+def _commit_cluster(
+    cluster: list[tuple[int, int]], quorum: int, out: list[int]
+) -> None:
+    if not cluster:
+        return
+    if len({run_id for _, run_id in cluster}) >= quorum:
+        out.append(int(np.median([cycle for cycle, _ in cluster])))
+
+
+@dataclass(frozen=True)
+class BoundaryScore:
+    """Precision/recall of recovered boundaries against ground truth."""
+
+    matched: int
+    predicted: int
+    truth: int
+
+    @property
+    def precision(self) -> float:
+        return self.matched / self.predicted if self.predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.matched / self.truth if self.truth else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if p + r else 0.0
+
+
+def boundary_f1(
+    predicted: list[int], truth: list[int], tol: int
+) -> BoundaryScore:
+    """Greedy one-to-one matching of boundary cycles within ``tol``."""
+    pred = sorted(predicted)
+    true = sorted(truth)
+    matched = 0
+    j = 0
+    for p in pred:
+        while j < len(true) and true[j] < p - tol:
+            j += 1
+        if j < len(true) and abs(true[j] - p) <= tol:
+            matched += 1
+            j += 1
+    return BoundaryScore(
+        matched=matched, predicted=len(pred), truth=len(true)
+    )

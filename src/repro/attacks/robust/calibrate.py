@@ -1,0 +1,178 @@
+"""Attacker-side channel calibration from repeated measurements.
+
+Before spending the query budget on the actual attack, an attacker can
+spend a small fixed budget estimating *how noisy the channel is* and
+size the voting/consensus machinery from the estimate instead of
+guessing.  Everything here uses only the sanctioned session surface:
+
+* **counter noise** — re-measure a handful of fixed probe inputs
+  ``repeats`` times each via
+  :meth:`~repro.device.DeviceSession.query_repeat`.  The device is
+  deterministic, so any spread across rows is channel noise: the
+  sample standard deviation estimates ``counter_sigma`` and the GCD of
+  count differences exposes ``counter_quantum`` (a quantised read-out
+  makes counts move in multiples of the quantum).  Several probe
+  values are used and the largest spread kept, because the counter is
+  clipped at zero: a probe whose true count is 0 sees only the
+  positive half of the noise and understates sigma by ~40%.
+* **event dispersion** — repeat :meth:`observe_structure` with a
+  counting sink and compare per-run event totals.  Independent
+  per-event drop ``p`` / duplication ``q`` make the total's
+  variance-to-mean ratio ``≈ p + q`` (a clean channel is
+  deterministic: dispersion 0).  Drops and duplications are *not*
+  separable from totals alone — both inflate dispersion the same way —
+  so the estimate is reported as a single loss+dup rate, which is all
+  the consensus estimators need to size their quorum.
+
+The estimated sigma feeds :func:`~repro.attacks.robust.vote.required_repeats`
+to produce ``recommended_repeats``; sigma estimates are biased low when
+the quantum exceeds the noise scale (quantisation swallows sub-quantum
+spread), which is conservative for the attack only if the quantum is
+also honoured — hence both are reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.robust.vote import required_repeats
+from repro.device import DeviceSession
+from repro.errors import ConfigError
+
+__all__ = ["ChannelCalibration", "calibrate_channel"]
+
+
+@dataclass(frozen=True)
+class ChannelCalibration:
+    """What the attacker learned about the measurement channel.
+
+    Attributes:
+        counter_sigma: estimated std-dev of the nnz counter read-out
+            (None when the counter channel was not probed).
+        counter_quantum: estimated counter granularity — observed
+            counts move in multiples of it (None when not probed;
+            1 when no quantisation was observed).
+        event_dispersion: variance-to-mean ratio of per-run trace event
+            totals, ``≈ drop_rate + dup_rate`` (None when not probed).
+        counter_repeats: measurements spent probing the counter.
+        trace_runs: observation runs spent probing the trace.
+        recommended_repeats: voting repeats sized for the estimated
+            sigma at the default per-decision confidence (1 when the
+            counter looks clean or was not probed).
+    """
+
+    counter_sigma: float | None = None
+    counter_quantum: int | None = None
+    event_dispersion: float | None = None
+    counter_repeats: int = 0
+    trace_runs: int = 0
+
+    @property
+    def recommended_repeats(self) -> int:
+        if self.counter_sigma is None or self.counter_sigma <= 0.0:
+            return 1
+        return required_repeats(self.counter_sigma)
+
+    def describe(self) -> str:
+        parts = []
+        if self.counter_sigma is not None:
+            parts.append(
+                f"counter sigma~{self.counter_sigma:.3f} "
+                f"quantum~{self.counter_quantum} "
+                f"({self.counter_repeats} reads, "
+                f"recommend {self.recommended_repeats} repeats)"
+            )
+        if self.event_dispersion is not None:
+            parts.append(
+                f"trace loss+dup~{self.event_dispersion:.4f} "
+                f"({self.trace_runs} runs)"
+            )
+        return "; ".join(parts) if parts else "channel not probed"
+
+
+def _estimate_quantum(stack: np.ndarray) -> int:
+    """GCD of observed count deviations: the counter's step size."""
+    deltas = np.abs(stack - stack[0:1]).ravel()
+    g = 0
+    for d in np.unique(deltas[deltas > 0]).tolist():
+        g = math.gcd(g, int(d))
+    return g if g > 0 else 1
+
+
+def calibrate_channel(
+    session: DeviceSession, repeats: int = 32, runs: int = 0
+) -> ChannelCalibration:
+    """Probe the channel with null measurements; see module docstring.
+
+    Args:
+        session: the device session under calibration.  The counter is
+            probed when the device leaks the zero-pruning channel
+            (``session.pruning_enabled``); the trace side is probed
+            only when ``runs > 0`` *and* the device is dense-write
+            (the structure observation's threat-model precondition).
+        repeats: counter reads of the null input (>= 2 to estimate a
+            spread).
+        runs: trace observation runs (0 skips the trace probe).
+
+    All probes are charged to the session ledger like any other query.
+    """
+    if repeats < 2:
+        raise ConfigError(f"repeats must be >= 2, got {repeats}")
+    if runs < 0:
+        raise ConfigError(f"runs must be >= 0, got {runs}")
+
+    counter_sigma: float | None = None
+    counter_quantum: int | None = None
+    counter_reads = 0
+    if session.pruning_enabled:
+        lo, hi = session.input_range
+        # Spread probes over the input domain so at least one lands on
+        # a count far from the zero clip (see module docstring).
+        sigmas, quanta = [], []
+        for value in (0.0, hi / 16.0, hi / 2.0, lo / 2.0):
+            stack = session.query_repeat([(0, 0, 0)], [value], repeats)
+            counter_reads += repeats
+            sigmas.append(float(stack.std(axis=0, ddof=1).max()))
+            quanta.append(_estimate_quantum(stack))
+        counter_sigma = max(sigmas)
+        counter_quantum = max(quanta)
+
+    dispersion: float | None = None
+    trace_runs = 0
+    if runs > 0 and not session.pruning_enabled:
+        totals = []
+        for _ in range(runs):
+            counter = _EventCounter()
+            session.observe_structure(sink=counter)
+            totals.append(counter.events)
+        trace_runs = runs
+        arr = np.asarray(totals, dtype=float)
+        mean = arr.mean()
+        dispersion = float(arr.var(ddof=1) / mean) if mean > 0 else 0.0
+
+    return ChannelCalibration(
+        counter_sigma=counter_sigma,
+        counter_quantum=counter_quantum,
+        event_dispersion=dispersion,
+        counter_repeats=counter_reads,
+        trace_runs=trace_runs,
+    )
+
+
+class _EventCounter:
+    """Minimal sink: counts post-channel events, retains nothing."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def emit(self, span) -> None:
+        self.events += len(span)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

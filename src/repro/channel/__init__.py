@@ -1,0 +1,24 @@
+"""``repro.channel``: the imperfect measurement channel.
+
+Models what a real probe does to the paper's idealised observations —
+dropped/duplicated trace events, bus-granularity addresses, delivery
+latency (and the event reordering it implies), jittered and quantised
+counter reads — as one seeded, composable :class:`ChannelModel`
+consumed at both attacker-facing boundaries
+(:class:`~repro.channel.sink.ChannelSink` on the trace side,
+:class:`repro.device.DeviceSession` on the counter side).  The robust
+estimators that survive these channels live in
+:mod:`repro.attacks.robust`.
+"""
+
+from repro.channel.model import ChannelModel
+from repro.channel.rng import content_key, stream_rng, stream_tag
+from repro.channel.sink import ChannelSink
+
+__all__ = [
+    "ChannelModel",
+    "ChannelSink",
+    "content_key",
+    "stream_rng",
+    "stream_tag",
+]

@@ -1,0 +1,199 @@
+"""The measurement channel between the device and the attacker's probe.
+
+The paper's threat model hands the adversary a *perfect* tap: every
+off-chip transaction, exact block addresses, exact write counts.  Real
+probes are lossier on every axis — bus snoopers drop and duplicate
+transactions and observe addresses at bus-line granularity (Weerasena &
+Mishra 2023), EM/power counter reads come back jittered and quantised
+(Batina et al., CSI NN), and delivery latency reorders nearby events.
+:class:`ChannelModel` captures those imperfections as one frozen,
+seeded configuration that both attacker-facing boundaries consume:
+
+* the **trace side** — :class:`~repro.channel.sink.ChannelSink` wraps
+  any :class:`~repro.accel.trace.TraceSink` and applies event drop /
+  duplication, address truncation to the probe granularity and
+  latency-based cycle jitter (with the reordering it implies) to every
+  streamed span;
+* the **counter side** — :meth:`ChannelModel.observe_counts` perturbs
+  and quantises the nnz write counts a
+  :class:`~repro.device.DeviceSession` returns from ``query`` /
+  ``query_batch``.
+
+Determinism contract: all randomness is derived from ``seed`` via
+:func:`~repro.channel.rng.stream_rng`.  Counter noise is *content
+keyed* — a pure function of (seed, what-was-measured, repetition
+index) — so identical queries observe identical noise regardless of
+worker count or execution order, while explicit re-measurements (the
+repetition index) see fresh noise.  Trace noise is keyed by
+``(spawn_key, run index)``; :meth:`spawn` gives forked sessions child
+spawn keys rather than cloned RNG state, so parallel observation runs
+stay deterministic too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.rng import content_key, stream_rng
+from repro.errors import ConfigError
+
+__all__ = ["ChannelModel"]
+
+# Latency tail clip, in sigmas: bounds the reorder window a streaming
+# consumer must buffer while keeping >99.9999% of the half-normal mass.
+_LATENCY_CLIP_SIGMAS = 6.0
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Seeded description of one imperfect measurement channel.
+
+    Attributes:
+        drop_rate: probability an individual trace event is lost.
+        dup_rate: probability an individual trace event arrives twice.
+        probe_granularity: probe address resolution in bytes; observed
+            addresses are truncated down to multiples of it (``None``
+            = exact addresses).  Coarser than the DRAM block size means
+            neighbouring blocks alias.
+        cycle_sigma: scale (in cycles) of the half-normal delivery
+            latency added to each event's timestamp.  Latency reorders
+            events whose stamps end up interleaved — the realistic
+            failure mode for RAW-dependency analysis.
+        counter_sigma: stddev of the additive Gaussian noise on nnz
+            counter reads.
+        counter_quantum: counter read-out resolution; observed counts
+            are rounded to multiples of this (1 = exact resolution).
+        seed: root entropy for every noise stream of this channel.
+        spawn_key: lineage of this model in a session fork tree; grown
+            by :meth:`spawn`, consumed by per-run trace noise streams.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    probe_granularity: int | None = None
+    cycle_sigma: float = 0.0
+    counter_sigma: float = 0.0
+    counter_quantum: int = 1
+    seed: int = 0
+    spawn_key: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {rate}")
+        if self.probe_granularity is not None and self.probe_granularity <= 0:
+            raise ConfigError(
+                f"probe_granularity must be positive, got "
+                f"{self.probe_granularity}"
+            )
+        if self.cycle_sigma < 0:
+            raise ConfigError(
+                f"cycle_sigma must be >= 0, got {self.cycle_sigma}"
+            )
+        if self.counter_sigma < 0:
+            raise ConfigError(
+                f"counter_sigma must be >= 0, got {self.counter_sigma}"
+            )
+        if self.counter_quantum < 1:
+            raise ConfigError(
+                f"counter_quantum must be >= 1, got {self.counter_quantum}"
+            )
+
+    # -- classification ----------------------------------------------------
+    @classmethod
+    def ideal(cls) -> "ChannelModel":
+        """The paper's perfect tap: every noise knob off."""
+        return cls()
+
+    @property
+    def trace_noisy(self) -> bool:
+        """Whether the trace side distorts anything at all."""
+        return (
+            self.drop_rate > 0.0
+            or self.dup_rate > 0.0
+            or self.probe_granularity is not None
+            or self.cycle_sigma > 0.0
+        )
+
+    @property
+    def counter_noisy(self) -> bool:
+        """Whether the counter side distorts anything at all."""
+        return self.counter_sigma > 0.0 or self.counter_quantum > 1
+
+    @property
+    def is_ideal(self) -> bool:
+        return not (self.trace_noisy or self.counter_noisy)
+
+    @property
+    def latency_window(self) -> int:
+        """Max delivery latency in cycles (the reorder buffer horizon)."""
+        return int(np.ceil(_LATENCY_CLIP_SIGMAS * self.cycle_sigma))
+
+    # -- lineage -----------------------------------------------------------
+    def spawn(self, index: int) -> "ChannelModel":
+        """The child channel a forked session observes through.
+
+        Appends ``index`` to the spawn key, so per-run trace noise in
+        the child draws from streams disjoint from the parent's and
+        from every sibling's.  Content-keyed counter noise ignores the
+        spawn key on purpose — it must agree across workers.
+        """
+        return dataclasses.replace(
+            self, spawn_key=(*self.spawn_key, int(index))
+        )
+
+    # -- stream derivation -------------------------------------------------
+    def run_rng(self, stream: str, run_index: int) -> np.random.Generator:
+        """Per-run noise stream, distinct across forks via the spawn key."""
+        return stream_rng(self.seed, stream, *self.spawn_key, run_index)
+
+    def keyed_rng(self, stream: str, *key: int) -> np.random.Generator:
+        """Content-keyed stream: same (seed, key) ⇒ same draws, fork-wide."""
+        return stream_rng(self.seed, stream, *key)
+
+    # -- counter side ------------------------------------------------------
+    def observe_counts(
+        self, counts: np.ndarray, key: bytes, rep: int = 0
+    ) -> np.ndarray:
+        """One noisy read-out of true counter values.
+
+        ``key`` identifies the measured configuration (the session
+        passes its cache key bytes); ``rep`` indexes independent
+        re-measurements of the same configuration.  The draw is a pure
+        function of ``(seed, key, rep)`` — never of call order — which
+        is what keeps parallel attacks bit-identical to serial ones.
+        """
+        observed = np.asarray(counts, dtype=np.int64)
+        if not self.counter_noisy:
+            return observed
+        if self.counter_sigma > 0.0:
+            rng = self.keyed_rng("counter", *content_key(key), rep)
+            noise = rng.normal(0.0, self.counter_sigma, size=observed.shape)
+            observed = observed + np.rint(noise).astype(np.int64)
+        q = self.counter_quantum
+        if q > 1:
+            observed = np.rint(observed / q).astype(np.int64) * q
+        return np.maximum(observed, 0)
+
+    # -- reporting ---------------------------------------------------------
+    def describe(self) -> str:
+        if self.is_ideal:
+            return "ideal"
+        parts = []
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.dup_rate:
+            parts.append(f"dup={self.dup_rate:g}")
+        if self.probe_granularity is not None:
+            parts.append(f"gran={self.probe_granularity}B")
+        if self.cycle_sigma:
+            parts.append(f"latencyσ={self.cycle_sigma:g}cy")
+        if self.counter_sigma:
+            parts.append(f"counterσ={self.counter_sigma:g}")
+        if self.counter_quantum > 1:
+            parts.append(f"quantum={self.counter_quantum}")
+        return " ".join(parts)

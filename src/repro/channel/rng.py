@@ -1,0 +1,74 @@
+"""One seeding story for every noise source in the repo.
+
+Measurement noise lives in three places — trace-event distortion
+(:class:`~repro.channel.sink.ChannelSink`), counter perturbation
+(:meth:`~repro.channel.model.ChannelModel.observe_counts`) and the
+simulator's timing jitter — and all of them must stay mutually
+independent *and* reproducible under parallel execution.  Seeding each
+consumer with a bare integer (the pre-channel scheme: the simulator
+used its run counter as a literal seed) makes streams collide as soon
+as two consumers pick the same integer.
+
+:func:`stream_rng` instead derives every generator from one
+``SeedSequence`` whose ``spawn_key`` starts with a CRC-32 tag of the
+*stream name* — ``("timing", run)`` and ``("trace", run)`` can never
+alias even under the same root seed, and appending worker spawn
+indices or content keys gives forked sessions and repeated
+measurements their own provably-disjoint streams (SeedSequence's
+spawn-key hashing guarantees independence; see the numpy parallel
+random-number docs).
+
+:func:`content_key` hashes arbitrary byte strings into spawn-key
+integers, so noise can be keyed by *what was measured* rather than by
+RNG consumption order — the property that makes ``workers=1`` and
+``workers=N`` attacks bit-identical under noise: the same physical
+query gets the same noise sample no matter which worker, or in which
+order, it runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+import numpy as np
+
+__all__ = ["stream_rng", "stream_tag", "content_key"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def stream_tag(stream: str) -> int:
+    """Stable 32-bit tag for a named noise stream."""
+    return zlib.crc32(stream.encode("utf-8")) & _MASK32
+
+
+def stream_rng(seed: int, stream: str, *key: int) -> np.random.Generator:
+    """A generator for one named noise stream under one root seed.
+
+    ``key`` extends the spawn key — worker spawn indices, run counters,
+    content hashes — so any two calls differing in stream name or key
+    yield independent streams, while identical calls yield identical
+    streams (the determinism contract every bit-identity test rests
+    on).
+    """
+    ss = np.random.SeedSequence(
+        entropy=int(seed), spawn_key=(stream_tag(stream), *(int(k) for k in key))
+    )
+    return np.random.default_rng(ss)
+
+
+def content_key(*parts: bytes) -> tuple[int, int]:
+    """Two spawn-key integers identifying measured content.
+
+    Hashes the byte parts (a query's threshold/pixels/values encoding)
+    so noise draws are a pure function of *what* is measured — not of
+    how many draws happened before.  64 hash bits split into two 32-bit
+    spawn-key words.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(part)
+        h.update(b"\x00")
+    digest = int.from_bytes(h.digest(), "little")
+    return (digest & _MASK32, (digest >> 32) & _MASK32)

@@ -28,6 +28,13 @@ from repro.accel import (
     TimingModel,
 )
 from repro.attacks.clone import clone_model, prediction_agreement
+from repro.attacks.robust import (
+    VotingChannel,
+    boundary_cycles_from_trace,
+    boundary_f1,
+    calibrate_channel,
+    recover_boundaries,
+)
 from repro.attacks.structure import (
     PracticalityRules,
     run_structure_attack,
@@ -37,6 +44,7 @@ from repro.attacks.weights import (
     ThresholdWeightAttack,
     WeightAttack,
 )
+from repro.channel import ChannelModel
 from repro.data import make_dataset
 from repro.device import DeviceSession, QueryLedger
 from repro.nn.shapes import PoolSpec
@@ -106,6 +114,32 @@ def cmd_simulate(args) -> int:
 def cmd_structure(args) -> int:
     staged = _build_victim_model(args)
     sim = AcceleratorSim(staged)
+    channel = _channel_from_args(args)
+    if channel.trace_noisy:
+        # The exact Section 3 pipeline assumes a perfect tap; under a
+        # noisy channel run the consensus boundary recovery instead.
+        session = DeviceSession(sim, channel=channel)
+        runs = max(args.runs, 3)
+        result = recover_boundaries(session, runs=runs, compare_naive=True)
+        print(f"channel: {channel.describe()}")
+        print(f"consensus boundaries over {runs} runs "
+              f"(quorum {result.quorum}, tol {result.tol} cycles): "
+              f"{result.boundaries}")
+        print(f"layers detected: {result.num_layers}")
+        truth = boundary_cycles_from_trace(
+            DeviceSession(AcceleratorSim(staged))
+            .observe_structure(seed=0).trace
+        )
+        ftol = channel.latency_window + 50
+        score = boundary_f1(result.boundaries, truth, tol=ftol)
+        naive = [
+            boundary_f1(n, truth, tol=ftol).f1 for n in result.naive_runs
+        ]
+        print(f"[diagnostic vs clean-tap ground truth] robust F1 "
+              f"{score.f1:.3f}; naive per-run F1 "
+              f"{', '.join(f'{f:.3f}' for f in naive)}")
+        _print_ledger(session.ledger)
+        return 0
     rules = PracticalityRules(exact_pool_division=not args.loose_rules)
     result = run_structure_attack(
         sim, tolerance=args.tolerance, rules=rules, runs=args.runs,
@@ -157,18 +191,24 @@ def cmd_weights(args) -> int:
     sim = AcceleratorSim(
         staged, AcceleratorConfig(pruning=PruningConfig(enabled=True))
     )
-    session = DeviceSession(sim, "conv1", backend=args.backend)
+    channel = _channel_from_args(args)
+    session = DeviceSession(sim, "conv1", backend=args.backend, channel=channel)
+    attack_channel = _voted_channel(session, channel, args.repeats)
     target = AttackTarget.from_geometry(geom)
     print(f"victim conv layer: {weights.shape} "
           f"({(weights == 0).mean():.0%} zero weights), pool 3x3/2, "
           f"backend {session.backend}")
     if args.threshold:
-        result = ThresholdWeightAttack(session, target, t1=0.0, t2=0.5).run()
+        result = ThresholdWeightAttack(
+            attack_channel, target, t1=0.0, t2=0.5
+        ).run()
         print(f"threshold attack: resolved {result.resolved.mean():.1%}")
         print(f"max |w| error: {result.max_weight_error(weights):.3e}")
         print(f"max |b| error: {result.max_bias_error(biases):.3e}")
     else:
-        result = WeightAttack(session, target, workers=args.workers).run()
+        result = WeightAttack(
+            attack_channel, target, workers=args.workers
+        ).run()
         print(f"ratio attack: resolved {result.recovery_fraction():.1%} "
               f"in {result.queries:,} queries")
         print(f"max |w/b| error: "
@@ -195,12 +235,18 @@ def cmd_clone(args) -> int:
         train_per_class=per_class, val_per_class=max(1, per_class // 2),
         seed=args.seed,
     )
+    channel = _channel_from_args(args)
+    if channel.trace_noisy:
+        print("note: the clone pipeline's structure phase needs a clean "
+              "tap; trace noise applies to the counter channel session "
+              "only (use `structure` for noisy-trace recovery)")
     dense = DeviceSession(AcceleratorSim(victim))
     pruned = DeviceSession(AcceleratorSim(
         victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
-    ))
+    ), channel=channel)
+    weight_channel = _voted_channel(pruned, channel, args.repeats)
     result = clone_model(
-        dense, pruned, ds.train_images, distill_epochs=args.epochs,
+        dense, weight_channel, ds.train_images, distill_epochs=args.epochs,
         workers=args.workers,
     )
     stolen = result.network.network.nodes[
@@ -248,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--show", type=int, default=1,
                     help="candidates to print in full")
     _add_workers_flag(st)
+    _add_channel_flags(st)
     st.set_defaults(func=cmd_structure)
 
     wt = sub.add_parser("weights", help="run the Section 4 attack (demo victim)")
@@ -258,16 +305,72 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--backend", default=None,
                     help="device backend (see repro.device.available_backends)")
     wt.add_argument("--seed", type=int, default=0)
+    wt.add_argument("--repeats", type=int, default=0,
+                    help="vote over this many repeated measurements per "
+                         "query (0: auto — single-shot on a clean "
+                         "channel, calibrated repeats on a noisy one)")
     _add_workers_flag(wt)
+    _add_channel_flags(wt)
     wt.set_defaults(func=cmd_weights)
 
     cl = sub.add_parser("clone", help="duplicate a demo victim end to end")
     cl.add_argument("--probes", type=int, default=120)
     cl.add_argument("--epochs", type=int, default=20)
     cl.add_argument("--seed", type=int, default=4)
+    cl.add_argument("--repeats", type=int, default=0,
+                    help="vote over this many repeated measurements per "
+                         "query in the weights phase (0: auto)")
     _add_workers_flag(cl)
+    _add_channel_flags(cl)
     cl.set_defaults(func=cmd_clone)
     return parser
+
+
+def _add_channel_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Measurement-channel fidelity knobs (default: a perfect tap)."""
+    grp = sub_parser.add_argument_group(
+        "measurement channel",
+        "imperfections of the attacker's probe (see repro.channel); "
+        "all default to the ideal channel of the paper's threat model",
+    )
+    grp.add_argument("--channel-drop", type=float, default=0.0,
+                     help="per-event trace loss probability")
+    grp.add_argument("--channel-dup", type=float, default=0.0,
+                     help="per-event trace duplication probability")
+    grp.add_argument("--channel-gran", type=int, default=None,
+                     help="probe address granularity (blocks)")
+    grp.add_argument("--channel-jitter", type=float, default=0.0,
+                     help="trace delivery-latency scale in cycles "
+                          "(reorders nearby events)")
+    grp.add_argument("--channel-sigma", type=float, default=0.0,
+                     help="counter read-out noise std-dev")
+    grp.add_argument("--channel-quantum", type=int, default=1,
+                     help="counter read-out quantisation step")
+    grp.add_argument("--channel-seed", type=int, default=0,
+                     help="noise stream seed")
+
+
+def _channel_from_args(args) -> ChannelModel:
+    return ChannelModel(
+        drop_rate=args.channel_drop,
+        dup_rate=args.channel_dup,
+        probe_granularity=args.channel_gran,
+        cycle_sigma=args.channel_jitter,
+        counter_sigma=args.channel_sigma,
+        counter_quantum=args.channel_quantum,
+        seed=args.channel_seed,
+    )
+
+
+def _voted_channel(session: DeviceSession, channel: ChannelModel, repeats):
+    """Wrap the session for voting when its counter is noisy."""
+    if not channel.counter_noisy and not repeats:
+        return session
+    cal = calibrate_channel(session, repeats=32)
+    print(f"calibration: {cal.describe()}")
+    return VotingChannel(
+        session, repeats=repeats or 9, sigma=cal.counter_sigma
+    )
 
 
 def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:

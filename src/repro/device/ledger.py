@@ -32,6 +32,7 @@ class QueryLedger:
     max_inferences: int | None = None
     channel_queries: int = 0
     inferences: int = 0
+    repeat_queries: int = 0
     trace_events: int = 0
     trace_bytes: int = 0
     cache_hits: int = 0
@@ -67,6 +68,16 @@ class QueryLedger:
             )
         self.inferences += n
 
+    def record_repeats(self, n: int) -> None:
+        """Account ``n`` *extra* measurements taken purely for noise
+        averaging (repeat-and-vote estimators under an imperfect
+        channel).  Each repeat is also charged as a normal channel
+        query when it runs; this counter separates the noise overhead
+        from the attack's intrinsic query complexity."""
+        if n < 0:
+            raise ConfigError(f"cannot record a negative repeat count: {n}")
+        self.repeat_queries += n
+
     def record_trace(self, num_events: int) -> None:
         """Account the bytes of one observed memory trace."""
         self.trace_events += num_events
@@ -92,6 +103,7 @@ class QueryLedger:
         for other in others:
             self.channel_queries += other.channel_queries
             self.inferences += other.inferences
+            self.repeat_queries += other.repeat_queries
             self.trace_events += other.trace_events
             self.trace_bytes += other.trace_bytes
             self.cache_hits += other.cache_hits
@@ -114,6 +126,10 @@ class QueryLedger:
         parts = [
             f"channel queries={self.channel_queries:,}",
             f"inferences={self.inferences:,}",
+        ]
+        if self.repeat_queries:
+            parts.append(f"noise repeats={self.repeat_queries:,}")
+        parts += [
             f"cache hit rate={self.hit_rate:.1%} "
             f"({self.cache_hits:,}/{self.cache_lookups:,})",
             f"trace events={self.trace_events:,} "

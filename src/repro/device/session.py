@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.accel.oracle import Pixel, StageOracle
 from repro.accel.simulator import AcceleratorConfig, SimulationResult
+from repro.accel.sinks import MaterializeSink
 from repro.accel.timing import TimingModel
 from repro.accel.trace import TraceSink, TraceSpan
+from repro.channel import ChannelModel, ChannelSink
 from repro.device.backends import BackendSpec, resolve_backend
 from repro.device.cache import QueryCache
 from repro.device.ledger import QueryLedger
@@ -105,6 +107,13 @@ class DeviceSession:
         ledger: share an existing ledger (e.g. one account across the
             structure and weight phases of a clone); budgets on the
             shared ledger win over ``max_queries``/``max_inferences``.
+        channel: the measurement channel every observation passes
+            through; :meth:`ChannelModel.ideal` (the default) is the
+            paper's perfect tap and leaves all paths bit-identical to
+            a channel-less session.  With a noisy model, trace spans
+            stream through a :class:`~repro.channel.ChannelSink` and
+            counter replies are perturbed by
+            :meth:`~repro.channel.ChannelModel.observe_counts`.
     """
 
     def __init__(
@@ -118,10 +127,12 @@ class DeviceSession:
         max_inferences: int | None = None,
         cache_size: int | None = 100_000,
         ledger: QueryLedger | None = None,
+        channel: ChannelModel | None = None,
     ):
         self.device = device
         self.stage_name = stage_name or device.staged.stages[0].name
         self.input_range = input_range
+        self.channel = channel if channel is not None else ChannelModel.ideal()
         self.ledger = (
             ledger
             if ledger is not None
@@ -135,8 +146,10 @@ class DeviceSession:
         self._backend_spec: BackendSpec | None = None
         self._oracle: StageOracle | None = None
         self._threshold = 0.0
+        self._obs_runs = 0
+        self._forks = 0
 
-    def fork(self) -> "DeviceSession":
+    def fork(self, index: int | None = None) -> "DeviceSession":
         """A fresh session on the same device, for one parallel worker.
 
         The fork shares the victim device (device state is the victim's,
@@ -147,7 +160,19 @@ class DeviceSession:
         a tuned pruning threshold is re-applied so forked queries hit
         the same device configuration.  The parent later folds worker
         accounts back with :meth:`QueryLedger.merge`.
+
+        The fork observes through a *spawned* child channel — a fresh
+        ``SeedSequence`` spawn key, never cloned RNG state — so noisy
+        trace runs in different workers draw from disjoint streams
+        (``index`` pins the spawn key; with several forks per parent,
+        pass a stable shard identifier so worker layouts can change
+        without changing the noise).  Content-keyed counter noise is
+        spawn-independent by construction, which is what makes weight
+        recovery bit-identical at any worker count even under noise.
         """
+        if index is None:
+            index = self._forks
+        self._forks += 1
         forked = DeviceSession(
             self.device,
             self.stage_name,
@@ -156,6 +181,7 @@ class DeviceSession:
             max_queries=self.ledger.max_queries,
             max_inferences=self.ledger.max_inferences,
             cache_size=self._cache_size,
+            channel=self.channel.spawn(index),
         )
         if self._threshold != 0.0:
             forked.set_threshold(self._threshold)
@@ -238,6 +264,12 @@ class DeviceSession:
         ``trace=None`` — nothing is materialised, so trace memory is
         whatever the sink retains.  Either way the full event count is
         recorded on the ledger.
+
+        Under a noisy channel the stream first passes through a
+        :class:`~repro.channel.ChannelSink`, so what the attacker's
+        sink (and the ledger) sees is the post-channel event stream;
+        each call is a new observation run with its own noise stream,
+        letting consensus estimators average over runs.
         """
         if self.pruning_enabled:
             raise ThreatModelViolation(
@@ -249,13 +281,25 @@ class DeviceSession:
             rng = np.random.default_rng(seed)
             x = rng.normal(size=(1, *self.image_shape))
         self.ledger.charge_inference()
+        run_index = self._obs_runs
+        self._obs_runs += 1
         if sink is None:
-            result = self.device.run(x)
-            trace = result.trace
+            if self.channel.trace_noisy:
+                mat = MaterializeSink()
+                result = self.device.run(
+                    x, sink=ChannelSink(mat, self.channel, run_index)
+                )
+                trace = mat.trace()
+            else:
+                result = self.device.run(x)
+                trace = result.trace
             self.ledger.record_trace(len(trace))
         else:
             boundary = _MeteredBoundary(sink)
-            result = self.device.run(x, sink=boundary)
+            run_sink: TraceSink = boundary
+            if self.channel.trace_noisy:
+                run_sink = ChannelSink(boundary, self.channel, run_index)
+            result = self.device.run(x, sink=run_sink)
             trace = None
             self.ledger.record_trace(boundary.events)
         return StructureObservation(
@@ -303,25 +347,30 @@ class DeviceSession:
     def _observed(self, counts: np.ndarray) -> np.ndarray:
         """Project device-side per-plane counts to the attacker's view."""
         if self.per_plane:
-            reply = np.asarray(counts, dtype=np.int64)
-        else:
-            reply = np.array([int(counts.sum())], dtype=np.int64)
-        reply.setflags(write=False)
-        return reply
+            return np.asarray(counts, dtype=np.int64)
+        return np.array([int(counts.sum())], dtype=np.int64)
 
     def _replies(
-        self, pixels: list[Pixel], rows: np.ndarray
+        self, pixels: list[Pixel], rows: np.ndarray, rep: int = 0
     ) -> list[np.ndarray]:
         """Cached replies for a batch of device runs.
 
         ``rows[b]`` holds the pixel values of run ``b``.  Cache misses
         are deduplicated and evaluated through the backend in a single
         ``nnz_batch`` call; only distinct uncached runs are charged.
+
+        ``rep`` indexes independent physical measurements of the same
+        configuration: under a noisy counter channel each repetition
+        observes fresh noise (and is charged a fresh device run), while
+        asking the same (configuration, rep) twice replays the recorded
+        measurement from cache.  Noise is keyed by the measured content
+        itself, never by call order, so replies agree bit for bit
+        between serial and sharded execution.
         """
         oracle = self._channel_oracle()
         pixel_key = tuple(pixels)
         keys = [
-            (self._threshold, pixel_key, row.tobytes()) for row in rows
+            (self._threshold, pixel_key, row.tobytes(), rep) for row in rows
         ]
         replies: list[np.ndarray | None] = [None] * len(keys)
         pending: dict[tuple, list[int]] = {}
@@ -344,8 +393,16 @@ class DeviceSession:
             # Budget check happens before the device runs.
             self.ledger.charge_channel(len(pending_rows))
             counts = oracle.nnz_batch(list(pixels), np.stack(pending_rows))
+            noisy = self.channel.counter_noisy
             for key, row_counts in zip(pending, counts):
                 reply = self._observed(row_counts)
+                if noisy:
+                    thr, pkey, row_bytes, _ = key
+                    content = (
+                        repr((thr, pkey)).encode("utf-8") + row_bytes
+                    )
+                    reply = self.channel.observe_counts(reply, content, rep)
+                reply.setflags(write=False)
                 if self._cache is not None:
                     self._cache.put(key, reply)
                 for b in pending[key]:
@@ -353,11 +410,13 @@ class DeviceSession:
         self.ledger.record_cache(hits=hits, misses=len(pending_rows))
         return replies  # type: ignore[return-value]
 
-    def query(self, pixels: list[Pixel], values) -> np.ndarray:
+    def query(self, pixels: list[Pixel], values, rep: int = 0) -> np.ndarray:
         """Non-zero write counts for one crafted sparse input.
 
         Always returns an array: per-plane counts, or a length-1 array
-        holding the total in aggregate mode.
+        holding the total in aggregate mode.  ``rep`` selects an
+        independent re-measurement of the same input under a noisy
+        counter channel (see :meth:`query_repeat`).
         """
         values = np.atleast_1d(np.asarray(values, dtype=float))
         if values.shape != (len(pixels),):
@@ -366,9 +425,28 @@ class DeviceSession:
                 f"{len(pixels)} pixels"
             )
         self._check_values(values)
-        return self._replies(pixels, values[None, :])[0]
+        return self._replies(pixels, values[None, :], rep)[0]
 
-    def query_batch(self, pixels: list[Pixel], values) -> np.ndarray:
+    def query_repeat(
+        self, pixels: list[Pixel], values, repeats: int
+    ) -> np.ndarray:
+        """``repeats`` independent measurements of one input, stacked.
+
+        Returns shape ``(repeats, width)``.  Every repetition is a real
+        device run (charged to the ledger); the extra ``repeats - 1``
+        runs are additionally recorded as noise repeats so attack-cost
+        reports separate voting overhead from intrinsic query count.
+        On an ideal channel all rows are identical.
+        """
+        if repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {repeats}")
+        rows = [self.query(pixels, values, rep=r) for r in range(repeats)]
+        self.ledger.record_repeats(repeats - 1)
+        return np.stack(rows)
+
+    def query_batch(
+        self, pixels: list[Pixel], values, rep: int = 0
+    ) -> np.ndarray:
         """Counts for ``B`` runs sharing one pixel pattern, in one call.
 
         ``values`` has shape ``(B, len(pixels))``; row ``b`` of the
@@ -386,10 +464,10 @@ class DeviceSession:
         if len(values) == 0:
             width = self.d_ofm if self.per_plane else 1
             return np.zeros((0, width), dtype=np.int64)
-        return np.stack(self._replies(pixels, values))
+        return np.stack(self._replies(pixels, values, rep))
 
     def query_per_filter(
-        self, pixels: list[Pixel], values: np.ndarray
+        self, pixels: list[Pixel], values: np.ndarray, rep: int = 0
     ) -> np.ndarray:
         """Batch of ``d_ofm`` runs, value column ``f`` read via plane ``f``.
 
@@ -412,7 +490,7 @@ class DeviceSession:
             )
         self._check_values(values)
         rows = np.ascontiguousarray(values.T)
-        replies = self._replies(pixels, rows)
+        replies = self._replies(pixels, rows, rep)
         return np.array(
             [replies[f][f] for f in range(d_ofm)], dtype=np.int64
         )

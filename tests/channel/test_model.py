@@ -1,0 +1,153 @@
+"""ChannelModel: validation, stream derivation, counter observation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel
+from repro.channel.rng import content_key, stream_rng, stream_tag
+from repro.errors import ConfigError
+
+
+# -- validation ------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop_rate": -0.1},
+        {"drop_rate": 1.0},
+        {"dup_rate": -0.01},
+        {"probe_granularity": 0},
+        {"probe_granularity": -64},
+        {"cycle_sigma": -1.0},
+        {"counter_sigma": -0.5},
+        {"counter_quantum": 0},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        ChannelModel(**kwargs)
+
+
+def test_ideal_has_every_knob_off():
+    ch = ChannelModel.ideal()
+    assert ch.is_ideal
+    assert not ch.trace_noisy
+    assert not ch.counter_noisy
+    assert ch.latency_window == 0
+    assert ch.describe() == "ideal"
+
+
+@pytest.mark.parametrize(
+    "kwargs, trace, counter",
+    [
+        ({"drop_rate": 0.01}, True, False),
+        ({"dup_rate": 0.01}, True, False),
+        ({"probe_granularity": 128}, True, False),
+        ({"cycle_sigma": 5.0}, True, False),
+        ({"counter_sigma": 0.5}, False, True),
+        ({"counter_quantum": 4}, False, True),
+    ],
+)
+def test_noise_classification(kwargs, trace, counter):
+    ch = ChannelModel(**kwargs)
+    assert ch.trace_noisy is trace
+    assert ch.counter_noisy is counter
+    assert not ch.is_ideal
+    assert ch.describe() != "ideal"
+
+
+def test_latency_window_is_clipped_tail():
+    assert ChannelModel(cycle_sigma=10.0).latency_window == 60
+    assert ChannelModel(cycle_sigma=0.5).latency_window == 3
+
+
+# -- rng stream derivation -------------------------------------------------
+
+def test_stream_rng_reproducible_and_stream_separated():
+    a1 = stream_rng(7, "timing", 3).normal(size=8)
+    a2 = stream_rng(7, "timing", 3).normal(size=8)
+    b = stream_rng(7, "trace", 3).normal(size=8)
+    c = stream_rng(8, "timing", 3).normal(size=8)
+    assert np.array_equal(a1, a2)
+    assert not np.array_equal(a1, b)
+    assert not np.array_equal(a1, c)
+    assert stream_tag("timing") != stream_tag("trace")
+
+
+def test_content_key_is_stable_and_part_sensitive():
+    assert content_key(b"ab", b"c") == content_key(b"ab", b"c")
+    # Part boundaries matter: ("ab","c") and ("a","bc") must not alias.
+    assert content_key(b"ab", b"c") != content_key(b"a", b"bc")
+
+
+def test_spawn_extends_key_and_separates_run_streams():
+    ch = ChannelModel(cycle_sigma=4.0, seed=9)
+    child0, child1 = ch.spawn(0), ch.spawn(1)
+    assert child0.spawn_key == (0,)
+    assert child1.spawn_key == (1,)
+    assert child0.spawn(2).spawn_key == (0, 2)
+    draws = [
+        c.run_rng("trace", run).normal(size=16)
+        for c in (ch, child0, child1)
+        for run in (0, 1)
+    ]
+    for i in range(len(draws)):
+        for j in range(i + 1, len(draws)):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+# -- counter observation ---------------------------------------------------
+
+def test_ideal_counter_observation_is_identity():
+    counts = np.array([0, 3, 17], dtype=np.int64)
+    out = ChannelModel.ideal().observe_counts(counts, b"key")
+    assert np.array_equal(out, counts)
+
+
+def test_counter_noise_is_content_keyed_not_order_keyed():
+    ch = ChannelModel(counter_sigma=1.0, seed=5)
+    counts = np.array([40, 41], dtype=np.int64)
+    first = ch.observe_counts(counts, b"probe-a")
+    # Interleave unrelated observations; the keyed draw must not move.
+    ch.observe_counts(counts, b"probe-b")
+    ch.observe_counts(counts, b"probe-b", rep=3)
+    again = ch.observe_counts(counts, b"probe-a")
+    assert np.array_equal(first, again)
+    assert not np.array_equal(
+        first, ch.observe_counts(counts, b"probe-b")
+    )
+
+
+def test_counter_repetitions_draw_fresh_noise():
+    ch = ChannelModel(counter_sigma=2.0, seed=5)
+    counts = np.full(64, 100, dtype=np.int64)
+    reps = np.stack(
+        [ch.observe_counts(counts, b"k", rep=r) for r in range(8)]
+    )
+    assert len({row.tobytes() for row in reps}) > 1
+    # Unbiased around the truth, clipped nowhere near zero here.
+    assert abs(float(reps.mean()) - 100.0) < 1.0
+
+
+def test_counter_observation_clips_at_zero_and_quantises():
+    ch = ChannelModel(counter_sigma=3.0, seed=2)
+    zeros = np.zeros(256, dtype=np.int64)
+    out = ch.observe_counts(zeros, b"z")
+    assert out.min() >= 0
+    q = ChannelModel(counter_quantum=4, seed=2)
+    out_q = q.observe_counts(np.array([0, 1, 2, 5, 6, 103]), b"z")
+    assert np.array_equal(out_q % 4, np.zeros(6, dtype=np.int64))
+    # np.rint rounds half to even: 2/4 -> 0, 6/4 -> 2 quanta.
+    assert np.array_equal(out_q, [0, 0, 0, 4, 8, 104])
+
+
+def test_counter_noise_ignores_spawn_key():
+    # Forked sessions must observe the same content-keyed counter draws.
+    ch = ChannelModel(counter_sigma=1.5, seed=4)
+    counts = np.array([10, 20, 30], dtype=np.int64)
+    assert np.array_equal(
+        ch.observe_counts(counts, b"k", rep=1),
+        ch.spawn(3).observe_counts(counts, b"k", rep=1),
+    )

@@ -1,0 +1,168 @@
+"""DeviceSession under a measurement channel: identity, noise, forking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim
+from repro.channel import ChannelModel
+from repro.device import DeviceSession
+from repro.errors import ConfigError
+
+from tests.conftest import build_conv_stage, pruned_session
+
+PIXEL = [(0, 2, 2)]
+
+
+def _noisy_session(staged, **channel_kwargs):
+    return pruned_session(
+        staged, channel=ChannelModel(seed=5, **channel_kwargs)
+    )
+
+
+# -- ideal channel is the paper's tap: bit-identical to no channel ---------
+
+def test_ideal_channel_query_bit_identical_to_plain_session():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    plain = pruned_session(staged)
+    ideal = pruned_session(staged, channel=ChannelModel.ideal())
+    values = np.linspace(-2.0, 2.0, 7)
+    assert np.array_equal(
+        plain.query_batch(PIXEL, values[:, None]),
+        ideal.query_batch(PIXEL, values[:, None]),
+    )
+
+
+def test_ideal_channel_trace_bit_identical_to_plain_session():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    plain = DeviceSession(AcceleratorSim(staged))
+    ideal = DeviceSession(
+        AcceleratorSim(staged), channel=ChannelModel.ideal()
+    )
+    t0 = plain.observe_structure(seed=2).trace
+    t1 = ideal.observe_structure(seed=2).trace
+    assert np.array_equal(t0.cycles, t1.cycles)
+    assert np.array_equal(t0.addresses, t1.addresses)
+    assert np.array_equal(t0.is_write, t1.is_write)
+
+
+# -- noisy counter reads ---------------------------------------------------
+
+def test_noisy_counts_deterministic_per_rep_and_fresh_across_reps():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    a = _noisy_session(staged, counter_sigma=2.0)
+    b = _noisy_session(staged, counter_sigma=2.0)
+    r0 = a.query(PIXEL, [1.5])
+    assert np.array_equal(r0, b.query(PIXEL, [1.5]))
+    reps = a.query_repeat(PIXEL, [1.5], repeats=12)
+    assert reps.shape == (12, a.d_ofm)
+    assert np.array_equal(reps[0], r0)
+    assert np.array_equal(reps, b.query_repeat(PIXEL, [1.5], repeats=12))
+    assert len({row.tobytes() for row in reps}) > 1
+
+
+def test_noisy_counts_differ_from_truth_but_track_it():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    truth = pruned_session(staged).query(PIXEL, [1.5])
+    noisy = _noisy_session(staged, counter_sigma=1.0)
+    reps = noisy.query_repeat(PIXEL, [1.5], repeats=64)
+    assert not np.array_equal(reps, np.broadcast_to(truth, reps.shape))
+    assert np.abs(np.median(reps, axis=0) - truth).max() <= 1.0
+
+
+def test_repeat_accounting_separates_voting_overhead():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = _noisy_session(staged, counter_sigma=1.0)
+    session.query_repeat(PIXEL, [0.75], repeats=10)
+    assert session.ledger.repeat_queries == 9
+    # Each rep is a distinct physical run: charged as its own query.
+    assert session.ledger.channel_queries == 10
+    # Re-asking the same (input, rep) replays the recorded measurement.
+    before = session.ledger.channel_queries
+    session.query_repeat(PIXEL, [0.75], repeats=10)
+    assert session.ledger.channel_queries == before
+    assert session.ledger.repeat_queries == 18
+
+
+def test_query_repeat_validates_repeats():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = pruned_session(staged)
+    with pytest.raises(ConfigError, match="repeats"):
+        session.query_repeat(PIXEL, [0.5], repeats=0)
+
+
+def test_quantised_counter_rounds_counts():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    truth = pruned_session(staged).query(PIXEL, [1.5])
+    quantised = _noisy_session(staged, counter_quantum=8).query(
+        PIXEL, [1.5]
+    )
+    assert np.array_equal(quantised % 8, np.zeros_like(quantised))
+    assert np.abs(quantised - truth).max() <= 4
+
+
+# -- forking under noise ---------------------------------------------------
+
+def test_fork_spawns_disjoint_channel_lineages():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = _noisy_session(staged, cycle_sigma=4.0)
+    f0, f1 = session.fork(), session.fork()
+    assert f0.channel.spawn_key == (0,)
+    assert f1.channel.spawn_key == (1,)
+    assert f0.fork(5).channel.spawn_key == (0, 5)
+    assert session.channel.spawn_key == ()
+
+
+def test_forked_sessions_agree_on_content_keyed_counter_noise():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    session = _noisy_session(staged, counter_sigma=1.5)
+    parent = session.query_repeat(PIXEL, [1.25], repeats=6)
+    for fork in (session.fork(), session.fork(7)):
+        assert np.array_equal(
+            parent, fork.query_repeat(PIXEL, [1.25], repeats=6)
+        )
+
+
+def test_forked_sessions_draw_disjoint_trace_noise():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    channel = ChannelModel(drop_rate=0.05, cycle_sigma=4.0, seed=5)
+
+    def run(session):
+        return session.observe_structure(seed=2).trace
+
+    base = DeviceSession(AcceleratorSim(staged), channel=channel)
+    t_parent = run(base)
+    t_fork0 = run(base.fork())
+    t_fork1 = run(base.fork())
+    pairs = [(t_parent, t_fork0), (t_parent, t_fork1), (t_fork0, t_fork1)]
+    for ta, tb in pairs:
+        assert len(ta) != len(tb) or not np.array_equal(
+            ta.cycles, tb.cycles
+        )
+
+
+# -- noisy structure observations ------------------------------------------
+
+def test_noisy_observation_runs_see_independent_noise():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    channel = ChannelModel(drop_rate=0.05, seed=9)
+    session = DeviceSession(AcceleratorSim(staged), channel=channel)
+    t0 = session.observe_structure(seed=2).trace
+    t1 = session.observe_structure(seed=2).trace
+    assert len(t0) != len(t1) or not np.array_equal(t0.cycles, t1.cycles)
+    # A fresh session replays run 0 exactly (seeded, run-indexed noise).
+    fresh = DeviceSession(AcceleratorSim(staged), channel=channel)
+    t0_again = fresh.observe_structure(seed=2).trace
+    assert np.array_equal(t0.cycles, t0_again.cycles)
+
+
+def test_ledger_records_post_channel_event_count():
+    staged, _, _, _ = build_conv_stage(seed=5)
+    channel = ChannelModel(drop_rate=0.2, seed=9)
+    session = DeviceSession(AcceleratorSim(staged), channel=channel)
+    clean = DeviceSession(AcceleratorSim(staged))
+    noisy_trace = session.observe_structure(seed=2).trace
+    clean_trace = clean.observe_structure(seed=2).trace
+    assert len(noisy_trace) < len(clean_trace)
+    assert session.ledger.trace_events == len(noisy_trace)
