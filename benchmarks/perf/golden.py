@@ -1,0 +1,49 @@
+"""Pinned golden span digest for the vectorised simulator.
+
+The LeNet trace under the default accelerator config (pruning off,
+jitter off) depends only on network geometry and the DRAM layout —
+not on input values or weights — so its flattened event stream is a
+stable fingerprint of the trace synthesis pipeline.  CI asserts the
+vectorised synthesiser still produces exactly this stream; any change
+to tiling, scheduling or address arithmetic that alters the trace
+must consciously re-pin the digest here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["GOLDEN_LENET_SHA256", "span_stream_digest", "lenet_span_digest"]
+
+# sha256 over the concatenated little-endian bytes of (cycles,
+# addresses, is_write) of one LeNet inference's full trace.
+GOLDEN_LENET_SHA256 = (
+    "77b5c882a1406791940c4794448e53d8f5d82010f26b2d198d0a540192de58c0"
+)
+
+
+def span_stream_digest(trace) -> str:
+    """Digest of a materialised trace's flattened event stream."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(trace.cycles, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(trace.addresses, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(trace.is_write, dtype=bool).tobytes())
+    return h.hexdigest()
+
+
+def lenet_span_digest(trace_synthesis: str = "vectorised") -> str:
+    """Digest of one LeNet inference under the default config.
+
+    Input values are irrelevant to the un-pruned, jitter-free trace,
+    so a zero image keeps the fingerprint free of any RNG dependency.
+    """
+    from repro.accel import AcceleratorConfig, AcceleratorSim
+    from repro.nn.zoo import build_lenet
+
+    sim = AcceleratorSim(
+        build_lenet(), AcceleratorConfig(trace_synthesis=trace_synthesis)
+    )
+    x = np.zeros((1, *sim.staged.network.input_shape))
+    return span_stream_digest(sim.run(x).trace)

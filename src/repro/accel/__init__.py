@@ -24,6 +24,8 @@ from repro.accel.simulator import (
 )
 from repro.accel.sinks import (
     MaterializeSink,
+    SharedSpanBuffer,
+    SharedSpanHandle,
     SpoolSink,
     StageStats,
     StatsSink,
@@ -53,6 +55,8 @@ __all__ = [
     "WRITE",
     "TRACE_EVENT_BYTES",
     "MaterializeSink",
+    "SharedSpanBuffer",
+    "SharedSpanHandle",
     "SpoolSink",
     "StatsSink",
     "StageStats",

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 __all__ = ["TimingModel"]
@@ -72,4 +74,21 @@ class TimingModel:
         """Duration of one tile: compute and memory overlap (double buffer)."""
         return max(
             self.compute_cycles(macs), self.memory_cycles(num_transactions), 1
+        )
+
+    def tile_cycles_array(
+        self, macs: np.ndarray, num_transactions: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`tile_cycles` over parallel int64 arrays (one per tile).
+
+        Same formula element-wise — ``compute_cycles`` and
+        ``memory_cycles`` are pure integer arithmetic that numpy
+        broadcasts unchanged — so the vectorised simulator's whole-stage
+        schedules match the scalar path exactly.
+        """
+        return np.maximum(
+            np.maximum(
+                self.compute_cycles(macs), self.memory_cycles(num_transactions)
+            ),
+            1,
         )

@@ -242,6 +242,41 @@ class TraceBuilder:
         self._last_cycle = int(cyc[-1])
         return self._last_cycle + cycles_per_access
 
+    def add_events(
+        self, cycles: np.ndarray, addresses: np.ndarray, is_write: bool
+    ) -> int:
+        """Append a pre-timed burst of transactions (vectorised fast path).
+
+        ``cycles`` must be non-decreasing and start no earlier than the
+        trace end — the vectorised simulator builds whole-stage bursts
+        whose per-tile cycle ramps satisfy this by construction, so only
+        the boundary is checked here (the burst interior is producer
+        contract, re-verified wherever a :class:`MemoryTrace` is
+        materialised).  Returns the cycle of the last appended event.
+        """
+        cycles = np.asarray(cycles, dtype=np.int64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = len(cycles)
+        if n == 0:
+            return self._last_cycle
+        if len(addresses) != n:
+            raise TraceError("event burst arrays have mismatched lengths")
+        if int(cycles[0]) < self._last_cycle:
+            raise TraceError(
+                f"burst at cycle {int(cycles[0])} precedes trace end "
+                f"{self._last_cycle}"
+            )
+        flags = np.full(n, is_write, dtype=bool)
+        if self._sink is not None:
+            self._sink.emit(TraceSpan(cycles, addresses, flags))
+        else:
+            self._cycles.append(cycles)
+            self._addresses.append(addresses)
+            self._is_write.append(flags)
+        self._num_events += n
+        self._last_cycle = int(cycles[-1])
+        return self._last_cycle
+
     @property
     def last_cycle(self) -> int:
         return self._last_cycle

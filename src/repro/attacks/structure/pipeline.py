@@ -43,7 +43,7 @@ from repro.attacks.structure.trace_analysis import (
     TraceAnalysis,
 )
 from repro.nn.spec import FCGeometry, LayerGeometry
-from repro.parallel import WorkerPool, resolve_workers, shard_indices
+from repro.parallel import get_pool, resolve_workers, shard_indices
 
 __all__ = [
     "ShapeState",
@@ -375,12 +375,15 @@ class StructureSearch:
             first = self._candidates_at(0, frontier, {})
             if len(first) > 1:
                 shards = shard_indices(len(first), n_workers)
-                with WorkerPool(
+                # Registry pool: enumerate is called per probe batch in
+                # a search loop, so warm workers matter; the registry
+                # owns the pool's lifetime.
+                pool = get_pool(
                     len(shards),
                     initializer=_enumerate_init,
                     initargs=(self, limit),
-                ) as pool:
-                    shard_results = pool.map(_enumerate_shard, shards)
+                )
+                shard_results = pool.map(_enumerate_shard, shards)
                 results = [c for chunk in shard_results for c in chunk]
                 if len(results) > limit:
                     raise SolverError(_limit_message(limit))

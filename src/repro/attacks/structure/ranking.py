@@ -26,7 +26,7 @@ from repro.attacks.structure.reconstruct import reconstruct_network
 from repro.errors import ConfigError
 from repro.nn.optim import SGD, Adam
 from repro.nn.train import Trainer
-from repro.parallel import WorkerPool
+from repro.parallel import get_pool
 
 __all__ = ["RankedCandidate", "rank_candidates", "candidate_seed"]
 
@@ -148,10 +148,13 @@ def rank_candidates(
         epochs=epochs, depth_scale=depth_scale, lr=lr, momentum=momentum,
         batch_size=batch_size, seed=seed, optimizer=optimizer,
     )
-    with WorkerPool(
-        workers, initializer=_rank_init, initargs=(context,)
-    ) as pool:
-        ranked = pool.map(_rank_one, list(enumerate(candidates)))
+    # Registry pool: warm workers are reused across rank_candidates
+    # calls (the context re-broadcasts only when it changes), and
+    # batched submission amortises per-task dispatch over the many
+    # short candidate evaluations.  The registry owns the pool's
+    # lifetime — no close here.
+    pool = get_pool(workers, initializer=_rank_init, initargs=(context,))
+    ranked = pool.map_batched(_rank_one, list(enumerate(candidates)))
     # Stable sort on (-top1, index): ties cannot reorder by worker count.
     ranked.sort(key=lambda r: (-r.top1, r.index))
     return ranked

@@ -54,7 +54,7 @@ import numpy as np
 from repro.errors import AttackError
 from repro.device import DeviceSession
 from repro.attacks.weights.target import AttackTarget
-from repro.parallel import WorkerPool, shard_ranges
+from repro.parallel import get_pool, resolve_workers, shard_ranges
 
 __all__ = [
     "WeightStatus",
@@ -640,7 +640,7 @@ class WeightAttack:
         shards, each recovered in a worker process against a forked
         session; shard results and ledgers are merged back here.
         """
-        if WorkerPool(self.workers).workers > 1:
+        if resolve_workers(self.workers) > 1:
             return self._run_sharded()
         return self._run_shard_local()
 
@@ -712,7 +712,7 @@ class WeightAttack:
         lo, hi = self.filter_range
         shards = [
             (lo + s_lo, lo + s_hi)
-            for s_lo, s_hi in shard_ranges(hi - lo, WorkerPool(self.workers).workers)
+            for s_lo, s_hi in shard_ranges(hi - lo, resolve_workers(self.workers))
         ]
         context = _ShardContext(
             channel=self.channel,
@@ -720,10 +720,12 @@ class WeightAttack:
             search_steps=self.search_steps,
             max_resolution_rounds=self.max_resolution_rounds,
         )
-        with WorkerPool(
+        # Registry pool: stays warm across layers / repeated attacks on
+        # the same victim; the registry owns its lifetime.
+        pool = get_pool(
             len(shards), initializer=_shard_init, initargs=(context,)
-        ) as pool:
-            shard_results = pool.map(_recover_shard, shards)
+        )
+        shard_results = pool.map(_recover_shard, shards)
         filters: list[FilterRecovery] = []
         for result, ledger in shard_results:
             filters.extend(result.filters)

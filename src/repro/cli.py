@@ -48,6 +48,7 @@ from repro.channel import ChannelModel
 from repro.data import make_dataset
 from repro.device import DeviceSession, QueryLedger
 from repro.nn.shapes import PoolSpec
+from repro.parallel import shutdown_pools
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 from repro.nn.zoo import MODEL_BUILDERS, build_model
@@ -377,14 +378,22 @@ def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for the attack's parallel loops "
-             "(default: serial; -1 uses all cores; results are "
-             "bit-identical at any worker count)",
+             "(default: serial; -1 uses all cores available to this "
+             "process per its scheduler affinity; workers stay warm in "
+             "a persistent pool across the command's attack calls; "
+             "results are bit-identical at any worker count)",
     )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # Attack loops draw warm workers from the process-level pool
+        # registry; release them when the command finishes rather than
+        # at interpreter exit.
+        shutdown_pools()
 
 
 if __name__ == "__main__":  # pragma: no cover

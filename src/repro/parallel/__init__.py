@@ -6,26 +6,34 @@ binary-searching 96 filters through the zero-pruning channel (Section 4)
 — and related attacks enumerate far larger spaces still.  This package
 provides the one execution layer they all share: a :class:`WorkerPool`
 that runs picklable tasks across worker processes (or inline when
-``workers <= 1``), plus deterministic sharding helpers.
+``workers <= 1``), plus deterministic sharding helpers and a
+process-level registry (:func:`get_pool`) of *persistent* pools that
+stay warm across attack calls instead of re-forking per call.
 
 The determinism contract: work items are self-contained (per-item seeds
 are derived from ``(seed, index)``, never from shared RNG state), shards
 are contiguous index ranges, and results are merged back in input order
 — so every attack result is bit-identical at any worker count, and the
 serial path *is* the one-worker path.  Parallelism changes wall-clock
-only, never observations; see DESIGN.md section 8.
+only, never observations; see DESIGN.md sections 8 and 11.
 """
 
 from repro.parallel.pool import (
     WorkerPool,
+    available_cpus,
     resolve_workers,
     shard_indices,
     shard_ranges,
 )
+from repro.parallel.registry import active_pools, get_pool, shutdown_pools
 
 __all__ = [
     "WorkerPool",
+    "active_pools",
+    "available_cpus",
+    "get_pool",
     "resolve_workers",
     "shard_indices",
     "shard_ranges",
+    "shutdown_pools",
 ]

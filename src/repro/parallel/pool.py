@@ -17,29 +17,62 @@ Design constraints, in order:
    task, which is what makes sharding a 74 MB dataset or a simulator
    with DRAM layout cheap.  ``spawn`` is supported for platforms without
    fork; there the initializer arguments must pickle.
+4. **Warm reuse** — fork-per-call pool startup dominates the small
+   shards our attacks produce (BENCH_perf.json: every ``workers=4``
+   speedup below 1.0 on the seed harness).  ``persistent=True`` keeps
+   worker processes alive across :meth:`WorkerPool.map` calls; a new
+   task context is installed on the warm workers via a barrier
+   broadcast (:meth:`WorkerPool.initialize`) instead of tearing the
+   pool down, and many small tasks can be grouped per submission with
+   :meth:`WorkerPool.map_batched`.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigError
 
-__all__ = ["WorkerPool", "resolve_workers", "shard_indices", "shard_ranges"]
+__all__ = [
+    "WorkerPool",
+    "available_cpus",
+    "resolve_workers",
+    "shard_indices",
+    "shard_ranges",
+]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity`` respects container / cgroup CPU masks, so
+    on a CI runner pinned to two cores this returns 2 even when the
+    host machine advertises 64 via ``os.cpu_count()`` — using it keeps
+    "all cores" from over-subscribing containerised environments.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def resolve_workers(workers: int | None) -> int:
     """Normalise a user-facing ``workers`` value to an actual count.
 
     ``None``, ``0`` and ``1`` mean serial execution.  A negative value
-    means "all available cores".  Anything else is used as given.
+    means "all available cores" — capped at the scheduler affinity mask
+    (:func:`available_cpus`), not the raw ``os.cpu_count()``.  An
+    explicit positive count is used as given (tests rely on forcing
+    real pools on small hosts).
     """
     if workers is None or workers == 0:
         return 1
     if workers < 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return int(workers)
 
 
@@ -75,6 +108,48 @@ def _default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+# -- worker-side plumbing for persistent pools --------------------------------
+#
+# Persistent workers are born through ``_persistent_bootstrap``, which
+# stashes the pool's broadcast barrier in a module global and then runs
+# the caller's real initializer (fork: inherited copy-on-write; spawn:
+# pickled once per worker).  Installing a *new* context on warm workers
+# sends exactly ``workers`` ``_install_context`` tasks: each worker
+# takes one, applies the context, then parks on the barrier until every
+# worker has taken its task — so no worker can grab two install tasks
+# and every worker ends up re-initialised exactly once.
+
+_WORKER_BARRIER = None
+
+# How long a worker waits for its siblings during a context broadcast.
+_BROADCAST_TIMEOUT_S = 120.0
+
+
+def _persistent_bootstrap(barrier, initializer, initargs) -> None:
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _install_context(payload) -> int:
+    initializer, initargs = payload
+    if initializer is not None:
+        initializer(*initargs)
+    assert _WORKER_BARRIER is not None, "broadcast outside a persistent pool"
+    _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
+    return os.getpid()
+
+
+def _noop_task(_item) -> None:
+    return None
+
+
+def _batched_task(payload) -> list:
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
 class WorkerPool:
     """A process pool that degrades to inline execution at one worker.
 
@@ -87,8 +162,16 @@ class WorkerPool:
             per-task pickling) or pickled once per worker under spawn.
         start_method: multiprocessing start method; ``fork`` where
             available, else ``spawn``.
+        persistent: keep worker processes warm across :meth:`map` /
+            :meth:`map_batched` calls.  The pool starts lazily on first
+            use, survives ``with`` blocks' inner map calls, and lives
+            until :meth:`close` (or context-manager exit).  A new task
+            context can be installed on the warm workers with
+            :meth:`initialize` — no re-fork.
 
-    Use as a context manager; :meth:`map` preserves input order.
+    Use as a context manager, or (persistent pools) call :meth:`map`
+    directly and :meth:`close` when done; :meth:`map` preserves input
+    order either way.
     """
 
     def __init__(
@@ -98,47 +181,222 @@ class WorkerPool:
         initializer: Callable[..., None] | None = None,
         initargs: Sequence[Any] = (),
         start_method: str | None = None,
+        persistent: bool = False,
     ):
         self.workers = resolve_workers(workers)
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._start_method = start_method or _default_start_method()
+        self.persistent = persistent
         self._pool = None
+        self._barrier = None
+        self._installed: tuple[Callable | None, tuple] | None = None
+        self._task_overhead_s: float | None = None
 
     @property
     def serial(self) -> bool:
         return self.workers <= 1
 
-    def __enter__(self) -> "WorkerPool":
+    @property
+    def warm(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._pool is not None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Start workers (idempotent).  Serial pools initialise inline."""
         if self.serial:
             # The serial path still runs the initializer so task
             # functions see identical state either way.
-            if self._initializer is not None:
-                self._initializer(*self._initargs)
-        else:
+            if self._installed is None or not self._context_matches(
+                self._initializer, self._initargs
+            ):
+                if self._initializer is not None:
+                    self._initializer(*self._initargs)
+                self._installed = (self._initializer, self._initargs)
+            return self
+        if self._pool is None:
             ctx = multiprocessing.get_context(self._start_method)
-            self._pool = ctx.Pool(
-                processes=self.workers,
-                initializer=self._initializer,
-                initargs=self._initargs,
-            )
+            if self.persistent:
+                self._barrier = ctx.Barrier(self.workers)
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=_persistent_bootstrap,
+                    initargs=(self._barrier, self._initializer, self._initargs),
+                )
+            else:
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            self._installed = (self._initializer, self._initargs)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def close(self) -> None:
+        """Terminate workers and drop pool state (idempotent)."""
         if self._pool is not None:
             # terminate() rather than close()+join(): workers hold no
             # state worth flushing, and a failed map should not hang.
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._barrier = None
+        self._task_overhead_s = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- context installation ---------------------------------------------
+    def _context_matches(
+        self, initializer: Callable | None, initargs: Sequence[Any]
+    ) -> bool:
+        if self._installed is None:
+            return False
+        cur_init, cur_args = self._installed
+        return (
+            cur_init is initializer
+            and len(cur_args) == len(initargs)
+            and all(a is b for a, b in zip(cur_args, initargs))
+        )
+
+    def initialize(
+        self,
+        initializer: Callable[..., None] | None,
+        initargs: Sequence[Any] = (),
+    ) -> None:
+        """Install a (possibly new) task context on this pool.
+
+        Identical to passing ``initializer``/``initargs`` at
+        construction when the pool is cold; on a *warm* persistent pool
+        the context is broadcast to every live worker exactly once via
+        the install barrier (the one place initializer arguments are
+        pickled under fork).  Re-installing the currently installed
+        context (same objects, by identity) is a no-op, so repeated
+        calls from the same attack cost nothing.
+        """
+        initargs = tuple(initargs)
+        if self._context_matches(initializer, initargs):
+            return
+        self._initializer = initializer
+        self._initargs = initargs
+        if self.serial:
+            if initializer is not None:
+                initializer(*initargs)
+            self._installed = (initializer, initargs)
+            return
+        if self._pool is None:
+            # Cold: the next start() forks with this context (COW).
+            self._installed = None
+            return
+        if not self.persistent:
+            raise ConfigError(
+                "cannot re-initialize a running non-persistent pool; "
+                "use persistent=True or a fresh pool"
+            )
+        payload = (initializer, initargs)
+        try:
+            self._pool.map(
+                _install_context, [payload] * self.workers, chunksize=1
+            )
+        except Exception:
+            # A failed or timed-out install leaves the barrier broken
+            # for the surviving workers; reset so the pool stays usable.
+            if self._barrier is not None:
+                self._barrier.reset()
+            raise
+        self._installed = (initializer, initargs)
+
+    # -- execution ---------------------------------------------------------
+    def _require_pool(self):
+        if self._pool is None:
+            if self.persistent:
+                self.start()
+            elif not self.serial:
+                raise ConfigError("WorkerPool.map outside a with-block")
+        return self._pool
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every item, returning results in input order."""
         items = list(items)
-        if self._pool is None:
-            if not self.serial:
-                raise ConfigError("WorkerPool.map outside a with-block")
+        pool = self._require_pool()
+        if pool is None:
+            self.start()  # serial: make sure the initializer has run
             return [fn(item) for item in items]
         # chunksize=1: attack shards are few and coarse; latency of the
         # longest shard dominates, so eager distribution beats chunking.
-        return self._pool.map(fn, items, chunksize=1)
+        # imap streams task dispatch (persistent pools interleave
+        # submission with completion); list() preserves input order.
+        return list(pool.imap(fn, items, chunksize=1))
+
+    def map_batched(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        batch_size: int | None = None,
+        item_cost_s: float | None = None,
+    ) -> list[Any]:
+        """:meth:`map`, but submitting ``batch_size`` items per task.
+
+        Grouping many small evaluations into one submission amortises
+        the per-task dispatch cost (pickle + queue round-trip), which
+        dominates when items run in microseconds.  Results are returned
+        flattened, in input order — bit-identical to :meth:`map`.
+
+        ``batch_size=None`` auto-sizes from a measured per-task
+        overhead estimate (:meth:`task_overhead_s`): with an
+        ``item_cost_s`` estimate the batch is sized so dispatch
+        overhead stays under ~5% of each batch's compute; without one
+        it falls back to eight batches per worker, which keeps load
+        balancing while cutting dispatches by orders of magnitude for
+        large inputs.
+        """
+        items = list(items)
+        if self.serial or not items:
+            self.start()
+            return [fn(item) for item in items]
+        if batch_size is None:
+            batch_size = self._auto_batch_size(len(items), item_cost_s)
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        pool = self._require_pool()
+        batches = [
+            (fn, items[i:i + batch_size])
+            for i in range(0, len(items), batch_size)
+        ]
+        results: list[Any] = []
+        for chunk in pool.imap(_batched_task, batches, chunksize=1):
+            results.extend(chunk)
+        return results
+
+    def _auto_batch_size(self, n_items: int, item_cost_s: float | None) -> int:
+        overhead = self.task_overhead_s()
+        if item_cost_s is not None and item_cost_s > 0:
+            # Smallest batch keeping dispatch overhead under ~5% of the
+            # batch's compute time.
+            size = math.ceil(overhead / (0.05 * item_cost_s))
+        else:
+            # No cost estimate: eight batches per worker balances load
+            # without per-item dispatch.
+            size = math.ceil(n_items / (8 * self.workers))
+        return max(1, min(size, math.ceil(n_items / self.workers)))
+
+    def task_overhead_s(self) -> float:
+        """Measured per-task dispatch overhead of this pool (cached).
+
+        Times a burst of no-op tasks through the live pool — the
+        marginal cost of one submission (pickle, queue, result
+        round-trip) with compute excluded.  Serial pools return 0.0.
+        """
+        if self.serial:
+            return 0.0
+        if self._task_overhead_s is None:
+            pool = self._require_pool()
+            n = self.workers * 8
+            t0 = time.perf_counter()
+            pool.map(_noop_task, range(n), chunksize=1)
+            self._task_overhead_s = (time.perf_counter() - t0) / n
+        return self._task_overhead_s

@@ -1,0 +1,105 @@
+"""Process-level registry of persistent worker pools.
+
+Every parallel attack loop used to fork a fresh pool per call, so pool
+startup (fork, allocator warm-up, initializer) was paid on every
+``rank_candidates`` / ``WeightAttack`` / ``StructureSearch.enumerate``
+invocation — often more than the sharded work itself.  The registry
+keeps one long-lived :class:`~repro.parallel.pool.WorkerPool` per
+``(start method, worker count)`` for the whole process: the first
+caller forks it (task context inherited copy-on-write), later callers
+reuse the warm workers, swapping in their own context via the pool's
+broadcast :meth:`~repro.parallel.pool.WorkerPool.initialize`.
+
+Pools are closed at interpreter exit automatically; call
+:func:`shutdown_pools` to release them earlier (the CLI does, after
+each command).  Determinism is untouched: a registry pool runs the
+same initializer/task functions as a private pool, so results remain
+bit-identical at any worker count, warm or cold.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.parallel.pool import WorkerPool, _default_start_method, resolve_workers
+
+__all__ = ["get_pool", "shutdown_pools", "active_pools"]
+
+_POOLS: dict[tuple[str, int], WorkerPool] = {}
+_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(
+    workers: int | None,
+    *,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[Any] = (),
+    start_method: str | None = None,
+) -> WorkerPool:
+    """A warm persistent pool for ``workers``, context installed.
+
+    Serial requests return a fresh inline pool (no caching — there is
+    nothing to keep warm).  Parallel requests share one persistent pool
+    per ``(start method, resolved worker count)``; the given context is
+    installed before the pool is returned, which is free when it is
+    already the installed one.  Do **not** ``close()`` a returned
+    parallel pool (it is shared); use :func:`shutdown_pools`.
+    """
+    global _ATEXIT_REGISTERED
+    n = resolve_workers(workers)
+    if n <= 1:
+        return WorkerPool(
+            None, initializer=initializer, initargs=initargs, persistent=True
+        )
+    with _LOCK:
+        key = (start_method or _default_start_method(), n)
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool = WorkerPool(
+                n,
+                initializer=initializer,
+                initargs=initargs,
+                start_method=start_method,
+                persistent=True,
+            )
+            _POOLS[key] = pool
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_pools)
+                _ATEXIT_REGISTERED = True
+            return pool
+    try:
+        pool.initialize(initializer, initargs)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # The new context cannot cross into warm workers (unpicklable
+        # under the broadcast path).  Fall back to a fresh fork, where
+        # the context is inherited copy-on-write instead.
+        with _LOCK:
+            if _POOLS.get(key) is pool:
+                del _POOLS[key]
+        pool.close()
+        return get_pool(
+            workers,
+            initializer=initializer,
+            initargs=initargs,
+            start_method=start_method,
+        )
+    return pool
+
+
+def active_pools() -> list[WorkerPool]:
+    """The registry's live pools (diagnostics / tests)."""
+    with _LOCK:
+        return list(_POOLS.values())
+
+
+def shutdown_pools() -> None:
+    """Close every registry pool and forget them (idempotent)."""
+    with _LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()

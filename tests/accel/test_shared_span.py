@@ -1,0 +1,171 @@
+"""Tests for shared-memory span buffers and the sink fast paths."""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorSim,
+    MaterializeSink,
+    SharedSpanBuffer,
+    SharedSpanHandle,
+    SpoolSink,
+)
+from repro.accel.trace import TraceSpan
+from repro.errors import TraceError
+from repro.nn.zoo import build_lenet
+from repro.parallel import WorkerPool
+
+
+def _span(n: int, start: int = 0, write: bool = False) -> TraceSpan:
+    cycles = np.arange(start, start + n, dtype=np.int64)
+    addresses = np.arange(n, dtype=np.int64) * 64
+    return TraceSpan(cycles, addresses, np.full(n, write, dtype=bool))
+
+
+def _leaked_segments() -> list[str]:
+    return sorted(glob.glob("/dev/shm/repro-span-*"))
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leak():
+    before = _leaked_segments()
+    yield
+    assert _leaked_segments() == before
+
+
+def test_round_trip_and_segments():
+    with SharedSpanBuffer(64) as buf:
+        seg_a = buf.append(_span(10, start=0))
+        seg_b = buf.append(_span(5, start=100, write=True))
+        assert (seg_a, seg_b) == ((0, 10), (10, 5))
+        assert buf.used == 15
+        back = buf.span(10, 5)
+        assert back.cycles.tolist() == list(range(100, 105))
+        assert back.is_write.all()
+        cycles, addresses, flags = buf.arrays()
+        assert len(cycles) == len(addresses) == len(flags) == 15
+        assert not flags[:10].any() and flags[10:].all()
+
+
+def test_capacity_and_bounds_errors():
+    with pytest.raises(TraceError):
+        SharedSpanBuffer(0)
+    with SharedSpanBuffer(8) as buf:
+        buf.append(_span(6))
+        with pytest.raises(TraceError, match="full"):
+            buf.append(_span(3))
+        with pytest.raises(TraceError, match="outside"):
+            buf.span(4, 3)  # only 6 events are valid
+    # After release, both ends must refuse cleanly.
+    buf = SharedSpanBuffer(8)
+    buf.append(_span(2))
+    buf.unlink()
+    buf.release()
+    with pytest.raises(TraceError, match="released"):
+        buf.append(_span(1))
+    with pytest.raises(TraceError, match="released"):
+        buf.span(0, 1)
+
+
+def test_release_and_unlink_are_idempotent():
+    buf = SharedSpanBuffer(8)
+    buf.append(_span(3))
+    buf.unlink()
+    buf.unlink()
+    buf.release()
+    buf.release()
+
+
+def test_attach_reads_without_copy_and_adopt_transfers_unlink():
+    owner = SharedSpanBuffer(32)
+    owner.append(_span(7, start=5))
+    handle = owner.handle()
+    assert isinstance(handle, SharedSpanHandle)
+    assert (handle.capacity, handle.used) == (32, 7)
+
+    reader = SharedSpanBuffer.attach(handle)
+    np.testing.assert_array_equal(reader.arrays()[0], owner.arrays()[0])
+    reader.release()  # plain attacher: never unlinks
+
+    # Ownership transfer: the creator walks away without unlinking and
+    # the adopter inherits the duty.
+    owner.release()
+    adopter = SharedSpanBuffer.attach(handle, adopt=True)
+    assert adopter.span(0, 7).cycles[0] == 5
+    adopter.unlink()
+    adopter.release()
+    with pytest.raises(TraceError, match="does not exist"):
+        SharedSpanBuffer.attach(handle)
+
+
+def test_materialize_sink_buffer_fast_path_matches_plain():
+    sim = AcceleratorSim(build_lenet())
+    x = np.zeros((1, *sim.staged.network.input_shape))
+    plain = sim.run(x).trace
+    with SharedSpanBuffer(2 * len(plain)) as buf:
+        sink = MaterializeSink(buffer=buf)
+        sim.replay(sink)
+        assert buf.used == len(plain)
+        assert sum(n for _, n in sink.segments) == len(plain)
+        trace = sink.trace()
+    # trace() copied out of the shared pages: valid after release.
+    np.testing.assert_array_equal(trace.cycles, plain.cycles)
+    np.testing.assert_array_equal(trace.addresses, plain.addresses)
+    np.testing.assert_array_equal(trace.is_write, plain.is_write)
+
+
+def test_spool_sink_buffer_fast_path_matches_plain(tmp_path):
+    sim = AcceleratorSim(build_lenet())
+    x = np.zeros((1, *sim.staged.network.input_shape))
+    reference = sim.run(x).trace
+    budget = 2048  # force several flushes mid-stream
+    with SharedSpanBuffer(len(reference)) as buf:
+        spool = SpoolSink(
+            budget_bytes=budget, directory=str(tmp_path), buffer=buf
+        )
+        sim.replay(spool)
+        assert spool.num_chunks > 0
+        assert spool.num_events == len(reference)
+        trace = spool.trace()
+        spool.cleanup()
+    np.testing.assert_array_equal(trace.cycles, reference.cycles)
+    np.testing.assert_array_equal(trace.addresses, reference.addresses)
+    np.testing.assert_array_equal(trace.is_write, reference.is_write)
+
+
+# -- crossing a real process boundary -----------------------------------------
+
+def _produce_trace(_seed: int):
+    """Worker side: simulate into shared memory, ship only the handle."""
+    buf = SharedSpanBuffer(1 << 12)
+    sink = MaterializeSink(buffer=buf)
+    sim = AcceleratorSim(build_lenet())
+    x = np.zeros((1, *sim.staged.network.input_shape))
+    sim.run(x, sink)
+    handle = buf.handle()
+    # Release the worker's mapping but leave the segment alive: the
+    # parent adopts it, so no event bytes ever cross the pickle pipe.
+    buf.release()
+    return handle
+
+
+def test_spans_cross_process_without_pickling():
+    local = AcceleratorSim(build_lenet())
+    x = np.zeros((1, *local.staged.network.input_shape))
+    expected = local.run(x).trace
+
+    with WorkerPool(2) as pool:
+        (handle,) = pool.map(_produce_trace, [0])
+    buf = SharedSpanBuffer.attach(handle, adopt=True)
+    try:
+        cycles, addresses, flags = buf.arrays()
+        np.testing.assert_array_equal(cycles, expected.cycles)
+        np.testing.assert_array_equal(addresses, expected.addresses)
+        np.testing.assert_array_equal(flags, expected.is_write)
+    finally:
+        buf.unlink()
+        buf.release()

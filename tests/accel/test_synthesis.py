@@ -1,0 +1,108 @@
+"""Vectorised trace synthesis must be bit-identical to the reference path.
+
+The attacks treat the trace as ground truth, so the cached-plan
+vectorised synthesiser is only admissible if its flattened event stream
+matches the straightforward per-tile reference emitter event for event
+— under pruning, under timing jitter, across runs and replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.perf.golden import GOLDEN_LENET_SHA256, lenet_span_digest
+from repro.errors import ConfigError
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSim,
+    PruningConfig,
+    TimingModel,
+)
+from repro.nn.zoo import build_lenet, build_squeezenet
+
+
+def _assert_streams_equal(a, b):
+    assert a.total_cycles == b.total_cycles
+    np.testing.assert_array_equal(a.trace.cycles, b.trace.cycles)
+    np.testing.assert_array_equal(a.trace.addresses, b.trace.addresses)
+    np.testing.assert_array_equal(a.trace.is_write, b.trace.is_write)
+    assert [(w.name, w.start_cycle, w.end_cycle) for w in a.windows] == [
+        (w.name, w.start_cycle, w.end_cycle) for w in b.windows
+    ]
+
+
+def _pair(staged, **cfg):
+    ref = AcceleratorSim(
+        staged, AcceleratorConfig(trace_synthesis="reference", **cfg)
+    )
+    vec = AcceleratorSim(
+        staged, AcceleratorConfig(trace_synthesis="vectorised", **cfg)
+    )
+    return ref, vec
+
+
+CONFIGS = {
+    "dense": {},
+    "pruned": {"pruning": PruningConfig(enabled=True)},
+    "jitter": {"timing": TimingModel(jitter=0.08)},
+    "pruned-jitter": {
+        "pruning": PruningConfig(enabled=True),
+        "timing": TimingModel(jitter=0.08),
+    },
+}
+
+
+@pytest.mark.parametrize("cfg", CONFIGS.values(), ids=CONFIGS.keys())
+def test_lenet_bit_identical_across_engines(cfg):
+    ref, vec = _pair(build_lenet(), **cfg)
+    x = np.random.default_rng(0).normal(size=(1, 1, 28, 28))
+    _assert_streams_equal(ref.run(x), vec.run(x))
+    # Second run: jitter advances to the next stream, cached read plans
+    # must be reused without going stale.
+    _assert_streams_equal(ref.run(x), vec.run(x))
+
+
+def test_squeezenet_merge_stages_bit_identical():
+    staged = build_squeezenet(num_classes=10, width_scale=0.25)
+    ref, vec = _pair(staged)
+    x = np.random.default_rng(1).normal(size=(1, 3, 227, 227))
+    _assert_streams_equal(ref.run(x), vec.run(x))
+
+
+def test_pruned_plans_invalidate_on_new_input():
+    # Pruned traces depend on the activations; a fresh input must not
+    # reuse the previous run's ground truth.
+    ref, vec = _pair(build_lenet(), pruning=PruningConfig(enabled=True))
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=(1, 1, 28, 28))
+    b = rng.normal(size=(1, 1, 28, 28))
+    _assert_streams_equal(ref.run(a), vec.run(a))
+    ra, va = ref.run(b), vec.run(b)
+    _assert_streams_equal(ra, va)
+    assert not np.array_equal(
+        va.trace.addresses, vec.run(a).trace.addresses
+    )
+
+
+def test_replay_reproduces_run_bit_for_bit():
+    sim = AcceleratorSim(
+        build_lenet(), AcceleratorConfig(timing=TimingModel(jitter=0.08))
+    )
+    x = np.random.default_rng(3).normal(size=(1, 1, 28, 28))
+    run = sim.run(x)
+    replay = sim.replay()
+    _assert_streams_equal(run, replay)
+    # A different run index draws a different jitter stream.
+    other = sim.replay(run_index=999)
+    assert other.total_cycles != run.total_cycles
+
+
+def test_unknown_synthesis_mode_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(trace_synthesis="magic")
+
+
+def test_lenet_golden_digest_pinned():
+    assert lenet_span_digest("vectorised") == GOLDEN_LENET_SHA256
+    assert lenet_span_digest("reference") == GOLDEN_LENET_SHA256

@@ -7,7 +7,13 @@ import os
 import pytest
 
 from repro.errors import ConfigError
-from repro.parallel import WorkerPool, resolve_workers, shard_indices, shard_ranges
+from repro.parallel import (
+    WorkerPool,
+    available_cpus,
+    resolve_workers,
+    shard_indices,
+    shard_ranges,
+)
 
 import tests.parallel.test_pool as _self
 
@@ -20,7 +26,10 @@ def test_resolve_workers_serial_values():
 
 def test_resolve_workers_explicit_and_all_cores():
     assert resolve_workers(3) == 3
-    assert resolve_workers(-1) == (os.cpu_count() or 1)
+    # "All cores" respects the scheduler affinity mask, not the raw
+    # cpu_count: a container pinned to 2 of 64 cores gets 2.
+    assert resolve_workers(-1) == available_cpus()
+    assert available_cpus() <= (os.cpu_count() or 1)
 
 
 @pytest.mark.parametrize("n_items,n_shards", [
@@ -82,3 +91,79 @@ def test_parallel_map_outside_context_rejected():
     pool = WorkerPool(2)
     with pytest.raises(ConfigError):
         pool.map(abs, [1])
+
+
+# -- persistent pools ---------------------------------------------------------
+
+def _worker_pid(_item) -> int:
+    return os.getpid()
+
+
+def test_persistent_pool_reuses_workers_across_maps():
+    pool = WorkerPool(2, persistent=True)
+    try:
+        first = set(pool.map(_worker_pid, range(8)))
+        assert pool.warm
+        workers = {p.pid for p in pool._pool._pool}
+        second = set(pool.map(_worker_pid, range(8)))
+        # Same processes serve both calls: no re-fork between maps.
+        # (Task->worker assignment may differ — a fast worker can take
+        # every task — so compare against the pool's process list.)
+        assert {p.pid for p in pool._pool._pool} == workers
+        assert (first | second) <= workers
+    finally:
+        pool.close()
+    assert not pool.warm
+
+
+def test_persistent_pool_initialize_swaps_context():
+    pool = WorkerPool(2, persistent=True,
+                      initializer=_init_offset, initargs=(100,))
+    try:
+        assert pool.map(_add_offset, [1, 2]) == [101, 102]
+        pool.initialize(_init_offset, (500,))
+        # The broadcast reaches every warm worker exactly once.
+        assert pool.map(_add_offset, [1, 2, 3, 4]) == [501, 502, 503, 504]
+    finally:
+        pool.close()
+
+
+def test_persistent_pool_initialize_same_context_is_noop():
+    args = (7,)
+    pool = WorkerPool(2, persistent=True,
+                      initializer=_init_offset, initargs=args)
+    try:
+        pool.start()
+        installed = pool._installed
+        pool.initialize(_init_offset, args)
+        assert pool._installed is installed
+    finally:
+        pool.close()
+
+
+def test_serial_persistent_pool_runs_inline_without_start():
+    pool = WorkerPool(None, persistent=True,
+                      initializer=_init_offset, initargs=(40,))
+    assert pool.serial
+    assert pool.map(_add_offset, [2]) == [42]
+    assert not pool.warm  # no worker processes behind the inline path
+
+
+def test_map_batched_matches_map():
+    items = list(range(23))
+    pool = WorkerPool(2, persistent=True,
+                      initializer=_init_offset, initargs=(10,))
+    try:
+        plain = pool.map(_add_offset, items)
+        for batch_size in (1, 4, None):
+            assert pool.map_batched(
+                _add_offset, items, batch_size=batch_size
+            ) == plain
+    finally:
+        pool.close()
+
+
+def test_non_persistent_pool_rejects_warm_reinitialize():
+    with WorkerPool(2, initializer=_init_offset, initargs=(1,)) as pool:
+        with pytest.raises(ConfigError):
+            pool.initialize(_init_offset, (2,))

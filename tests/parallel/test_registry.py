@@ -1,0 +1,92 @@
+"""Tests for the process-level persistent pool registry."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel import active_pools, get_pool, shutdown_pools
+
+import tests.parallel.test_registry as _self
+
+_OFFSET = 0
+_FN = None
+
+
+def _init_offset(offset: int) -> None:
+    _self._OFFSET = offset
+
+
+def _apply_offset(x: int) -> int:
+    return x + _self._OFFSET
+
+
+def _init_fn(fn) -> None:
+    _self._FN = fn
+
+
+def _apply_fn(x: int):
+    return _self._FN(x)
+
+
+def _pid(_item) -> int:
+    return os.getpid()
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def test_serial_requests_get_fresh_inline_pools():
+    a = get_pool(1, initializer=_init_offset, initargs=(3,))
+    b = get_pool(None)
+    assert a is not b
+    assert a.serial and b.serial
+    assert active_pools() == []  # inline pools are never cached
+    assert a.map(_apply_offset, [1]) == [4]
+
+
+def test_parallel_requests_share_one_warm_pool():
+    a = get_pool(2, initializer=_init_offset, initargs=(10,))
+    assert a.map(_apply_offset, [1, 2]) == [11, 12]
+    workers = {p.pid for p in a._pool._pool}
+    b = get_pool(2, initializer=_init_offset, initargs=(20,))
+    # Same pool object, same worker processes, new context installed.
+    assert b is a
+    assert {p.pid for p in b._pool._pool} == workers
+    assert b.map(_apply_offset, [1, 2]) == [21, 22]
+    assert active_pools() == [a]
+
+
+def test_shutdown_pools_closes_and_forgets():
+    pool = get_pool(2)
+    pool.map(_pid, range(2))
+    assert pool.warm
+    shutdown_pools()
+    assert not pool.warm
+    assert active_pools() == []
+    assert get_pool(2) is not pool
+    shutdown_pools()  # idempotent
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fallback path relies on fork inheritance",
+)
+def test_unpicklable_context_falls_back_to_fresh_fork():
+    warm = get_pool(2, initializer=_init_offset, initargs=(1,))
+    warm.map(_apply_offset, [0])
+    # A closure cannot cross the warm-broadcast pickle boundary; the
+    # registry must retire the warm pool and fork a fresh one that
+    # inherits the closure copy-on-write.
+    bonus = 5
+    fresh = get_pool(2, initializer=_init_fn, initargs=(lambda x: x + bonus,))
+    assert fresh is not warm
+    assert not warm.warm  # retired pool was closed
+    assert fresh.map(_apply_fn, [1, 2]) == [6, 7]
+    assert active_pools() == [fresh]
