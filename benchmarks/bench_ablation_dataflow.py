@@ -1,0 +1,257 @@
+"""Ablation: structure recovery across accelerator dataflows (beyond the paper).
+
+The paper decodes one fixed loop order; Weerasena & Mishra (arXiv
+2311.00579) show the leak signature depends on the accelerator's
+*dataflow*.  This bench runs the full identify-then-decode pipeline
+against output-, weight- and row-stationary victims:
+
+* **clean tap**: for every zoo victim × dataflow, the
+  :class:`~repro.attacks.structure.DataflowIdentifier` must name the
+  generating schedule (no a-priori knowledge), the dataflow-aware
+  boundary rule must hit every stage start exactly (event-index F1
+  against device ground truth), and the end-to-end structure attack
+  must keep the true structure among its candidates;
+* **noisy channel**: the consensus boundary recovery of
+  :mod:`repro.attacks.robust` sweeps trace-channel noise per dataflow —
+  its hysteresis rule keys on read-after-write evidence that every
+  stationarity produces, so robustness must not be an
+  output-stationary privilege.
+
+Acceptance asserts: identification accuracy 100% and boundary F1 = 1.0
+on clean traces for all models × dataflows, ground truth among the
+clean candidates, and robust noisy-channel F1 = 1.0 at drop ≤ 2% for
+every dataflow *whenever the channel can resolve the stages at all*:
+a stage shorter than the channel's latency window is unresolvable by
+any estimator (the refractory documents this limit), so for such
+noise points the bench asserts exactly one merged boundary pair and
+nothing else lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import AcceleratorConfig, AcceleratorSim, available_dataflows
+from repro.attacks.robust import boundary_f1, recover_boundaries
+from repro.attacks.robust.structure import boundary_cycles_from_trace
+from repro.attacks.structure import (
+    PracticalityRules,
+    find_layer_boundaries,
+    find_layer_boundaries_dataflow,
+    identify_dataflow,
+    run_structure_attack,
+)
+from repro.channel import ChannelModel
+from repro.device import DeviceSession
+from repro.nn.zoo import build_lenet, build_model
+from repro.report import render_table
+
+from benchmarks.common import emit, paper_scale
+
+DATAFLOWS = available_dataflows()
+RULES = PracticalityRules(exact_pool_division=True)
+TOLERANCE = 0.25
+
+# Noisy sweep: (label, drop, dup, cycle sigma); ideal is covered by the
+# clean section.
+NOISE_POINTS = [
+    ("mild", 0.01, 0.005, 20.0),
+    ("drop2+lat60", 0.02, 0.01, 60.0),
+]
+NOISE_RUNS = 3
+CHANNEL_SEED = 11
+
+
+def _victims():
+    if paper_scale():
+        scale, classes = 1.0, 1000
+    else:
+        scale, classes = 0.25, 100
+    return [
+        ("lenet", build_lenet()),
+        ("alexnet", build_model(
+            "alexnet", width_scale=scale, num_classes=classes
+        )),
+        ("squeezenet", build_model(
+            "squeezenet", width_scale=scale, num_classes=classes
+        )),
+    ]
+
+
+def _truth_found(result, staged) -> bool:
+    # Compare only layers carrying conv geometry, pairing candidate
+    # and truth *after* filtering: merge stages (concat/bypass) sit in
+    # the candidate layer list but not in ``geometries()``, so a
+    # positional zip over the raw lists would misalign on SqueezeNet.
+    truth = [g for g in staged.geometries() if hasattr(g, "canonical")]
+    for cand in result.candidates:
+        layers = [
+            layer for layer in cand.layers
+            if hasattr(layer.geometry, "canonical")
+        ]
+        if len(layers) != len(truth):
+            continue
+        if all(
+            layer.geometry.canonical() == true.canonical()
+            for layer, true in zip(layers, truth)
+        ):
+            return True
+    return False
+
+
+def _clean_row(name, staged, dataflow):
+    """One clean-tap case: identify, decode boundaries, run the attack."""
+    config = AcceleratorConfig(dataflow=dataflow)
+    sim = AcceleratorSim(staged, config)
+    x = np.zeros((1, *staged.network.input_shape))
+    res = sim.run(x)
+    mem = config.memory
+
+    sig = identify_dataflow(
+        res.trace, staged.network.input_shape,
+        mem.element_bytes, mem.block_bytes,
+    )
+
+    # Event-index boundary F1 against device ground truth (the first
+    # transaction of each stage window).
+    counts = [w.num_reads + w.num_writes for w in res.windows]
+    truth_idx = [0] + list(np.cumsum(counts[:-1]))
+    if dataflow == "output-stationary":
+        bounds = find_layer_boundaries(res.trace.addresses, res.trace.is_write)
+    else:
+        bounds = find_layer_boundaries_dataflow(
+            res.trace.addresses, res.trace.is_write, mem.block_bytes
+        )
+    f1 = boundary_f1(bounds, truth_idx, tol=0).f1
+
+    attack = run_structure_attack(
+        AcceleratorSim(staged, config), tolerance=TOLERANCE, rules=RULES,
+        dataflow="auto",
+    )
+    found = _truth_found(attack, staged)
+    row = (
+        name, dataflow, sig.dataflow, attack.dataflow,
+        f"{len(bounds)}/{len(res.windows)}", f"{f1:.3f}",
+        attack.count, "yes" if found else "NO",
+    )
+    facts = {
+        "identified": sig.dataflow == dataflow,
+        "attack_identified": attack.dataflow == dataflow,
+        "f1": f1,
+        "layers": attack.num_layers == len(staged.stages),
+        "found": found,
+    }
+    return row, facts
+
+
+def _noisy_rows(staged, dataflow):
+    """Consensus recovery under trace noise for one victim × dataflow."""
+    config = AcceleratorConfig(dataflow=dataflow)
+    truth = boundary_cycles_from_trace(
+        DeviceSession(AcceleratorSim(staged, config))
+        .observe_structure(seed=0).trace
+    )
+    min_gap = int(np.min(np.diff(truth)))
+    rows, scores = [], {}
+    for label, drop, dup, sigma in NOISE_POINTS:
+        channel = ChannelModel(
+            drop_rate=drop, dup_rate=dup, cycle_sigma=sigma,
+            seed=CHANNEL_SEED,
+        )
+        session = DeviceSession(
+            AcceleratorSim(staged, config), channel=channel
+        )
+        result = recover_boundaries(
+            session, runs=NOISE_RUNS, dataflow=dataflow
+        )
+        score = boundary_f1(
+            result.boundaries, truth, tol=channel.latency_window + 50
+        )
+        # A boundary closer to its predecessor than the latency window
+        # is below the channel's resolution — no estimator separates a
+        # genuine transition from echo inside the window.
+        resolvable = min_gap > channel.latency_window
+        rows.append((
+            dataflow, label, f"{score.f1:.3f}",
+            f"{len(result.boundaries)}/{len(truth)}",
+            "yes" if resolvable else f"no ({min_gap} < "
+            f"{channel.latency_window})",
+        ))
+        scores[label] = (score.f1, len(result.boundaries), len(truth),
+                         resolvable)
+    return rows, scores
+
+
+def test_ablation_dataflow(benchmark):
+    victims = _victims()
+
+    def sweep():
+        clean_rows, clean_facts = [], {}
+        for name, staged in victims:
+            for dataflow in DATAFLOWS:
+                row, facts = _clean_row(name, staged, dataflow)
+                clean_rows.append(row)
+                clean_facts[(name, dataflow)] = facts
+        noisy_rows, noisy_scores = [], {}
+        lenet = victims[0][1]
+        for dataflow in DATAFLOWS:
+            rows, scores = _noisy_rows(lenet, dataflow)
+            noisy_rows.extend(rows)
+            noisy_scores[dataflow] = scores
+        return clean_rows, clean_facts, noisy_rows, noisy_scores
+
+    clean_rows, clean_facts, noisy_rows, noisy_scores = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    accuracy = float(np.mean([
+        f["identified"] for f in clean_facts.values()
+    ]))
+    text = "clean tap: identify the dataflow, then decode it\n"
+    text += render_table(
+        ["model", "victim dataflow", "identified (batch)",
+         "identified (attack)", "boundaries", "boundary F1",
+         "candidates", "truth found"],
+        clean_rows,
+    )
+    text += (
+        f"\n\nidentification accuracy: {accuracy:.0%} over "
+        f"{len(clean_facts)} victim configurations"
+    )
+    text += ("\n\nnoisy channel: consensus boundary recovery per dataflow "
+             f"(LeNet, {NOISE_RUNS} runs)\n")
+    text += render_table(
+        ["dataflow", "channel", "robust F1", "boundaries",
+         "stages resolvable"], noisy_rows
+    )
+    text += (
+        "\n\nboundary F1 is event-index exact against device ground truth "
+        "on the clean\ntap; noisy-channel F1 is cycle-space against the "
+        "same-dataflow clean-trace\nboundaries (the robust estimator's own "
+        "placement, noise-free).  'stages\nresolvable: no' marks noise "
+        "points whose latency window exceeds the\nshortest stage: the two "
+        "stages merge — a channel-physics limit, not an\nestimator "
+        "failure — and the bench asserts exactly that one boundary is\n"
+        "lost and no spurious ones appear."
+    )
+    emit("ablation_dataflow", text)
+
+    # Acceptance: identification is perfect on clean traces, boundary
+    # recovery is exact, and the attack keeps the true structure — for
+    # every model under every dataflow.
+    assert accuracy == 1.0
+    for (name, dataflow), facts in clean_facts.items():
+        assert facts["attack_identified"], (name, dataflow)
+        assert facts["f1"] == 1.0, (name, dataflow)
+        assert facts["layers"], (name, dataflow)
+        assert facts["found"], (name, dataflow)
+    for dataflow, scores in noisy_scores.items():
+        for label, (f1, found, expected, resolvable) in scores.items():
+            if resolvable:
+                assert f1 == 1.0, (dataflow, label, f1)
+            else:
+                # Exactly the sub-window pair merged, nothing forged.
+                assert found == expected - 1, (dataflow, label, found)
+                assert f1 >= 2 * (expected - 1) / (2 * expected - 1) - 1e-9, (
+                    dataflow, label, f1
+                )

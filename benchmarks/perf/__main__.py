@@ -41,7 +41,9 @@ from repro.nn.zoo import build_alexnet, build_lenet, build_model  # noqa: E402
 from repro.parallel import WorkerPool, get_pool  # noqa: E402
 
 from .golden import (  # noqa: E402
+    GOLDEN_DATAFLOW_SHA256,
     GOLDEN_LENET_SHA256,
+    golden_model,
     span_stream_digest,
 )
 
@@ -320,6 +322,67 @@ def bench_throughput(workers: int, quick: bool, scale: str) -> dict:
     return entry
 
 
+# -- bench: dataflow identification --------------------------------------------
+def bench_dataflow_id(workers: int, quick: bool, scale: str) -> dict:
+    """Dataflow identification accuracy + identifier throughput.
+
+    Synthesises one clean trace per golden victim × dataflow (each
+    asserted against its pinned digest in ``golden.py``), then times
+    the batch :func:`identify_dataflow` pass over it.  ``identical``
+    carries the digest assertions; ``bounded`` demands 100%
+    identification accuracy.  Single-process bench — no single-CPU
+    skip applies; in ``--quick`` mode the larger victims carry an
+    explicit ``skipped`` marker rather than silently vanishing.
+    """
+    from repro.attacks.structure import identify_dataflow
+
+    dataflows = ("output-stationary", "weight-stationary", "row-stationary")
+    all_models = ("lenet", "alexnet", "squeezenet")
+    models = ("lenet",) if quick else all_models
+    per_model: dict[str, dict] = {
+        m: {"skipped": "quick"} for m in all_models if m not in models
+    }
+    correct = total = 0
+    digests_ok = True
+    wall_total = 0.0
+    for m in models:
+        staged = golden_model(m)
+        shape = staged.network.input_shape
+        per_df: dict[str, dict] = {}
+        for df in dataflows:
+            sim = AcceleratorSim(staged, AcceleratorConfig(dataflow=df))
+            x = np.zeros((1, *shape))
+            trace = sim.run(x).trace
+            digests_ok = digests_ok and (
+                span_stream_digest(trace) == GOLDEN_DATAFLOW_SHA256[(m, df)]
+            )
+            mem = sim.config.memory
+            wall, sig = _timed(lambda: identify_dataflow(
+                trace, shape, mem.element_bytes, mem.block_bytes
+            ))
+            wall_total += wall
+            total += 1
+            correct += sig.dataflow == df
+            per_df[df] = {
+                "identified": sig.dataflow,
+                "events": len(trace),
+                "wall_s": round(wall, 5),
+                "events_per_second": round(len(trace) / wall) if wall else 0,
+            }
+        per_model[m] = per_df
+    accuracy = correct / total if total else 0.0
+    entry = _entry(
+        wall_total, wall_total, 1, scale, digests_ok, multi_worker=False
+    )
+    entry.update(
+        nets=per_model,
+        accuracy=round(accuracy, 4),
+        cases=total,
+        bounded=accuracy == 1.0,
+    )
+    return entry
+
+
 # -- bench: trace memory footprint (materialize vs spool+stream) --------------
 def _traced(fn):
     """(wall seconds, tracemalloc peak bytes, result) for one arm."""
@@ -490,6 +553,7 @@ BENCHES = {
     "pool_reuse": bench_pool_reuse,
     "batching": bench_batching,
     "events_per_second": bench_throughput,
+    "dataflow_id": bench_dataflow_id,
     "memory": bench_memory,
     "channel": bench_channel,
 }

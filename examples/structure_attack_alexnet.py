@@ -9,14 +9,18 @@ structure count (paper: 24).
 Usage::
 
     python examples/structure_attack_alexnet.py [--tolerance 0.05] \
-        [--workers 4]
+        [--workers 4] [--dataflow row-stationary]
+
+The victim's dataflow (loop order) is configurable; the attack is not
+told which one runs — it identifies the schedule from one observation
+and decodes the trace with the matching boundary rule.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.accel import AcceleratorSim
+from repro.accel import AcceleratorConfig, AcceleratorSim, available_dataflows
 from repro.attacks.structure import PracticalityRules, run_structure_attack
 from repro.device import DeviceSession
 from repro.nn.spec import LayerGeometry
@@ -41,17 +45,25 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for candidate enumeration "
                              "(default: serial; results are bit-identical)")
+    parser.add_argument("--dataflow", choices=available_dataflows(),
+                        default="output-stationary",
+                        help="the victim accelerator's loop order")
     args = parser.parse_args()
 
     victim = build_alexnet()
-    print("simulating one AlexNet inference (full scale, ~62M weights)...")
-    session = DeviceSession(AcceleratorSim(victim))
+    print(f"simulating one AlexNet inference (full scale, ~62M weights, "
+          f"{args.dataflow} victim)...")
+    session = DeviceSession(
+        AcceleratorSim(victim, AcceleratorConfig(dataflow=args.dataflow))
+    )
     result = run_structure_attack(
         session,
         tolerance=args.tolerance,
         rules=PracticalityRules(exact_pool_division=True),
         workers=args.workers,
+        dataflow="auto",
     )
+    print(f"dataflow identified from the trace: {result.dataflow}")
     print(f"trace: {result.ledger.trace_events:,} transactions; "
           f"{result.num_layers} layers detected "
           f"(5 CONV + 3 FC, as in the paper)\n")

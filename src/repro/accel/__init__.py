@@ -8,6 +8,14 @@ stream as :class:`TraceSpan` chunks into a :class:`TraceSink` (see
 :class:`repro.device.DeviceSession`.
 """
 
+from repro.accel.dataflow import (
+    Dataflow,
+    OutputStationary,
+    RowStationary,
+    WeightStationary,
+    available_dataflows,
+    resolve_dataflow,
+)
 from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
 from repro.accel.oracle import (
     DenseStageOracle,
@@ -65,6 +73,12 @@ __all__ = [
     "BufferConfig",
     "plan_conv_tiles",
     "plan_fc_tiles",
+    "Dataflow",
+    "OutputStationary",
+    "WeightStationary",
+    "RowStationary",
+    "available_dataflows",
+    "resolve_dataflow",
     "PruningConfig",
     "PrunedLayout",
     "pruned_region_elements",

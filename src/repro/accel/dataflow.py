@@ -1,0 +1,458 @@
+"""Dataflow strategies: pluggable accelerator loop orders.
+
+Which operand stays resident in the on-chip buffers while the others
+stream past — the accelerator's *dataflow* — fixes the loop order of a
+layer and therefore the shape of its off-chip access pattern.  The
+paper's Figure 1 machine is output-stationary; Weerasena & Mishra
+(arXiv 2311.00579) show the memory-trace leak signature differs per
+dataflow, which is exactly what the structure attack's
+``DataflowIdentifier`` exploits.  Three strategies are modelled:
+
+``output-stationary``
+    Output rows accumulate on chip.  Bands of conv-output rows are the
+    outer loop, filter groups the inner one; the IFM band is fetched
+    once per band and each group's weights are re-fetched per band.
+    The whole OFM is written back in one burst at the end of the stage.
+    This is the historical behaviour, bit-identical to the pre-dataflow
+    simulator (pinned by the golden LeNet span digest).
+
+``weight-stationary``
+    A filter group is pinned in the weight buffer while the *entire*
+    IFM streams past it: filter groups are the outer loop, IFM bands
+    the inner one, so the IFM is re-read once per group (the tell-tale
+    fmap re-read periodicity) and each group's output-channel slice is
+    written back as soon as the group retires.
+
+``row-stationary``
+    One conv-output row's input footprint is pinned per step: rows are
+    the outer loop, filter groups the inner one, so the *weights* are
+    re-read once per row (the weight re-read periodicity) and finished
+    (pooled) output rows are written back incrementally across all
+    channels.
+
+All three emit reads inside a tile in a fixed operand order: the
+stationary-weight flavours (weight-/row-stationary) fetch weights
+before the IFM slice; output-stationary fetches the IFM band first.
+
+A strategy answers four questions per layer: the tile schedule
+(:meth:`Dataflow.conv_tiles` / :meth:`Dataflow.fc_tiles`), how tiles
+group into write-back *segments* (``*_segments``), and which OFM
+element ranges each segment's write burst covers (``*_burst_ranges``).
+:func:`assign_write_blocks` and :func:`split_pruned_bursts` turn those
+element ranges into concrete block-address bursts for dense and pruned
+OFMs respectively.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.accel.memory import MemoryConfig, MemoryRegion
+from repro.accel.pruning import PruningConfig
+from repro.accel.tiling import (
+    BufferConfig,
+    ConvTile,
+    FCTile,
+    _band_rows,
+    _oc_group,
+    plan_conv_tiles,
+    plan_fc_tiles,
+)
+from repro.nn.spec import FCGeometry, LayerGeometry
+
+__all__ = [
+    "Dataflow",
+    "OutputStationary",
+    "WeightStationary",
+    "RowStationary",
+    "DATAFLOWS",
+    "resolve_dataflow",
+    "available_dataflows",
+    "assign_write_blocks",
+    "split_pruned_bursts",
+]
+
+Segment = tuple[int, int]
+ElementRange = tuple[int, int]
+
+
+@runtime_checkable
+class Dataflow(Protocol):
+    """Loop-order strategy of the accelerator.
+
+    ``name`` is the registry key (and the ``--dataflow`` CLI value).
+    ``weights_first`` fixes the operand order inside one tile's read
+    burst.  ``fc_prefetch_pruned_ifm`` selects how an FC layer consumes
+    a *pruned* input: ``True`` fetches the compressed stream whole at
+    stage start (it is then buffer-resident for every tile), ``False``
+    folds it into the first tile's read burst (the output-stationary
+    legacy encoding).
+    """
+
+    name: ClassVar[str]
+    weights_first: ClassVar[bool]
+    fc_prefetch_pruned_ifm: ClassVar[bool]
+
+    def conv_tiles(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[ConvTile]: ...
+
+    def fc_tiles(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[FCTile]: ...
+
+    def conv_segments(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[Segment]: ...
+
+    def fc_segments(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[Segment]: ...
+
+    def conv_burst_ranges(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]: ...
+
+    def fc_burst_ranges(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]: ...
+
+
+def _conv_counts(
+    geom: LayerGeometry, buffers: BufferConfig
+) -> tuple[int, int, int, int]:
+    """(band_rows, oc_group, num_bands, num_groups) of a conv layer."""
+    band = _band_rows(geom, buffers)
+    group = _oc_group(geom, buffers)
+    nbands = -(-geom.w_conv // band)
+    ngroups = -(-geom.d_ofm // group)
+    return band, group, nbands, ngroups
+
+
+def _fc_group(geom: FCGeometry, buffers: BufferConfig) -> int:
+    return max(1, buffers.weight_buffer_elements // max(1, geom.in_features))
+
+
+def _completed_out_rows(geom: LayerGeometry, conv_rows_done: int) -> int:
+    """Output (post-pool) rows finished once ``conv_rows_done`` rows exist.
+
+    Pooled row ``r`` consumes conv rows ``[r*s - p, r*s - p + f)``
+    clamped to the conv output (ceil-mode pooling), so it completes as
+    soon as the clamped upper bound is available.
+    """
+    if not geom.has_pool:
+        return min(conv_rows_done, geom.w_ofm)
+    done = 0
+    for r in range(geom.w_ofm):
+        need = min(r * geom.s_pool - geom.p_pool + geom.f_pool, geom.w_conv)
+        if need > conv_rows_done:
+            break
+        done = r + 1
+    return done
+
+
+class OutputStationary:
+    """Bands outer, filter groups inner; one OFM write burst per stage."""
+
+    name: ClassVar[str] = "output-stationary"
+    weights_first: ClassVar[bool] = False
+    fc_prefetch_pruned_ifm: ClassVar[bool] = False
+
+    def conv_tiles(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[ConvTile]:
+        return plan_conv_tiles(geom, buffers)
+
+    def fc_tiles(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[FCTile]:
+        return plan_fc_tiles(geom, buffers)
+
+    def conv_segments(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[Segment]:
+        _, _, nbands, ngroups = _conv_counts(geom, buffers)
+        return [(0, nbands * ngroups)]
+
+    def fc_segments(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[Segment]:
+        group = _fc_group(geom, buffers)
+        return [(0, -(-geom.out_features // group))]
+
+    def conv_burst_ranges(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]:
+        return [[(0, geom.d_ofm * geom.w_ofm * geom.w_ofm)]]
+
+    def fc_burst_ranges(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]:
+        return [[(0, geom.out_features)]]
+
+
+class _GroupedFC:
+    """FC schedule shared by the stationary-weight flavours.
+
+    Each output-feature group's weights are pinned while the input
+    vector streams past (``fetch_ifm`` on every tile), and the group's
+    outputs are written back as the group retires — one segment and one
+    burst per tile.
+    """
+
+    def fc_tiles(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[FCTile]:
+        group = _fc_group(geom, buffers)
+        tiles: list[FCTile] = []
+        for o0 in range(0, geom.out_features, group):
+            o1 = min(o0 + group, geom.out_features)
+            tiles.append(
+                FCTile(
+                    out_start=o0,
+                    out_end=o1,
+                    fetch_ifm=True,
+                    macs=(o1 - o0) * geom.in_features,
+                )
+            )
+        return tiles
+
+    def fc_segments(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[Segment]:
+        group = _fc_group(geom, buffers)
+        ntiles = -(-geom.out_features // group)
+        return [(i, i + 1) for i in range(ntiles)]
+
+    def fc_burst_ranges(
+        self, geom: FCGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]:
+        group = _fc_group(geom, buffers)
+        return [
+            [(o0, min(o0 + group, geom.out_features))]
+            for o0 in range(0, geom.out_features, group)
+        ]
+
+
+class WeightStationary(_GroupedFC):
+    """Filter groups outer, IFM bands inner; write burst per group."""
+
+    name: ClassVar[str] = "weight-stationary"
+    weights_first: ClassVar[bool] = True
+    fc_prefetch_pruned_ifm: ClassVar[bool] = True
+
+    def conv_tiles(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[ConvTile]:
+        band, group, _, _ = _conv_counts(geom, buffers)
+        macs_per_out_row = geom.w_conv * geom.f_conv * geom.f_conv * geom.d_ifm
+        tiles: list[ConvTile] = []
+        for oc0 in range(0, geom.d_ofm, group):
+            oc1 = min(oc0 + group, geom.d_ofm)
+            for row0 in range(0, geom.w_conv, band):
+                row1 = min(row0 + band, geom.w_conv)
+                in0 = max(0, row0 * geom.s_conv - geom.p_conv)
+                in1 = min(
+                    geom.w_ifm,
+                    (row1 - 1) * geom.s_conv - geom.p_conv + geom.f_conv,
+                )
+                tiles.append(
+                    ConvTile(
+                        out_row_start=row0,
+                        out_row_end=row1,
+                        ifm_row_start=in0,
+                        ifm_row_end=in1,
+                        oc_start=oc0,
+                        oc_end=oc1,
+                        fetch_ifm=True,
+                        fetch_weights=(row0 == 0),
+                        macs=(row1 - row0) * macs_per_out_row * (oc1 - oc0),
+                    )
+                )
+        return tiles
+
+    def conv_segments(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[Segment]:
+        _, _, nbands, ngroups = _conv_counts(geom, buffers)
+        return [(g * nbands, (g + 1) * nbands) for g in range(ngroups)]
+
+    def conv_burst_ranges(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]:
+        _, group, _, _ = _conv_counts(geom, buffers)
+        plane = geom.w_ofm * geom.w_ofm
+        return [
+            [(oc0 * plane, min(oc0 + group, geom.d_ofm) * plane)]
+            for oc0 in range(0, geom.d_ofm, group)
+        ]
+
+
+class RowStationary(_GroupedFC):
+    """Single conv rows outer, filter groups inner; rows written as pooled."""
+
+    name: ClassVar[str] = "row-stationary"
+    weights_first: ClassVar[bool] = True
+    fc_prefetch_pruned_ifm: ClassVar[bool] = True
+
+    def conv_tiles(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[ConvTile]:
+        group = _oc_group(geom, buffers)
+        macs_per_out_row = geom.w_conv * geom.f_conv * geom.f_conv * geom.d_ifm
+        tiles: list[ConvTile] = []
+        for row in range(geom.w_conv):
+            in0 = max(0, row * geom.s_conv - geom.p_conv)
+            in1 = min(geom.w_ifm, row * geom.s_conv - geom.p_conv + geom.f_conv)
+            for oc0 in range(0, geom.d_ofm, group):
+                oc1 = min(oc0 + group, geom.d_ofm)
+                tiles.append(
+                    ConvTile(
+                        out_row_start=row,
+                        out_row_end=row + 1,
+                        ifm_row_start=in0,
+                        ifm_row_end=in1,
+                        oc_start=oc0,
+                        oc_end=oc1,
+                        fetch_ifm=(oc0 == 0),
+                        fetch_weights=True,
+                        macs=macs_per_out_row * (oc1 - oc0),
+                    )
+                )
+        return tiles
+
+    def conv_segments(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[Segment]:
+        _, group, _, _ = _conv_counts(geom, buffers)
+        ngroups = -(-geom.d_ofm // group)
+        return [(b * ngroups, (b + 1) * ngroups) for b in range(geom.w_conv)]
+
+    def conv_burst_ranges(
+        self, geom: LayerGeometry, buffers: BufferConfig
+    ) -> list[list[ElementRange]]:
+        plane = geom.w_ofm * geom.w_ofm
+        w = geom.w_ofm
+        ranges: list[list[ElementRange]] = []
+        for b in range(geom.w_conv):
+            prev = _completed_out_rows(geom, b)
+            cur = _completed_out_rows(geom, b + 1)
+            if cur > prev:
+                ranges.append(
+                    [
+                        (c * plane + prev * w, c * plane + cur * w)
+                        for c in range(geom.d_ofm)
+                    ]
+                )
+            else:
+                ranges.append([])
+        return ranges
+
+
+DATAFLOWS: dict[str, Dataflow] = {
+    df.name: df
+    for df in (OutputStationary(), WeightStationary(), RowStationary())
+}
+
+
+def available_dataflows() -> tuple[str, ...]:
+    """Registered dataflow names, sorted (the CLI choice list)."""
+    return tuple(sorted(DATAFLOWS))
+
+
+def resolve_dataflow(spec: str | Dataflow | None) -> Dataflow:
+    """Look up a dataflow by name (``None`` = the output-stationary default)."""
+    if spec is None:
+        return DATAFLOWS[OutputStationary.name]
+    if isinstance(spec, str):
+        try:
+            return DATAFLOWS[spec]
+        except KeyError:
+            raise ConfigError(
+                f"unknown dataflow {spec!r}; expected one of "
+                f"{', '.join(available_dataflows())}"
+            ) from None
+    return spec
+
+
+# -- burst materialisation ----------------------------------------------------
+def assign_write_blocks(
+    region: MemoryRegion, ranges_per_segment: list[list[ElementRange]]
+) -> list[np.ndarray]:
+    """Partition a dense region's block writes among segment bursts.
+
+    Block-granular writes cannot split below a block: a block straddling
+    two element ranges is complete — and therefore written — only when
+    the *later* range retires, so each block belongs to the last segment
+    covering it.  Every region block is written exactly once and the
+    concatenation of all bursts covers the region.
+    """
+    mem = region.config
+    eb, bb = mem.element_bytes, mem.block_bytes
+    blocks = region.block_addresses()
+    owner = np.full(len(blocks), -1, dtype=np.int64)
+    for i, ranges in enumerate(ranges_per_segment):
+        for e0, e1 in ranges:
+            if e1 <= e0:
+                continue
+            b0 = e0 * eb // bb
+            b1 = (e1 * eb - 1) // bb
+            owner[b0 : b1 + 1] = i
+    # Trailing padding blocks (region rounding) ride with the last burst.
+    owner[owner < 0] = len(ranges_per_segment) - 1
+    return [blocks[owner == i] for i in range(len(ranges_per_segment))]
+
+
+def split_pruned_bursts(
+    region: MemoryRegion,
+    values: np.ndarray,
+    ranges_per_segment: list[list[ElementRange]],
+    cfg: PruningConfig,
+    mem: MemoryConfig,
+) -> list[np.ndarray]:
+    """Slice a pruned OFM's pair-write stream into per-segment bursts.
+
+    Mirrors :func:`repro.accel.pruning.encode_pruned_writes` exactly:
+    each substream's pair addresses are the same, only *when* they are
+    emitted moves — the pairs of element range ``[e0, e1)`` go out with
+    the segment that computed those elements.  Concatenating all bursts
+    of a single full-tensor range reproduces the encode stream
+    bit-for-bit, and per-substream write counts (the nnz leak) are
+    dataflow-invariant.
+    """
+    pair = cfg.pair_bytes(mem)
+    bb = mem.block_bytes
+    if cfg.granularity == "plane" and values.ndim == 3:
+        flat = values.reshape(values.shape[0], -1)
+    else:
+        flat = values.reshape(1, -1)
+    planes, plane_elems = flat.shape
+    cap_bytes = -(-(plane_elems * pair) // bb) * bb
+    prefix = np.zeros((planes, plane_elems + 1), dtype=np.int64)
+    prefix[:, 1:] = np.cumsum(flat != 0, axis=1)
+    streams: list[np.ndarray] = []
+    for c in range(planes):
+        n = int(prefix[c, -1])
+        base = region.base + c * cap_bytes
+        offsets = np.arange(n, dtype=np.int64) * pair
+        streams.append(base + (offsets // bb) * bb)
+    bursts: list[np.ndarray] = []
+    for ranges in ranges_per_segment:
+        parts: list[np.ndarray] = []
+        for e0, e1 in ranges:
+            # A range may span several planes (e.g. an oc-group slice).
+            while e0 < e1:
+                c = e0 // plane_elems
+                s0 = e0 - c * plane_elems
+                s1 = min(e1 - c * plane_elems, plane_elems)
+                part = streams[c][prefix[c, s0] : prefix[c, s1]]
+                if len(part):
+                    parts.append(part)
+                e0 = (c + 1) * plane_elems if s1 == plane_elems else e1
+        bursts.append(
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+    return bursts

@@ -4,9 +4,13 @@
 stage by stage in forward order, exactly as the paper's Figure 1
 accelerator does: per stage it fetches IFM tiles and filter tiles from
 DRAM into on-chip buffers, runs the PE array, and writes the activated
-(and pooled) OFM back to DRAM at the end of the stage.  The numerical
-result comes from the underlying :class:`~repro.nn.graph.Network`; the
-simulator's job is to produce the two externally visible artefacts:
+(and pooled) OFM back to DRAM.  The loop order — and therefore when
+tiles fetch which operand and when OFM slices retire — is the
+configured :mod:`~repro.accel.dataflow` strategy; the default
+``output-stationary`` schedule writes the whole OFM once at the end of
+the stage.  The numerical result comes from the underlying
+:class:`~repro.nn.graph.Network`; the simulator's job is to produce
+the two externally visible artefacts:
 
 * the off-chip **memory trace** — block address, read/write, cycle — and
 * the **execution timing** per stage (compute-bound per the paper).
@@ -33,6 +37,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
+from repro.accel.dataflow import (
+    Dataflow,
+    assign_write_blocks,
+    resolve_dataflow,
+    split_pruned_bursts,
+)
 from repro.accel.memory import DramAllocator, MemoryConfig, MemoryRegion
 from repro.accel.pruning import (
     PrunedLayout,
@@ -40,7 +50,7 @@ from repro.accel.pruning import (
     encode_pruned_writes,
     pruned_region_elements,
 )
-from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
+from repro.accel.tiling import BufferConfig, ConvTile, FCTile
 from repro.accel.timing import TimingModel
 from repro.accel.sinks import MaterializeSink
 from repro.accel.trace import READ, WRITE, MemoryTrace, TraceBuilder, TraceSink
@@ -56,15 +66,22 @@ __all__ = ["AcceleratorConfig", "StageWindow", "SimulationResult", "AcceleratorS
 class AcceleratorConfig:
     """Full accelerator configuration (memory, buffers, timing, pruning).
 
+    ``dataflow`` names the loop-order strategy (see
+    :mod:`repro.accel.dataflow`): ``"output-stationary"`` (the
+    default), ``"weight-stationary"`` or ``"row-stationary"``.  A
+    :class:`~repro.accel.dataflow.Dataflow` instance is accepted and
+    normalised to its name, keeping the config hashable and printable
+    — the repr always names the strategy explicitly.
+
     ``trace_synthesis`` selects how per-stage trace spans are produced:
     ``"vectorised"`` (default) assembles each stage's read burst as
     whole-array numpy arithmetic — one span per stage phase — while
     ``"reference"`` keeps the original per-tile loop emitting one span
     per tile.  The two produce **bit-identical flattened event
     streams** (cycles, addresses, flags — asserted in tests for LeNet,
-    AlexNet and SqueezeNet, with and without channel noise); only span
-    chunking differs, which every sink in the pipeline is contractually
-    invariant to.
+    AlexNet and SqueezeNet, under every dataflow, with and without
+    channel noise); only span chunking differs, which every sink in
+    the pipeline is contractually invariant to.
     """
 
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -72,6 +89,7 @@ class AcceleratorConfig:
     timing: TimingModel = field(default_factory=TimingModel)
     pruning: PruningConfig = field(default_factory=PruningConfig)
     trace_synthesis: str = "vectorised"
+    dataflow: str = "output-stationary"
 
     def __post_init__(self) -> None:
         if self.trace_synthesis not in ("vectorised", "reference"):
@@ -79,6 +97,11 @@ class AcceleratorConfig:
                 f"unknown trace_synthesis {self.trace_synthesis!r}; "
                 "expected 'vectorised' or 'reference'"
             )
+        # Accept a strategy instance; store its registry name so the
+        # frozen config stays hashable.  Unknown names raise here.
+        object.__setattr__(
+            self, "dataflow", resolve_dataflow(self.dataflow).name
+        )
 
 
 @dataclass(frozen=True)
@@ -208,14 +231,18 @@ class AcceleratorSim:
         # re-enables caching through Trainer.
         staged.network.requires_grad_(False)
         self.config = config or AcceleratorConfig()
+        self.dataflow: Dataflow = resolve_dataflow(self.config.dataflow)
         self.allocator = DramAllocator(self.config.memory)
         self._shapes = staged.network.infer_shapes()
         self._allocate_regions()
         self._run_counter = 0
-        self._read_plans: dict[str, _StageReadPlan | None] = {}
+        self._read_plans: dict[tuple[str, int], _StageReadPlan | None] = {}
+        self._tiles: dict[str, list[ConvTile] | list[FCTile]] = {}
+        self._segments: dict[str, list[tuple[int, int]]] = {}
         self._last_output: np.ndarray | None = None
         self._stage_cache: (
-            dict[str, tuple[np.ndarray, np.ndarray, PrunedLayout | None]] | None
+            dict[str, tuple[np.ndarray, list[np.ndarray], PrunedLayout | None]]
+            | None
         ) = None
 
     # -- DRAM layout -------------------------------------------------------
@@ -336,20 +363,22 @@ class AcceleratorSim:
             sink.begin_stage(stage.name, stage.kind)
             cycle += self.config.timing.stage_overhead
             start_cycle = cycle
-            reads_before = builder.num_events
-            if stage.kind == "conv":
-                cycle = self._run_conv_stage(stage, builder, cycle, layouts)
-            elif stage.kind == "fc":
-                cycle = self._run_fc_stage(stage, builder, cycle, layouts)
+            events_before = builder.num_events
+            nnz[stage.name], bursts, layouts[stage.name] = cache[stage.name]
+            if stage.kind in ("conv", "fc"):
+                # Write bursts interleave with the tile schedule per the
+                # configured dataflow (one burst per segment).
+                cycle = self._run_compute_stage(
+                    stage, builder, cycle, layouts, bursts
+                )
             else:  # eltwise / concat: pure DRAM-to-DRAM merge
                 cycle = self._run_merge_stage(stage, builder, cycle, layouts)
-            num_reads = builder.num_events - reads_before
-
-            nnz[stage.name], write_addrs, layouts[stage.name] = cache[stage.name]
-            cycle = builder.add_span(
-                cycle, write_addrs, WRITE, self.config.timing.cycles_per_block
-            )
-            num_writes = len(write_addrs)
+                for burst in bursts:
+                    cycle = builder.add_span(
+                        cycle, burst, WRITE, self.config.timing.cycles_per_block
+                    )
+            num_writes = sum(len(b) for b in bursts)
+            num_reads = builder.num_events - events_before - num_writes
 
             windows.append(
                 StageWindow(
@@ -383,113 +412,164 @@ class AcceleratorSim:
             return layout.read_block_addresses(region)
         return region.block_addresses()
 
-    def _run_conv_stage(
-        self,
-        stage: Stage,
-        builder: TraceBuilder,
-        cycle: int,
-        layouts: dict[str, PrunedLayout | None],
-    ) -> int:
-        if self.config.trace_synthesis == "vectorised":
-            return self._run_conv_stage_vectorised(stage, builder, cycle, layouts)
-        return self._run_conv_stage_reference(stage, builder, cycle, layouts)
+    def _stage_tiles(
+        self, stage: Stage
+    ) -> tuple[list, list[tuple[int, int]]]:
+        """Tile schedule and write-back segmentation of one compute stage.
 
-    def _run_conv_stage_reference(
+        Both depend only on geometry, buffers and the dataflow — all
+        frozen at construction — so they are computed once per stage.
+        """
+        if stage.name not in self._tiles:
+            buffers = self.config.buffers
+            geom = stage.geometry
+            if stage.kind == "conv":
+                assert isinstance(geom, LayerGeometry)
+                self._tiles[stage.name] = self.dataflow.conv_tiles(
+                    geom, buffers
+                )
+                self._segments[stage.name] = self.dataflow.conv_segments(
+                    geom, buffers
+                )
+            else:
+                assert isinstance(geom, FCGeometry)
+                self._tiles[stage.name] = self.dataflow.fc_tiles(geom, buffers)
+                self._segments[stage.name] = self.dataflow.fc_segments(
+                    geom, buffers
+                )
+        return self._tiles[stage.name], self._segments[stage.name]
+
+    def _run_compute_stage(
         self,
         stage: Stage,
         builder: TraceBuilder,
         cycle: int,
         layouts: dict[str, PrunedLayout | None],
+        bursts: list[np.ndarray],
     ) -> int:
-        geom = stage.geometry
-        assert isinstance(geom, LayerGeometry)
-        source = stage.input_stages[0]
-        in_region = self.ofm_region(source)
-        w_region = self.region(f"{stage.name}.weights")
+        """One conv/FC stage: read segments interleaved with write bursts.
+
+        The dataflow partitions the tile schedule into segments, each
+        retiring one OFM write burst (output-stationary degenerates to
+        a single segment and the stage-end burst).  A *pruned* input is
+        prefetched whole at stage start — RLE streams are not
+        row-addressable — for conv under every dataflow and for FC when
+        the dataflow asks for it; the output-stationary FC instead
+        folds the compressed fetch into its first tile (the legacy
+        encoding, kept bit-identical).
+        """
         timing = self.config.timing
+        source = stage.input_stages[0]
         pruned_input = layouts.get(source) is not None
+        prefetch = pruned_input and (
+            stage.kind == "conv" or self.dataflow.fc_prefetch_pruned_ifm
+        )
 
-        if pruned_input:
-            # Compressed IFMs are fetched whole at stage start (RLE streams
-            # are not row-addressable) and decoded into the on-chip buffer.
+        if prefetch:
+            # The compressed layout — hence this span — changes with
+            # every input, so it stays per-run.
             addrs = self._input_read_blocks(source, layouts)
             cycle = builder.add_span(
                 cycle, addrs, READ, timing.cycles_per_block
             )
 
+        tiles, segments = self._stage_tiles(stage)
+        vectorised = self.config.trace_synthesis == "vectorised"
+        for si, (t0, t1) in enumerate(segments):
+            if stage.kind == "conv":
+                if vectorised:
+                    key = (stage.name, si)
+                    if key not in self._read_plans:
+                        self._read_plans[key] = self._build_conv_read_plan(
+                            stage, tiles[t0:t1], prefetch
+                        )
+                    cycle = self._emit_plan(
+                        self._read_plans[key], builder, cycle
+                    )
+                else:
+                    cycle = self._emit_conv_segment_reference(
+                        stage, tiles[t0:t1], builder, cycle, prefetch
+                    )
+            else:
+                if vectorised:
+                    cycle = self._emit_fc_segment_vectorised(
+                        stage, si, t0, t1, tiles, builder, cycle, layouts,
+                        pruned_input, prefetch,
+                    )
+                else:
+                    cycle = self._emit_fc_segment_reference(
+                        stage, tiles[t0:t1], builder, cycle, layouts, prefetch
+                    )
+            if len(bursts[si]):
+                cycle = builder.add_span(
+                    cycle, bursts[si], WRITE, timing.cycles_per_block
+                )
+        return cycle
+
+    def _ordered_tile_addrs(
+        self, weights: np.ndarray | None, ifm: np.ndarray | None
+    ) -> np.ndarray:
+        """One tile's read burst in the dataflow's operand order."""
+        ordered = (
+            [weights, ifm] if self.dataflow.weights_first else [ifm, weights]
+        )
+        spans = [s for s in ordered if s is not None]
+        if not spans:
+            return np.empty(0, dtype=np.int64)
+        return spans[0] if len(spans) == 1 else np.concatenate(spans)
+
+    def _emit_conv_segment_reference(
+        self,
+        stage: Stage,
+        tiles: list[ConvTile],
+        builder: TraceBuilder,
+        cycle: int,
+        skip_ifm: bool,
+    ) -> int:
+        geom = stage.geometry
+        assert isinstance(geom, LayerGeometry)
+        in_region = self.ofm_region(stage.input_stages[0])
+        w_region = self.region(f"{stage.name}.weights")
+        timing = self.config.timing
+
         h = geom.w_ifm
         plane = h * h
         per_filter = geom.f_conv * geom.f_conv * geom.d_ifm
-        for tile in plan_conv_tiles(geom, self.config.buffers):
-            spans = []
-            if tile.fetch_ifm and not pruned_input:
-                starts = [
-                    c * plane + tile.ifm_row_start * h for c in range(geom.d_ifm)
-                ]
-                ends = [c * plane + tile.ifm_row_end * h for c in range(geom.d_ifm)]
-                spans.append(_blocks_for_element_ranges(in_region, starts, ends))
-            spans.append(
-                _blocks_for_element_ranges(
+        for tile in tiles:
+            weights = None
+            if tile.fetch_weights:
+                weights = _blocks_for_element_ranges(
                     w_region,
                     [tile.oc_start * per_filter],
                     [tile.oc_end * per_filter],
                 )
-            )
-            addrs = np.concatenate(spans)
+            ifm = None
+            if tile.fetch_ifm and not skip_ifm:
+                starts = [
+                    c * plane + tile.ifm_row_start * h for c in range(geom.d_ifm)
+                ]
+                ends = [c * plane + tile.ifm_row_end * h for c in range(geom.d_ifm)]
+                ifm = _blocks_for_element_ranges(in_region, starts, ends)
+            addrs = self._ordered_tile_addrs(weights, ifm)
             tile_dur = self._jittered(timing.tile_cycles(tile.macs, len(addrs)))
             spacing = max(1, tile_dur // max(1, len(addrs)))
             end = builder.add_span(cycle, addrs, READ, spacing)
             cycle = max(cycle + tile_dur, end)
         return cycle
 
-    def _run_conv_stage_vectorised(
-        self,
-        stage: Stage,
-        builder: TraceBuilder,
-        cycle: int,
-        layouts: dict[str, PrunedLayout | None],
-    ) -> int:
-        """Conv synthesis from a cached :class:`_StageReadPlan`.
-
-        Identical event stream to :meth:`_run_conv_stage_reference`.
-        Only the compressed-IFM prefetch (present when the input is
-        pruned) depends on activation values; everything else — tile
-        geometry, block addresses, unjittered durations — is frozen at
-        construction and replays from the plan.  Whether the input
-        arrives pruned is itself static per stage (it follows from the
-        pruning config and the graph), so keying plans by stage name is
-        sound.
-        """
-        timing = self.config.timing
-        source = stage.input_stages[0]
-        pruned_input = layouts.get(source) is not None
-
-        if pruned_input:
-            # Compressed IFMs are fetched whole at stage start (RLE
-            # streams are not row-addressable); the layout — hence this
-            # span — changes with every input, so it stays per-run.
-            addrs = self._input_read_blocks(source, layouts)
-            cycle = builder.add_span(
-                cycle, addrs, READ, timing.cycles_per_block
-            )
-
-        if stage.name not in self._read_plans:
-            self._read_plans[stage.name] = self._build_conv_read_plan(
-                stage, pruned_input
-            )
-        return self._emit_plan(self._read_plans[stage.name], builder, cycle)
-
     def _build_conv_read_plan(
-        self, stage: Stage, pruned_input: bool
+        self, stage: Stage, tiles: list[ConvTile], skip_ifm: bool
     ) -> _StageReadPlan:
-        """Per-tile conv read addresses, assembled once per stage.
+        """One conv segment's per-tile read addresses, assembled once.
 
         Each band's IFM fetch (``d_ifm`` block ranges — a python loop
         of small ``arange`` calls in the reference, the profiled hot
         spot on deep nets) assembles via :func:`_ranged_blocks`; each
         weight fetch is a single ``arange``.  With a pruned input the
         tiles carry weights only (the IFM arrives via the per-run
-        prefetch span instead).
+        prefetch span instead).  Whether the input arrives pruned is
+        itself static per stage (it follows from the pruning config and
+        the graph), so keying plans by (stage, segment) is sound.
         """
         geom = stage.geometry
         assert isinstance(geom, LayerGeometry)
@@ -504,19 +584,20 @@ class AcceleratorSim:
         chan = np.arange(geom.d_ifm, dtype=np.int64) * plane
         tile_addrs: list[np.ndarray] = []
         tile_macs: list[int] = []
-        for tile in plan_conv_tiles(geom, self.config.buffers):
-            wb0 = w_region.base + (tile.oc_start * per_filter * eb // bb) * bb
-            wb1 = w_region.base + -(-(tile.oc_end * per_filter * eb) // bb) * bb
-            weights = np.arange(wb0, wb1, bb, dtype=np.int64)
-            if tile.fetch_ifm and not pruned_input:
+        for tile in tiles:
+            weights = None
+            if tile.fetch_weights:
+                wb0 = w_region.base + (tile.oc_start * per_filter * eb // bb) * bb
+                wb1 = w_region.base + -(-(tile.oc_end * per_filter * eb) // bb) * bb
+                weights = np.arange(wb0, wb1, bb, dtype=np.int64)
+            ifm = None
+            if tile.fetch_ifm and not skip_ifm:
                 ifm = _ranged_blocks(
                     in_region,
                     chan + tile.ifm_row_start * h,
                     chan + tile.ifm_row_end * h,
                 )
-                tile_addrs.append(np.concatenate([ifm, weights]))
-            else:
-                tile_addrs.append(weights)
+            tile_addrs.append(self._ordered_tile_addrs(weights, ifm))
             tile_macs.append(tile.macs)
         return self._build_read_plan(tile_addrs, tile_macs)
 
@@ -571,23 +652,14 @@ class AcceleratorSim:
         factors = 1.0 + jitter * np.abs(draws)
         return np.maximum(1, np.round(cycles * factors)).astype(np.int64)
 
-    def _run_fc_stage(
+    def _emit_fc_segment_reference(
         self,
         stage: Stage,
+        tiles: list[FCTile],
         builder: TraceBuilder,
         cycle: int,
         layouts: dict[str, PrunedLayout | None],
-    ) -> int:
-        if self.config.trace_synthesis == "vectorised":
-            return self._run_fc_stage_vectorised(stage, builder, cycle, layouts)
-        return self._run_fc_stage_reference(stage, builder, cycle, layouts)
-
-    def _run_fc_stage_reference(
-        self,
-        stage: Stage,
-        builder: TraceBuilder,
-        cycle: int,
-        layouts: dict[str, PrunedLayout | None],
+        skip_ifm: bool,
     ) -> int:
         geom = stage.geometry
         assert isinstance(geom, FCGeometry)
@@ -595,48 +667,54 @@ class AcceleratorSim:
         w_region = self.region(f"{stage.name}.weights")
         timing = self.config.timing
 
-        for tile in plan_fc_tiles(geom, self.config.buffers):
-            spans = []
-            if tile.fetch_ifm:
-                spans.append(self._input_read_blocks(source, layouts))
-            spans.append(
-                _blocks_for_element_ranges(
-                    w_region,
-                    [tile.out_start * geom.in_features],
-                    [tile.out_end * geom.in_features],
-                )
+        for tile in tiles:
+            weights = _blocks_for_element_ranges(
+                w_region,
+                [tile.out_start * geom.in_features],
+                [tile.out_end * geom.in_features],
             )
-            addrs = np.concatenate(spans)
+            ifm = None
+            if tile.fetch_ifm and not skip_ifm:
+                ifm = self._input_read_blocks(source, layouts)
+            addrs = self._ordered_tile_addrs(weights, ifm)
             tile_dur = self._jittered(timing.tile_cycles(tile.macs, len(addrs)))
             spacing = max(1, tile_dur // max(1, len(addrs)))
             end = builder.add_span(cycle, addrs, READ, spacing)
             cycle = max(cycle + tile_dur, end)
         return cycle
 
-    def _run_fc_stage_vectorised(
+    def _emit_fc_segment_vectorised(
         self,
         stage: Stage,
+        si: int,
+        t0: int,
+        t1: int,
+        tiles: list[FCTile],
         builder: TraceBuilder,
         cycle: int,
         layouts: dict[str, PrunedLayout | None],
+        pruned_input: bool,
+        prefetch: bool,
     ) -> int:
-        """FC synthesis from a cached :class:`_StageReadPlan`.
+        """One FC segment from its cached :class:`_StageReadPlan`.
 
-        Identical event stream to :meth:`_run_fc_stage_reference`.
-        With a dense input every tile — including the first, which
-        prepends the whole-IFM fetch — is run-invariant and the whole
-        stage replays from the plan.  With a pruned input the first
-        tile's IFM scatter depends on the run's layout, so it is
-        emitted per run (one scalar jitter draw, preserving draw
-        order) and the plan covers the remaining weight-only tiles.
+        Identical event stream to :meth:`_emit_fc_segment_reference`.
+        With a dense input every tile — including any that prepend the
+        whole-IFM fetch — is run-invariant and the segment replays from
+        the plan.  A pruned input either arrived via the stage-start
+        prefetch (the plan then carries weight-only tiles) or, in the
+        output-stationary fold, the first tile's IFM scatter depends on
+        the run's layout, so it is emitted per run here (one scalar
+        jitter draw, preserving draw order) and the plan covers the
+        remaining weight-only tiles.
         """
         geom = stage.geometry
         assert isinstance(geom, FCGeometry)
         source = stage.input_stages[0]
         timing = self.config.timing
-        pruned_input = layouts.get(source) is not None
+        fold_first = pruned_input and not prefetch and t0 == 0
 
-        if pruned_input:
+        if fold_first:
             mem = self.config.memory
             eb, bb = mem.element_bytes, mem.block_bytes
             w_region = self.region(f"{stage.name}.weights")
@@ -647,11 +725,9 @@ class AcceleratorSim:
             )
             out0 = min(group, geom.out_features)
             wb1 = w_region.base + -(-(out0 * geom.in_features * eb) // bb) * bb
-            addrs = np.concatenate(
-                [
-                    self._input_read_blocks(source, layouts),
-                    np.arange(w_region.base, wb1, bb, dtype=np.int64),
-                ]
+            weights = np.arange(w_region.base, wb1, bb, dtype=np.int64)
+            addrs = self._ordered_tile_addrs(
+                weights, self._input_read_blocks(source, layouts)
             )
             tile_dur = self._jittered(
                 timing.tile_cycles(out0 * geom.in_features, len(addrs))
@@ -660,56 +736,54 @@ class AcceleratorSim:
             end = builder.add_span(cycle, addrs, READ, spacing)
             cycle = max(cycle + tile_dur, end)
 
-        if stage.name not in self._read_plans:
-            self._read_plans[stage.name] = self._build_fc_read_plan(
-                stage, pruned_input
+        key = (stage.name, si)
+        if key not in self._read_plans:
+            self._read_plans[key] = self._build_fc_read_plan(
+                stage, tiles[t0:t1], skip_ifm=prefetch, drop_first=fold_first
             )
-        plan = self._read_plans[stage.name]
-        if plan is None:  # single-tile stage, fully emitted above
+        plan = self._read_plans[key]
+        if plan is None:  # single-tile segment, fully emitted above
             return cycle
         return self._emit_plan(plan, builder, cycle)
 
     def _build_fc_read_plan(
-        self, stage: Stage, pruned_input: bool
+        self,
+        stage: Stage,
+        tiles: list[FCTile],
+        skip_ifm: bool,
+        drop_first: bool,
     ) -> _StageReadPlan | None:
-        """Per-tile FC read addresses, assembled once per stage.
+        """One FC segment's per-tile read addresses, assembled once.
 
-        The output-feature groups of :func:`plan_fc_tiles` are a plain
-        strided partition, so tile bounds come from closed-form
-        arithmetic rather than the planner's object stream.  Big FC
-        layers (AlexNet's FC1 alone is hundreds of tiles) then replay
-        with no per-tile python at all.
+        The output-feature groups are a plain strided partition, so
+        big FC layers (AlexNet's FC1 alone is hundreds of tiles) replay
+        with no per-tile python beyond this one-time assembly.  A dense
+        IFM fetch is run-invariant (``block_addresses`` of the source
+        region) and joins the plan; ``drop_first`` excludes the
+        layout-dependent first tile that the caller emits per run.
         """
         geom = stage.geometry
         assert isinstance(geom, FCGeometry)
+        in_region = self.ofm_region(stage.input_stages[0])
         w_region = self.region(f"{stage.name}.weights")
         mem = self.config.memory
         eb, bb = mem.element_bytes, mem.block_bytes
 
-        group = max(
-            1,
-            self.config.buffers.weight_buffer_elements
-            // max(1, geom.in_features),
-        )
-        o0 = np.arange(0, geom.out_features, group, dtype=np.int64)
-        o1 = np.minimum(o0 + group, geom.out_features)
-        wb0 = w_region.base + (o0 * geom.in_features * eb // bb) * bb
-        wb1 = w_region.base + -(-(o1 * geom.in_features * eb) // bb) * bb
-        tile_addrs = [
-            np.arange(int(a), int(b), bb, dtype=np.int64)
-            for a, b in zip(wb0, wb1)
-        ]
-        tile_macs = ((o1 - o0) * geom.in_features).tolist()
-        if pruned_input:
-            # First tile is layout-dependent; the caller emits it.
-            tile_addrs, tile_macs = tile_addrs[1:], tile_macs[1:]
-            if not tile_addrs:
+        if drop_first:
+            tiles = tiles[1:]
+            if not tiles:
                 return None
-        else:
-            in_region = self.ofm_region(stage.input_stages[0])
-            tile_addrs[0] = np.concatenate(
-                [in_region.block_addresses(), tile_addrs[0]]
-            )
+        tile_addrs: list[np.ndarray] = []
+        tile_macs: list[int] = []
+        for tile in tiles:
+            wb0 = w_region.base + (tile.out_start * geom.in_features * eb // bb) * bb
+            wb1 = w_region.base + -(-(tile.out_end * geom.in_features * eb) // bb) * bb
+            weights = np.arange(wb0, wb1, bb, dtype=np.int64)
+            ifm = None
+            if tile.fetch_ifm and not skip_ifm:
+                ifm = in_region.block_addresses()
+            tile_addrs.append(self._ordered_tile_addrs(weights, ifm))
+            tile_macs.append(tile.macs)
         return self._build_read_plan(tile_addrs, tile_macs)
 
     # -- read-plan machinery ----------------------------------------------
@@ -781,14 +855,43 @@ class AcceleratorSim:
     # -- OFM write ------------------------------------------------------------
     def _plan_ofm_write(
         self, stage: Stage, values: np.ndarray
-    ) -> tuple[np.ndarray, PrunedLayout | None]:
-        """Write addresses and pruned layout of one stage's OFM store."""
+    ) -> tuple[list[np.ndarray], PrunedLayout | None]:
+        """Write bursts (one per segment) and pruned layout of one OFM store.
+
+        Merge stages and single-segment dataflows keep the historical
+        single end-of-stage burst — for the pruned case that burst *is*
+        the :func:`encode_pruned_writes` stream, bit for bit.  Multi-
+        segment dataflows split the same addresses across their
+        segments' bursts; totals (and the per-substream nnz leak) are
+        identical by construction.
+        """
         region = self.region(f"{stage.name}.ofm")
+        geom = stage.geometry
+        buffers = self.config.buffers
+        if stage.kind == "conv":
+            assert isinstance(geom, LayerGeometry)
+            ranges = self.dataflow.conv_burst_ranges(geom, buffers)
+        elif stage.kind == "fc":
+            assert isinstance(geom, FCGeometry)
+            ranges = self.dataflow.fc_burst_ranges(geom, buffers)
+        else:
+            ranges = None  # merge: single end-of-stage burst
         if self.config.pruning.enabled:
-            return encode_pruned_writes(
+            addresses, layout = encode_pruned_writes(
                 region, values, self.config.pruning, self.config.memory
             )
-        return region.block_addresses(), None
+            if ranges is None or len(ranges) == 1:
+                return [addresses], layout
+            return (
+                split_pruned_bursts(
+                    region, values, ranges,
+                    self.config.pruning, self.config.memory,
+                ),
+                layout,
+            )
+        if ranges is None or len(ranges) == 1:
+            return [region.block_addresses()], None
+        return assign_write_blocks(region, ranges), None
 
     # -- helpers -----------------------------------------------------------------
     @staticmethod

@@ -6,12 +6,16 @@ the OFM back to DRAM once per layer ("After computing over all tiles,
 the accelerator combines the intermediate results and writes an output
 feature map back to DRAM after activation and pooling").
 
-The planner here is output-stationary: the conv output rows are split
-into horizontal bands whose input footprint fits the IFM buffer, and the
-filters into output-channel groups that fit the weight buffer.  Per band
-the IFM rows are fetched once; each channel group's weights are fetched
-per band (weights are re-read across bands, as in any real accelerator
-whose weight buffer cannot hold the whole layer).
+Loop order is a pluggable strategy (see :mod:`repro.accel.dataflow`):
+the planners below default to the **output-stationary** schedule — conv
+output rows split into horizontal bands whose input footprint fits the
+IFM buffer, filters into output-channel groups that fit the weight
+buffer; per band the IFM rows are fetched once and each channel group's
+weights are re-fetched (weights re-read across bands, as in any real
+accelerator whose weight buffer cannot hold the whole layer).  Pass a
+``dataflow`` to plan the weight-stationary or row-stationary schedule
+instead; the tile *sizes* come from the same buffer-fit arithmetic, only
+the loop nesting and fetch flags change.
 """
 
 from __future__ import annotations
@@ -44,9 +48,12 @@ class ConvTile:
         out_row_start/out_row_end: conv-output rows computed (pre-pool).
         ifm_row_start/ifm_row_end: input rows fetched (if first group of
             the band; later groups reuse the buffered band).
-        oc_start/oc_end: filters whose weights are fetched.
-        fetch_ifm: whether this tile re-fetches the IFM band from DRAM.
+        oc_start/oc_end: filters this tile computes with.
+        fetch_ifm: whether this tile fetches the IFM band from DRAM
+            (tiles reusing the buffered band skip it).
         macs: multiply-accumulates performed by this tile.
+        fetch_weights: whether this tile fetches the group's weights
+            from DRAM (a stationary group pinned on chip skips it).
     """
 
     out_row_start: int
@@ -57,6 +64,7 @@ class ConvTile:
     oc_end: int
     fetch_ifm: bool
     macs: int
+    fetch_weights: bool = True
 
 
 @dataclass(frozen=True)
@@ -94,9 +102,19 @@ def _oc_group(geom: LayerGeometry, buffers: BufferConfig) -> int:
 
 
 def plan_conv_tiles(
-    geom: LayerGeometry, buffers: BufferConfig
+    geom: LayerGeometry, buffers: BufferConfig, dataflow=None
 ) -> list[ConvTile]:
-    """Tile schedule of one conv stage, in execution order."""
+    """Tile schedule of one conv stage, in execution order.
+
+    ``dataflow`` selects the loop order (name or strategy instance);
+    ``None`` keeps the output-stationary default.
+    """
+    if dataflow is not None:
+        from repro.accel.dataflow import OutputStationary, resolve_dataflow
+
+        df = resolve_dataflow(dataflow)
+        if not isinstance(df, OutputStationary):
+            return df.conv_tiles(geom, buffers)
     w_conv = geom.w_conv
     band = _band_rows(geom, buffers)
     group = _oc_group(geom, buffers)
@@ -125,14 +143,22 @@ def plan_conv_tiles(
 
 
 def plan_fc_tiles(
-    geom: FCGeometry, buffers: BufferConfig
+    geom: FCGeometry, buffers: BufferConfig, dataflow=None
 ) -> list[FCTile]:
     """Tile schedule of one FC stage: output-feature groups.
 
-    The input vector is fetched once (it fits the IFM buffer or is
-    streamed); each group's weight rows are fetched once — FC weights
-    have no reuse, which is what makes big FC layers memory-bound.
+    In the output-stationary default (``dataflow=None``) the input
+    vector is fetched once (it fits the IFM buffer or is streamed);
+    each group's weight rows are fetched once — FC weights have no
+    reuse, which is what makes big FC layers memory-bound.  The
+    stationary-weight flavours re-stream the input per group instead.
     """
+    if dataflow is not None:
+        from repro.accel.dataflow import OutputStationary, resolve_dataflow
+
+        df = resolve_dataflow(dataflow)
+        if not isinstance(df, OutputStationary):
+            return df.fc_tiles(geom, buffers)
     group = max(1, buffers.weight_buffer_elements // max(1, geom.in_features))
     tiles: list[FCTile] = []
     for o0 in range(0, geom.out_features, group):

@@ -185,6 +185,7 @@ def clone_model(
     lr: float = 3e-3,
     seed: int = 0,
     workers: int | None = None,
+    dataflow: str = "output-stationary",
 ) -> CloneResult:
     """Duplicate a victim model end to end.
 
@@ -202,6 +203,9 @@ def clone_model(
         workers: worker processes for the structure phase's candidate
             enumeration (the threshold weight recovery is already
             batched per filter and runs serially).
+        dataflow: the victim accelerator's loop order, forwarded to the
+            structure phase (``"auto"`` identifies it from one extra
+            observation).
     """
     # Anything already speaking the session surface passes through —
     # a DeviceSession, or a wrapper over one (e.g. the robust
@@ -220,6 +224,7 @@ def clone_model(
         dense, tolerance=tolerance,
         rules=PracticalityRules(exact_pool_division=True),
         workers=workers,
+        dataflow=dataflow,
     )
     if not structure.candidates:
         raise AttackError("structure attack produced no candidates")

@@ -53,24 +53,40 @@ class RobustRawBoundaryTracker:
         expiry: events a candidate may wait for support before being
             discarded as a channel artefact.
         refractory: *cycles* after a committed boundary during which
-            new candidates are ignored, and within which writes do not
-            qualify as RAW producers.  Channel latency makes a boundary
-            echo — late (or duplicated) writes of the finished layer
-            delivered just after the transition — whose addresses the
-            new layer may re-read much later (tiled conv re-fetches IFM
-            rows), forging RAW edges arbitrarily far downstream.  Both
-            suppressions share one principle: a write delivered within
-            the latency window of a committed boundary belongs to the
-            *old* layer, while genuine next-boundary support is written
-            throughout the new layer.  The natural setting is the
-            channel's :attr:`~repro.channel.ChannelModel.latency_window`.
-            A layer shorter than the window is unresolvable by any
+            new candidates are ignored.  Channel latency makes a
+            boundary echo — late (or duplicated) events of the finished
+            layer delivered just after the transition — so a candidate
+            arriving within the window cannot be trusted as a fresh
+            layer start.  The natural setting is the channel's
+            :attr:`~repro.channel.ChannelModel.latency_window`.  A
+            layer shorter than the window is unresolvable by any
             estimator on that channel; the refractory makes that limit
             explicit instead of emitting echo boundaries.
+        producer_refractory: *cycles* after a committed boundary within
+            which writes do not qualify as RAW producers (default: same
+            as ``refractory``).  This guards against the echo's second
+            face: a late write of the finished layer's OFM whose
+            address the new layer re-reads much later (tiled conv
+            re-fetches IFM rows), forging RAW edges arbitrarily far
+            downstream.  It presumes writes delivered near a committed
+            boundary belong to the *old* layer — true for an
+            output-stationary victim, which drains its OFM in one
+            stage-end burst far from its own stage start, but false
+            for weight- and row-stationary schedules, which stream
+            OFM bursts from the very start of each stage: there the
+            producing writes of the *next* genuine boundary can land
+            within the window of the current one, and this filter
+            would eat them.  Pass ``0`` for such dataflows and let
+            ``min_support`` plus cross-run consensus reject forged
+            edges instead.
     """
 
     def __init__(
-        self, min_support: int = 3, expiry: int = 4096, refractory: int = 0
+        self,
+        min_support: int = 3,
+        expiry: int = 4096,
+        refractory: int = 0,
+        producer_refractory: int | None = None,
     ) -> None:
         if min_support < 1:
             raise ConfigError(f"min_support must be >= 1, got {min_support}")
@@ -81,9 +97,16 @@ class RobustRawBoundaryTracker:
             )
         if refractory < 0:
             raise ConfigError(f"refractory must be >= 0, got {refractory}")
+        if producer_refractory is None:
+            producer_refractory = refractory
+        if producer_refractory < 0:
+            raise ConfigError(
+                f"producer_refractory must be >= 0, got {producer_refractory}"
+            )
         self.min_support = min_support
         self.expiry = expiry
         self.refractory = refractory
+        self.producer_refractory = producer_refractory
         self._n = 0
         self._start = 0
         self._last_commit_cycle = 0
@@ -171,7 +194,10 @@ class RobustRawBoundaryTracker:
                 self._cand_support.clear()
             if prev[li] < self._start:
                 continue  # not a RAW read under the current window
-            if prev_cyc[li] < self._last_commit_cycle + self.refractory:
+            if (
+                prev_cyc[li]
+                < self._last_commit_cycle + self.producer_refractory
+            ):
                 # The producing write was delivered inside the previous
                 # boundary's echo window — a late or duplicated copy of
                 # the finished layer's output, not new-layer evidence.

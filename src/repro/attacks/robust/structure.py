@@ -126,6 +126,7 @@ def recover_boundaries(
     tol: int | None = None,
     seed: int = 0,
     compare_naive: bool = False,
+    dataflow: str = "output-stationary",
 ) -> RobustStructureResult:
     """Recover layer-boundary cycles by multi-run consensus.
 
@@ -154,6 +155,16 @@ def recover_boundaries(
             run — only the channel noise varies across runs).
         compare_naive: also run the naive single-event RAW rule on the
             identical post-channel streams, for ablation.
+        dataflow: the victim's (identified) dataflow.  Output-stationary
+            victims drain each OFM in one stage-end burst, so any write
+            delivered near a committed boundary is a channel echo and
+            is disqualified as a RAW producer for the full refractory.
+            Weight- and row-stationary victims stream OFM bursts from
+            the very start of each stage — there the producer filter
+            would eat the next boundary's genuine evidence, so it is
+            disabled and forged edges are left to ``min_support`` and
+            the cross-run quorum (see
+            :class:`RobustRawBoundaryTracker`).
     """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
@@ -164,12 +175,18 @@ def recover_boundaries(
         refractory = window
     if tol is None:
         tol = max(1, window // 4)
+    producer_refractory = (
+        refractory if dataflow == "output-stationary" else 0
+    )
 
     per_run: list[list[int]] = []
     naive_runs: list[list[int]] = []
     for _ in range(runs):
         robust = RobustRawBoundaryTracker(
-            min_support=min_support, expiry=expiry, refractory=refractory
+            min_support=min_support,
+            expiry=expiry,
+            refractory=refractory,
+            producer_refractory=producer_refractory,
         )
         if compare_naive:
             naive = RawBoundaryCycleSink()

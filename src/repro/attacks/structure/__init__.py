@@ -2,6 +2,11 @@
 
 from repro.attacks.structure.attack import StructureAttackResult, run_structure_attack
 from repro.attacks.structure.constraints import DeviceKnowledge, timing_consistent
+from repro.attacks.structure.dataflow_id import (
+    DataflowIdentifier,
+    DataflowSignature,
+    identify_dataflow,
+)
 from repro.attacks.structure.modules import detect_fire_modules
 from repro.attacks.structure.pipeline import (
     CandidateLayer,
@@ -20,6 +25,7 @@ from repro.attacks.structure.solver import (
 from repro.attacks.structure.trace_analysis import (
     INPUT_SOURCE,
     BoundaryTracker,
+    DataflowBoundaryTracker,
     LayerObservation,
     RawBoundaryTracker,
     SizeRange,
@@ -28,6 +34,7 @@ from repro.attacks.structure.trace_analysis import (
     analyse_trace,
     average_analyses,
     find_layer_boundaries,
+    find_layer_boundaries_dataflow,
     find_layer_boundaries_raw,
 )
 
@@ -55,8 +62,13 @@ __all__ = [
     "average_analyses",
     "find_layer_boundaries",
     "find_layer_boundaries_raw",
+    "find_layer_boundaries_dataflow",
     "BoundaryTracker",
     "RawBoundaryTracker",
+    "DataflowBoundaryTracker",
     "StreamingTraceAnalyzer",
+    "DataflowIdentifier",
+    "DataflowSignature",
+    "identify_dataflow",
     "INPUT_SOURCE",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.device import DeviceSession, QueryLedger, StructureObservation
 from repro.attacks.structure.constraints import DeviceKnowledge
+from repro.attacks.structure.dataflow_id import DataflowIdentifier
 from repro.attacks.structure.modules import detect_fire_modules
 from repro.attacks.structure.pipeline import CandidateStructure, StructureSearch
 from repro.attacks.structure.solver import PracticalityRules
@@ -22,6 +23,7 @@ from repro.attacks.structure.trace_analysis import (
     analyse_trace,
     average_analyses,
     find_layer_boundaries,
+    find_layer_boundaries_dataflow,
 )
 
 __all__ = ["StructureAttackResult", "run_structure_attack"]
@@ -38,6 +40,7 @@ class StructureAttackResult:
     module_roles: dict[int, str]
     ledger: QueryLedger | None = None
     boundaries: list[int] | None = None
+    dataflow: str = "output-stationary"
 
     @property
     def num_layers(self) -> int:
@@ -55,6 +58,7 @@ def run_structure_attack(
     runs: int = 1,
     workers: int | None = None,
     streaming: bool = True,
+    dataflow: str = "output-stationary",
 ) -> StructureAttackResult:
     """Run Algorithm 1 against a victim accelerator.
 
@@ -81,8 +85,25 @@ def run_structure_attack(
             (the default: O(chunk) memory, no materialised trace on the
             result's observation).  ``False`` materialises the trace
             and runs the batch analysis — same result bit for bit.
+        dataflow: the victim accelerator's loop order, deciding which
+            boundary rule decodes the trace (default: the simulator's
+            output-stationary default).  ``"auto"`` spends one extra
+            metered observation identifying it with
+            :class:`DataflowIdentifier` before decoding — the attack
+            has no a-priori schedule knowledge in that mode.
     """
     session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
+
+    if dataflow == "auto":
+        identifier = DataflowIdentifier(
+            session.image_shape, session.element_bytes, session.block_bytes
+        )
+        session.observe_structure(x, seed=seed, sink=identifier)
+        dataflow = identifier.finish().dataflow
+    else:
+        from repro.accel.dataflow import resolve_dataflow
+
+        dataflow = resolve_dataflow(dataflow).name
 
     def _one_run(k: int) -> tuple[StructureObservation, TraceAnalysis, list[int]]:
         if streaming:
@@ -90,12 +111,18 @@ def run_structure_attack(
                 session.image_shape,
                 session.element_bytes,
                 session.block_bytes,
+                dataflow=dataflow,
             )
             obs = session.observe_structure(x, seed=seed + k, sink=analyzer)
             return obs, analyzer.finish(obs), analyzer.boundaries
         obs = session.observe_structure(x, seed=seed + k)
-        bounds = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
-        return obs, analyse_trace(obs), bounds
+        if dataflow == "output-stationary":
+            bounds = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
+        else:
+            bounds = find_layer_boundaries_dataflow(
+                obs.trace.addresses, obs.trace.is_write, obs.block_bytes
+            )
+        return obs, analyse_trace(obs, dataflow=dataflow), bounds
 
     observation, analysis, boundaries = _one_run(0)
     if runs > 1:
@@ -123,4 +150,5 @@ def run_structure_attack(
         module_roles=roles,
         ledger=session.ledger,
         boundaries=boundaries,
+        dataflow=dataflow,
     )

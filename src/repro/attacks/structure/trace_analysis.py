@@ -48,8 +48,10 @@ __all__ = [
     "TraceAnalysis",
     "find_layer_boundaries",
     "find_layer_boundaries_raw",
+    "find_layer_boundaries_dataflow",
     "BoundaryTracker",
     "RawBoundaryTracker",
+    "DataflowBoundaryTracker",
     "StreamingTraceAnalyzer",
     "analyse_trace",
     "average_analyses",
@@ -363,6 +365,128 @@ class RawBoundaryTracker:
         return new
 
 
+class DataflowBoundaryTracker:
+    """Boundary detection that survives mid-stage OFM write bursts.
+
+    The protocol rule (:class:`BoundaryTracker`) assumes write-at-end:
+    any read after a write opens a new layer.  Weight- and
+    row-stationary dataflows break that assumption — they retire OFM
+    slices *between* tile groups, so reads of the same layer legally
+    follow writes.  This tracker instead decides per contiguous read
+    range, using two dataflow-invariant facts:
+
+    * a layer never reads its own OFM, so a read hitting the current
+      window's written blocks (a RAW edge) starts a new layer;
+    * within a layer, every read range either revisits or
+      block-contiguously extends a region the window already read
+      (the next band/group of the same IFM or filter array), so — once
+      the window has written — a read range starting *outside* every
+      previously read region is the next layer's first fetch.
+
+    Assumes conv stride ≤ filter size (successive bands overlap or
+    touch), which holds for every standard CNN; a strided gap would
+    split one layer in two.  Works for the output-stationary schedule
+    too, but the O(1) protocol tracker is preferred there.
+
+    Feed ``(addresses, is_write)`` chunks in trace order; boundary
+    output is invariant to chunking (a range split across chunks folds
+    its first part into the window, making the continuation
+    block-contiguous by construction).
+    """
+
+    def __init__(self, block_bytes: int) -> None:
+        self._block = block_bytes
+        self._n = 0
+        self._boundaries: list[int] = [0]
+        self._window_writes = _BlockIntervalSet(block_bytes)
+        self._window_reads = _BlockIntervalSet(block_bytes)
+        self._has_written = False
+
+    @property
+    def num_events(self) -> int:
+        return self._n
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Boundaries found so far (batch-equivalent)."""
+        if self._n == 0:
+            raise TraceError("empty trace")
+        return list(self._boundaries)
+
+    def _reset_window(self) -> None:
+        self._window_writes = _BlockIntervalSet(self._block)
+        self._window_reads = _BlockIntervalSet(self._block)
+        self._has_written = False
+
+    def _scan_read_run(self, addresses: np.ndarray) -> list[int]:
+        """Boundary offsets within one run of consecutive reads."""
+        offs: list[int] = []
+        breaks = np.flatnonzero(np.diff(addresses) != self._block) + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [len(addresses)]))
+        for r0, r1 in zip(starts, ends):
+            rng = addresses[r0:r1]
+            cut = -1
+            if self._has_written and not self._window_reads.touches(
+                int(rng[0])
+            ):
+                cut = 0  # fresh region after a write burst: next layer
+            else:
+                raw = self._window_writes.contains(rng)
+                if raw.any():
+                    cut = int(np.argmax(raw))  # reads own output: RAW edge
+            if cut >= 0:
+                if cut > 0:
+                    self._window_reads.add(rng[:cut])
+                offs.append(int(r0) + cut)
+                self._reset_window()
+                self._window_reads.add(rng[cut:])
+            else:
+                self._window_reads.add(rng)
+        return offs
+
+    def feed(self, addresses: np.ndarray, is_write: np.ndarray) -> list[int]:
+        """Fold one event chunk; returns boundaries found in it."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        n = len(addresses)
+        if n == 0:
+            return []
+        base = self._n
+        new: list[int] = []
+        change = np.flatnonzero(np.diff(is_write)) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [n]))
+        for s, e in zip(starts, ends):
+            if is_write[s]:
+                self._window_writes.add(np.unique(addresses[s:e]))
+                self._has_written = True
+            else:
+                new.extend(
+                    base + int(s) + off
+                    for off in self._scan_read_run(addresses[s:e])
+                )
+        self._n += n
+        self._boundaries.extend(new)
+        return new
+
+
+def find_layer_boundaries_dataflow(
+    addresses: np.ndarray, is_write: np.ndarray, block_bytes: int
+) -> list[int]:
+    """Batch form of :class:`DataflowBoundaryTracker`.
+
+    Layer boundaries of a trace whose dataflow interleaves OFM write
+    bursts with the tile schedule (weight-/row-stationary).  Equals the
+    protocol rule on write-at-end traces of standard CNNs.
+    """
+    if len(addresses) == 0:
+        raise TraceError("empty trace")
+    tracker = DataflowBoundaryTracker(block_bytes)
+    tracker.feed(addresses, is_write)
+    return tracker.boundaries
+
+
 class _BlockIntervalSet:
     """Sorted disjoint ``[lo, hi)`` byte intervals at block granularity.
 
@@ -409,6 +533,31 @@ class _BlockIntervalSet:
             else:
                 merged.append(cur)
         self._iv = merged
+
+    def contains(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised membership test of block addresses against the set."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if not self._iv:
+            return np.zeros(len(addresses), dtype=bool)
+        bounds = np.fromiter(
+            (b for iv in self._iv for b in iv),
+            dtype=np.int64,
+            count=2 * len(self._iv),
+        )
+        # Odd insertion position = strictly inside some [lo, hi).
+        return np.searchsorted(bounds, addresses, side="right") % 2 == 1
+
+    def touches(self, address: int) -> bool:
+        """True if ``address`` lies inside or immediately after an interval.
+
+        ``address == hi`` counts: a block-contiguous continuation of an
+        interval (the next tile picking up exactly where the previous
+        fetch stopped) is "the same region still being read".
+        """
+        for lo, hi in self._iv:
+            if lo <= address <= hi:
+                return True
+        return False
 
     @property
     def blocks(self) -> int:
@@ -467,11 +616,22 @@ class StreamingTraceAnalyzer:
         input_shape: tuple[int, int, int],
         element_bytes: int,
         block_bytes: int,
+        dataflow: str = "output-stationary",
     ) -> None:
+        from repro.accel.dataflow import resolve_dataflow
+
         self.input_shape = tuple(input_shape)
         self.element_bytes = element_bytes
         self.block_bytes = block_bytes
-        self._tracker = BoundaryTracker()
+        self.dataflow = resolve_dataflow(dataflow).name
+        # The write-at-end protocol rule is exact (and O(1)) for the
+        # output-stationary schedule; dataflows that interleave write
+        # bursts need the address-aware tracker.
+        self._tracker: BoundaryTracker | DataflowBoundaryTracker
+        if self.dataflow == "output-stationary":
+            self._tracker = BoundaryTracker()
+        else:
+            self._tracker = DataflowBoundaryTracker(block_bytes)
         self._write_ranges: list[tuple[int, int]] = []
         self._layers: list[LayerObservation] = []
         self._finished = False
@@ -526,7 +686,11 @@ class StreamingTraceAnalyzer:
             self._layer_start_cycle = int(cycles[0])
         base = self._tracker.num_events
         prev = 0
-        for b in self._tracker.feed(is_write):
+        if isinstance(self._tracker, BoundaryTracker):
+            found = self._tracker.feed(is_write)
+        else:
+            found = self._tracker.feed(addresses, is_write)
+        for b in found:
             local = b - base
             self._consume(addresses[prev:local], is_write[prev:local])
             self._finalize_layer(end_cycle=int(cycles[local]))
@@ -687,13 +851,20 @@ def _split_first_layer_reads(
     return read_addrs[input_mask], read_addrs[~input_mask]
 
 
-def analyse_trace(obs: StructureObservation) -> TraceAnalysis:
+def analyse_trace(
+    obs: StructureObservation, dataflow: str = "output-stationary"
+) -> TraceAnalysis:
     """Run the full trace analysis on a structure-attack observation.
 
     This is the batch reference implementation; it needs the whole trace
     in memory.  Observations captured through a streaming sink carry no
     trace — analyse those with :class:`StreamingTraceAnalyzer` instead.
+    ``dataflow`` names the victim's loop order (identify it first with
+    :class:`~repro.attacks.structure.DataflowIdentifier` if unknown);
+    it selects the boundary rule the segmentation uses.
     """
+    from repro.accel.dataflow import resolve_dataflow
+
     trace = obs.trace
     if trace is None:
         raise TraceError(
@@ -701,7 +872,12 @@ def analyse_trace(obs: StructureObservation) -> TraceAnalysis:
             "to a sink); use StreamingTraceAnalyzer for streaming runs"
         )
     addresses, is_write, cycles = trace.addresses, trace.is_write, trace.cycles
-    boundaries = find_layer_boundaries(addresses, is_write)
+    if resolve_dataflow(dataflow).name == "output-stationary":
+        boundaries = find_layer_boundaries(addresses, is_write)
+    else:
+        boundaries = find_layer_boundaries_dataflow(
+            addresses, is_write, obs.block_bytes
+        )
     n_events = len(addresses)
     edges = boundaries + [n_events]
 

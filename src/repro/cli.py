@@ -3,7 +3,7 @@
 Four subcommands cover the repo's story end to end::
 
     python -m repro simulate  --model lenet [--pruned] [--save-trace t.npz]
-    python -m repro structure --model alexnet [--tolerance 0.05] [--runs 3]
+    python -m repro structure --model alexnet [--dataflow weight-stationary]
     python -m repro weights   [--filters 8] [--size 43] [--threshold]
     python -m repro clone     [--probes 80] [--epochs 15]
 
@@ -26,6 +26,7 @@ from repro.accel import (
     StatsSink,
     TeeSink,
     TimingModel,
+    available_dataflows,
 )
 from repro.attacks.clone import clone_model, prediction_agreement
 from repro.attacks.robust import (
@@ -79,6 +80,7 @@ def cmd_simulate(args) -> int:
     config = AcceleratorConfig(
         pruning=PruningConfig(enabled=args.pruned),
         timing=TimingModel(jitter=args.jitter),
+        dataflow=args.dataflow,
     )
     sim = AcceleratorSim(staged, config)
     x = np.random.default_rng(args.seed).normal(
@@ -90,7 +92,8 @@ def cmd_simulate(args) -> int:
     with SpoolSink() as spool:
         result = sim.run(x, sink=TeeSink(spool, stats))
         print(f"model: {staged.name}  stages: {len(staged.stages)}  "
-              f"parameters: {staged.network.num_parameters:,}")
+              f"parameters: {staged.network.num_parameters:,}  "
+              f"dataflow: {config.dataflow}")
         print(f"trace: {stats.events:,} transactions over "
               f"{result.total_cycles:,} cycles "
               f"({'pruned' if args.pruned else 'dense'} writes)\n")
@@ -114,7 +117,7 @@ def cmd_simulate(args) -> int:
 
 def cmd_structure(args) -> int:
     staged = _build_victim_model(args)
-    sim = AcceleratorSim(staged)
+    sim = AcceleratorSim(staged, AcceleratorConfig(dataflow=args.dataflow))
     channel = _channel_from_args(args)
     if channel.trace_noisy:
         # The exact Section 3 pipeline assumes a perfect tap; under a
@@ -128,7 +131,9 @@ def cmd_structure(args) -> int:
               f"{result.boundaries}")
         print(f"layers detected: {result.num_layers}")
         truth = boundary_cycles_from_trace(
-            DeviceSession(AcceleratorSim(staged))
+            DeviceSession(
+                AcceleratorSim(staged, AcceleratorConfig(dataflow=args.dataflow))
+            )
             .observe_structure(seed=0).trace
         )
         ftol = channel.latency_window + 50
@@ -142,10 +147,13 @@ def cmd_structure(args) -> int:
         _print_ledger(session.ledger)
         return 0
     rules = PracticalityRules(exact_pool_division=not args.loose_rules)
+    # The attack does not get told the victim's schedule: it spends one
+    # observation identifying the dataflow, then decodes with it.
     result = run_structure_attack(
         sim, tolerance=args.tolerance, rules=rules, runs=args.runs,
-        workers=args.workers,
+        workers=args.workers, dataflow="auto",
     )
+    print(f"dataflow identified: {result.dataflow}")
     print(f"layers detected: {len(result.boundaries)}")
     rows = [
         (l.index, l.kind, l.sources, str(l.size_ofm), str(l.size_fltr),
@@ -241,14 +249,19 @@ def cmd_clone(args) -> int:
         print("note: the clone pipeline's structure phase needs a clean "
               "tap; trace noise applies to the counter channel session "
               "only (use `structure` for noisy-trace recovery)")
-    dense = DeviceSession(AcceleratorSim(victim))
+    dense = DeviceSession(
+        AcceleratorSim(victim, AcceleratorConfig(dataflow=args.dataflow))
+    )
     pruned = DeviceSession(AcceleratorSim(
-        victim, AcceleratorConfig(pruning=PruningConfig(enabled=True))
+        victim,
+        AcceleratorConfig(
+            pruning=PruningConfig(enabled=True), dataflow=args.dataflow
+        ),
     ), channel=channel)
     weight_channel = _voted_channel(pruned, channel, args.repeats)
     result = clone_model(
         dense, weight_channel, ds.train_images, distill_epochs=args.epochs,
-        workers=args.workers,
+        workers=args.workers, dataflow=args.dataflow,
     )
     stolen = result.network.network.nodes[
         f"{result.network.stages[0].name}/conv"
@@ -280,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run a model on the accelerator")
     sim.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="lenet")
     sim.add_argument("--width-scale", type=float, default=None)
+    _add_dataflow_flag(sim)
     sim.add_argument("--pruned", action="store_true")
     sim.add_argument("--jitter", type=float, default=0.0)
     sim.add_argument("--seed", type=int, default=0)
@@ -289,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("structure", help="run the Section 3 attack")
     st.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="lenet")
     st.add_argument("--width-scale", type=float, default=None)
+    _add_dataflow_flag(st)
     st.add_argument("--tolerance", type=float, default=0.1)
     st.add_argument("--runs", type=int, default=1)
     st.add_argument("--loose-rules", action="store_true")
@@ -315,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     wt.set_defaults(func=cmd_weights)
 
     cl = sub.add_parser("clone", help="duplicate a demo victim end to end")
+    _add_dataflow_flag(cl)
     cl.add_argument("--probes", type=int, default=120)
     cl.add_argument("--epochs", type=int, default=20)
     cl.add_argument("--seed", type=int, default=4)
@@ -325,6 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_channel_flags(cl)
     cl.set_defaults(func=cmd_clone)
     return parser
+
+
+def _add_dataflow_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--dataflow", choices=available_dataflows(),
+        default="output-stationary",
+        help="the victim accelerator's loop order (default: "
+             "output-stationary)",
+    )
 
 
 def _add_channel_flags(sub_parser: argparse.ArgumentParser) -> None:

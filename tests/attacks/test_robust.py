@@ -296,6 +296,29 @@ def test_tracker_refractory_makes_short_layers_unresolvable():
     assert guarded.boundary_cycles == [0, 200]
 
 
+def test_tracker_producer_refractory_split_from_commit_refractory():
+    # Weight-/row-stationary victims stream OFM bursts from the very
+    # start of each stage, so the *producing* writes of the next
+    # genuine boundary can land within the echo window of the current
+    # one.  The producer filter must be separable from the candidate
+    # (commit) refractory: with both tied, the next boundary starves;
+    # with producer_refractory=0 it commits on the same stream.
+    cycles = (
+        [0, 60, 70, 80] + [150, 151, 152] + [155, 156, 157]
+        + [400, 401, 402]
+    )
+    addresses = [9, 0, 1, 2] + [0, 1, 2] + [10, 11, 12] + [10, 11, 12]
+    is_write = [True] * 4 + [False] * 3 + [True] * 3 + [False] * 3
+    tied = RobustRawBoundaryTracker(min_support=3, refractory=20)
+    _feed(tied, cycles, addresses, is_write)
+    assert tied.boundary_cycles == [0, 150]  # writes at 155..157 eaten
+    split = RobustRawBoundaryTracker(
+        min_support=3, refractory=20, producer_refractory=0
+    )
+    _feed(split, cycles, addresses, is_write)
+    assert split.boundary_cycles == [0, 150, 400]
+
+
 def test_tracker_validates_configuration():
     with pytest.raises(ConfigError, match="min_support"):
         RobustRawBoundaryTracker(min_support=0)
@@ -303,6 +326,8 @@ def test_tracker_validates_configuration():
         RobustRawBoundaryTracker(min_support=8, expiry=4)
     with pytest.raises(ConfigError, match="refractory"):
         RobustRawBoundaryTracker(refractory=-1)
+    with pytest.raises(ConfigError, match="producer_refractory"):
+        RobustRawBoundaryTracker(producer_refractory=-1)
 
 
 # -- consensus and scoring -------------------------------------------------
@@ -347,6 +372,32 @@ def test_recover_boundaries_ideal_channel_is_exact():
     result = recover_boundaries(session, runs=3)
     assert result.boundaries == truth
     assert result.num_layers == len(truth)
+
+
+def test_recover_boundaries_dataflow_aware_producer_filter():
+    # Under a weight-stationary victim the producer filter presuming
+    # stage-end write bursts starves the final LeNet boundary (the fc3
+    # OFM is written right after fc3's own start); declaring the
+    # identified dataflow disables it and recovers every stage.
+    from repro.accel import AcceleratorConfig
+
+    lenet = build_lenet()
+    config = AcceleratorConfig(dataflow="weight-stationary")
+    truth = boundary_cycles_from_trace(
+        DeviceSession(AcceleratorSim(lenet, config))
+        .observe_structure(seed=0).trace
+    )
+    channel = ChannelModel(
+        drop_rate=0.01, dup_rate=0.005, cycle_sigma=20.0, seed=11
+    )
+    session = DeviceSession(AcceleratorSim(lenet, config), channel=channel)
+    tol = channel.latency_window + 50
+    presumed = recover_boundaries(session, runs=3)
+    assert len(presumed.boundaries) < len(truth)
+    aware = recover_boundaries(
+        session, runs=3, dataflow="weight-stationary"
+    )
+    assert boundary_f1(aware.boundaries, truth, tol=tol).f1 == 1.0
 
 
 def test_recover_boundaries_survives_noisy_channel():

@@ -61,6 +61,43 @@ def test_clone_command(capsys):
     assert "prediction agreement" in out
 
 
+@pytest.mark.parametrize(
+    "dataflow", ["weight-stationary", "row-stationary"]
+)
+def test_simulate_dataflow_roundtrip(capsys, dataflow):
+    out = run_cli(
+        capsys, "simulate", "--model", "lenet", "--dataflow", dataflow
+    )
+    assert f"dataflow: {dataflow}" in out
+    assert "stages: 4" in out
+
+
+def test_simulate_names_default_dataflow(capsys):
+    out = run_cli(capsys, "simulate", "--model", "lenet")
+    assert "dataflow: output-stationary" in out
+
+
+@pytest.mark.parametrize(
+    "dataflow", ["output-stationary", "weight-stationary", "row-stationary"]
+)
+def test_structure_dataflow_roundtrip(capsys, dataflow):
+    # The attack is not told the schedule — it must identify the
+    # victim's configured dataflow before decoding.
+    out = run_cli(
+        capsys, "structure", "--model", "lenet", "--tolerance", "0.25",
+        "--dataflow", dataflow,
+    )
+    assert f"dataflow identified: {dataflow}" in out
+    assert "layers detected: 4" in out
+    assert "candidate structures:" in out
+
+
+def test_parser_rejects_unknown_dataflow():
+    for command in ("simulate", "structure", "clone"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--dataflow", "systolic"])
+
+
 def test_parser_rejects_unknown_model():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["simulate", "--model", "resnet"])
