@@ -322,6 +322,71 @@ def bench_throughput(workers: int, quick: bool, scale: str) -> dict:
     return entry
 
 
+# -- bench: decode throughput (reference vs vectorised analyzers) --------------
+def bench_decode(workers: int, quick: bool, scale: str) -> dict:
+    """Events/second of attack-side decoding, reference vs vectorised.
+
+    Materialises one AlexNet trace (the scale the 100x synthesis/decode
+    gap was measured at), then streams it in decode-sized chunks through
+    :class:`StreamingTraceAnalyzer` under both engines.  The analyses
+    must be bit-identical — the vectorised engine's only licence to
+    exist — and the vectorised engine must clear the 5x bar.  Timings
+    are medians over interleaved repetitions so host noise hits both
+    arms alike.  Single-process bench — no single-CPU skip applies.
+    """
+    reps = 3 if quick else 7
+    chunk = 1 << 16
+    staged = build_alexnet()
+    obs = DeviceSession(
+        AcceleratorSim(
+            staged, AcceleratorConfig(dataflow="output-stationary")
+        )
+    ).observe_structure(seed=0)
+    t = obs.trace
+
+    def run(engine):
+        analyzer = StreamingTraceAnalyzer(
+            obs.input_shape, obs.element_bytes, obs.block_bytes,
+            dataflow="output-stationary", engine=engine,
+        )
+        for s in range(0, len(t), chunk):
+            analyzer.feed(
+                t.cycles[s:s + chunk],
+                t.addresses[s:s + chunk],
+                t.is_write[s:s + chunk],
+            )
+        return analyzer.finish(obs)
+
+    ref_walls, vec_walls, analyses = [], [], []
+    for _ in range(reps):
+        wall, out = _timed(lambda: run("reference"))
+        ref_walls.append(wall)
+        analyses.append(out)
+        wall, out = _timed(lambda: run("vectorised"))
+        vec_walls.append(wall)
+        analyses.append(out)
+    identical = all(a == analyses[0] for a in analyses[1:])
+    ref_med = statistics.median(ref_walls)
+    vec_med = statistics.median(vec_walls)
+    speedup = ref_med / vec_med if vec_med else 0.0
+    entry = _entry(
+        ref_med, vec_med, 1, scale, identical, multi_worker=False
+    )
+    entry.update(
+        events=len(t),
+        chunk_events=chunk,
+        reference_wall_s=round(ref_med, 5),
+        vectorised_wall_s=round(vec_med, 5),
+        events_per_second=round(len(t) / vec_med) if vec_med else 0,
+        reference_events_per_second=round(len(t) / ref_med)
+        if ref_med else 0,
+        threshold=5.0,
+        bounded=speedup >= 5.0,
+        reps=reps,
+    )
+    return entry
+
+
 # -- bench: dataflow identification --------------------------------------------
 def bench_dataflow_id(workers: int, quick: bool, scale: str) -> dict:
     """Dataflow identification accuracy + identifier throughput.
@@ -553,10 +618,66 @@ BENCHES = {
     "pool_reuse": bench_pool_reuse,
     "batching": bench_batching,
     "events_per_second": bench_throughput,
+    "decode_events_per_second": bench_decode,
     "dataflow_id": bench_dataflow_id,
     "memory": bench_memory,
     "channel": bench_channel,
 }
+
+
+REGRESSION_TOLERANCE = 0.7  # new throughput must be >= 70% of baseline
+
+
+def _throughput_figures(results: dict) -> dict[str, int]:
+    """Flat {metric: events/second} map of the throughput entries."""
+    figures: dict[str, int] = {}
+    synth = results.get("events_per_second", {})
+    for net, stats in synth.get("nets", {}).items():
+        if "events_per_second" in stats:
+            figures[f"synthesis:{net}"] = stats["events_per_second"]
+    decode = results.get("decode_events_per_second", {})
+    if "events_per_second" in decode:
+        figures["decode:alexnet"] = decode["events_per_second"]
+    return figures
+
+
+def check_throughput_regression(
+    baseline: dict | None, results: dict, cpus: int,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> list[str]:
+    """Compare throughput figures against the committed baseline.
+
+    Returns human-readable failure lines for every metric that dropped
+    below ``tolerance`` x its baseline.  Skips (returning ``[]``, with
+    a printed reason) when there is no trustworthy comparison to make:
+    no baseline file, a baseline from a different ``--quick`` mode, or
+    a single-CPU host whose wall-clock figures measure scheduler
+    contention as much as the code under test.
+    """
+    if cpus == 1:
+        print(f"[gate] skipped ({SKIP_SINGLE_CPU}): throughput on a "
+              "contended single CPU is not comparable")
+        return []
+    if not baseline:
+        print("[gate] skipped: no committed baseline to compare against")
+        return []
+    if baseline.get("_meta", {}).get("quick") != results["_meta"]["quick"]:
+        print("[gate] skipped: baseline was recorded at a different scale")
+        return []
+    old = _throughput_figures(baseline)
+    new = _throughput_figures(results)
+    failures = []
+    for metric in sorted(old.keys() & new.keys()):
+        floor = old[metric] * tolerance
+        status = "ok" if new[metric] >= floor else "REGRESSED"
+        print(f"[gate] {metric}: {old[metric]:,} -> {new[metric]:,} "
+              f"ev/s (floor {round(floor):,}) {status}")
+        if new[metric] < floor:
+            failures.append(
+                f"{metric} regressed: {new[metric]:,} ev/s < "
+                f"{tolerance:.0%} of baseline {old[metric]:,} ev/s"
+            )
+    return failures
 
 
 def _write_profile(path: Path, quick: bool) -> None:
@@ -591,6 +712,13 @@ def main(argv: list[str] | None = None) -> int:
                              "simulator run (CI uploads it)")
     args = parser.parse_args(argv)
 
+    baseline = None
+    if args.output.exists():  # read before the new results overwrite it
+        try:
+            baseline = json.loads(args.output.read_text())
+        except (OSError, json.JSONDecodeError):
+            baseline = None
+
     workers = args.workers or max(2, os.cpu_count() or 1)
     scale = "small" if args.quick else os.environ.get(
         "REPRO_BENCH_SCALE", "small"
@@ -621,8 +749,13 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "quick": args.quick,
     }
+    failures = check_throughput_regression(baseline, results, effective)
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+    if failures:
+        for line in failures:
+            print(f"ERROR: {line}", file=sys.stderr)
+        return 1
     if args.profile is not None:
         _write_profile(args.profile, args.quick)
     return 0

@@ -17,6 +17,8 @@ is bounded by what the chosen sink retains rather than by trace length:
   retains no events at all — enough for ledger trace-byte accounting
   and for sizing a second-pass renderer.
 * :class:`TeeSink` fans one span stream out to several sinks.
+* :class:`CoalescingSink` re-batches a fragmented span stream into
+  decode-sized chunks for the attack-side vectorised decoders.
 
 :class:`SharedSpanBuffer` backs span storage with one
 ``multiprocessing.shared_memory`` block so spans cross a worker-process
@@ -44,6 +46,7 @@ from repro.errors import TraceError
 from repro.accel.trace import TRACE_EVENT_BYTES, MemoryTrace, TraceSpan
 
 __all__ = [
+    "CoalescingSink",
     "MaterializeSink",
     "SharedSpanBuffer",
     "SharedSpanHandle",
@@ -595,3 +598,73 @@ class TeeSink:
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+class CoalescingSink:
+    """Re-batches a fragmented span stream into decode-sized chunks.
+
+    The vectorised decode engine's throughput is a function of chunk
+    size: a noisy channel's reorder buffer (and small victims' short
+    stages) can deliver thousands of tiny spans whose per-chunk
+    dispatch overhead dwarfs the kernels themselves.  This sink buffers
+    incoming spans and forwards one concatenated span whenever at least
+    ``target_events`` have accumulated; spans already at or above the
+    target pass straight through.  Every downstream decoder is
+    chunking-invariant (asserted in tests), so re-batching never
+    changes a result — only how fast it arrives.
+
+    Buffered events are flushed before a ``begin_stage`` marker is
+    forwarded (stage attribution stays exact for sinks that use it)
+    and on ``close``.
+    """
+
+    def __init__(self, inner, target_events: int = 1 << 16) -> None:
+        if target_events < 1:
+            raise TraceError(
+                f"target_events must be >= 1, got {target_events}"
+            )
+        self.inner = inner
+        self.target_events = target_events
+        self._spans: list[TraceSpan] = []
+        self._buffered = 0
+
+    @property
+    def buffered_events(self) -> int:
+        """Events currently held back, awaiting a full chunk."""
+        return self._buffered
+
+    def emit(self, span: TraceSpan) -> None:
+        if len(span) == 0:
+            return
+        if not self._buffered and len(span) >= self.target_events:
+            self.inner.emit(span)
+            return
+        self._spans.append(span)
+        self._buffered += len(span)
+        if self._buffered >= self.target_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Forward everything held back, as one span."""
+        if not self._buffered:
+            return
+        spans = self._spans
+        if len(spans) == 1:
+            out = spans[0]
+        else:
+            out = TraceSpan(
+                np.concatenate([s.cycles for s in spans]),
+                np.concatenate([s.addresses for s in spans]),
+                np.concatenate([s.is_write for s in spans]),
+            )
+        self._spans = []
+        self._buffered = 0
+        self.inner.emit(out)
+
+    def begin_stage(self, name: str, kind: str) -> None:
+        self.flush()
+        self.inner.begin_stage(name, kind)
+
+    def close(self) -> None:
+        self.flush()
+        self.inner.close()

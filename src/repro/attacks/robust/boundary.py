@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.structure.decode import LastWriterIndex, resolve_engine
 from repro.attacks.structure.trace_analysis import _previous_write_index
 from repro.errors import ConfigError
 
@@ -79,6 +80,14 @@ class RobustRawBoundaryTracker:
             would eat them.  Pass ``0`` for such dataflows and let
             ``min_support`` plus cross-run consensus reject forged
             edges instead.
+        engine: ``"vectorised"`` (the default) processes candidate RAW
+            reads in segments — one batched pass per candidacy window
+            instead of one Python iteration per event — and carries the
+            last-write map as a
+            :class:`~repro.attacks.structure.decode.LastWriterIndex`.
+            ``engine="reference"`` keeps the original per-event
+            hysteresis loop as the bit-identity oracle.  Committed
+            boundaries and their cycles are identical for any chunking.
     """
 
     def __init__(
@@ -87,7 +96,9 @@ class RobustRawBoundaryTracker:
         expiry: int = 4096,
         refractory: int = 0,
         producer_refractory: int | None = None,
+        engine: str = "vectorised",
     ) -> None:
+        self._engine = resolve_engine(engine)
         if min_support < 1:
             raise ConfigError(f"min_support must be >= 1, got {min_support}")
         if expiry < min_support:
@@ -114,6 +125,11 @@ class RobustRawBoundaryTracker:
         self._boundary_cycles: list[int] = []
         # address -> (global index, delivered cycle) of its last write
         self._last_write: dict[int, tuple[int, int]] = {}
+        self._index = (
+            LastWriterIndex(track_cycles=True)
+            if self._engine == "vectorised"
+            else None
+        )
         self._cand_index: int | None = None
         self._cand_cycle = 0
         self._cand_support: set[int] = set()
@@ -171,18 +187,54 @@ class RobustRawBoundaryTracker:
         )
         carried_needed = local_prev < 0
         if carried_needed.any():
-            uniq, inv = np.unique(
-                addresses[carried_needed], return_inverse=True
-            )
-            carried = np.array(
-                [self._last_write.get(int(a), (-1, -1)) for a in uniq],
-                dtype=np.int64,
-            ).reshape(len(uniq), 2)
-            prev[carried_needed] = carried[inv, 0]
-            prev_cyc[carried_needed] = carried[inv, 1]
+            if self._index is not None:
+                g, cy = self._index.lookup(addresses[carried_needed])
+                prev[carried_needed] = g
+                prev_cyc[carried_needed] = cy
+            else:
+                uniq, inv = np.unique(
+                    addresses[carried_needed], return_inverse=True
+                )
+                carried = np.array(
+                    [self._last_write.get(int(a), (-1, -1)) for a in uniq],
+                    dtype=np.int64,
+                ).reshape(len(uniq), 2)
+                prev[carried_needed] = carried[inv, 0]
+                prev_cyc[carried_needed] = carried[inv, 1]
 
-        new: list[int] = []
         cand_local = np.flatnonzero((~is_write) & (prev >= 0))
+        if self._engine == "vectorised":
+            new = self._scan_candidates(
+                cand_local, base, cycles, addresses, prev, prev_cyc
+            )
+        else:
+            new = self._scan_candidates_reference(
+                cand_local, base, cycles, addresses, prev, prev_cyc
+            )
+
+        w = np.flatnonzero(is_write)
+        if len(w):
+            if self._index is not None:
+                self._index.update(addresses[w], base + w, cycles[w])
+            else:
+                wa = addresses[w]
+                uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
+                last_local = w[len(wa) - 1 - rev_first]
+                for a, g, cy in zip(
+                    uniq_w.tolist(),
+                    (base + last_local).tolist(),
+                    cycles[last_local].tolist(),
+                ):
+                    self._last_write[a] = (g, cy)
+
+        self._n += n
+        return new
+
+    def _scan_candidates_reference(
+        self, cand_local, base, cycles, addresses, prev, prev_cyc
+    ) -> list[int]:
+        """The original per-event hysteresis loop — the oracle."""
+        new: list[int] = []
         for li in cand_local.tolist():
             gi = base + li
             if (
@@ -219,21 +271,106 @@ class RobustRawBoundaryTracker:
                 new.append(self._cand_index)
                 self._cand_index = None
                 self._cand_support.clear()
-
-        w = np.flatnonzero(is_write)
-        if len(w):
-            wa = addresses[w]
-            uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
-            last_local = w[len(wa) - 1 - rev_first]
-            for a, g, cy in zip(
-                uniq_w.tolist(),
-                (base + last_local).tolist(),
-                cycles[last_local].tolist(),
-            ):
-                self._last_write[a] = (g, cy)
-
-        self._n += n
         return new
+
+    def _scan_candidates(
+        self, cand_local, base, cycles, addresses, prev, prev_cyc
+    ) -> list[int]:
+        """Segmented vectorised hysteresis — bit-identical to the oracle.
+
+        The per-event loop's state only changes character at *commits*
+        (which move the RAW window and the refractory origin) and at
+        candidacy expiries; between those points every decision is a
+        pure function of per-event arrays.  So: qualify all candidates
+        for the current (start, last-commit) state at once, locate the
+        candidacy window with a ``searchsorted`` on the expiry horizon,
+        and find the committing event — the first at which the running
+        count of *distinct* supporting addresses reaches
+        ``min_support`` — with one cumulative sum.  The outer Python
+        loop advances once per commit or expiry, not once per event.
+        """
+        new: list[int] = []
+        if not len(cand_local):
+            return new
+        g = base + cand_local
+        pv = prev[cand_local]
+        pc = prev_cyc[cand_local]
+        cy = cycles[cand_local]
+        ad = addresses[cand_local]
+        ncand = len(cand_local)
+        pos = 0
+        qual = openable = None
+        qpos = 0
+        while pos < ncand:
+            if qual is None:
+                qual = (pv[pos:] >= self._start) & (
+                    pc[pos:]
+                    >= self._last_commit_cycle + self.producer_refractory
+                )
+                openable = qual & (
+                    cy[pos:] >= self._last_commit_cycle + self.refractory
+                )
+                qpos = pos
+            if self._cand_index is None:
+                rel = np.flatnonzero(openable[pos - qpos :])
+                if not len(rel):
+                    break
+                j = pos + int(rel[0])
+                self._cand_index = int(g[j])
+                self._cand_cycle = int(cy[j])
+                self._cand_support = {int(ad[j])}
+                pos = j + 1
+                if len(self._cand_support) >= self.min_support:
+                    new.append(self._commit())
+                    qual = None
+                    continue
+            # Candidacy window: candidate events up to the expiry horizon.
+            wend = pos + int(
+                np.searchsorted(
+                    g[pos:], self._cand_index + self.expiry, side="right"
+                )
+            )
+            qw = np.flatnonzero(qual[pos - qpos : wend - qpos]) + pos
+            if len(qw):
+                adq = ad[qw]
+                known = np.zeros(len(adq), dtype=bool)
+                for s in self._cand_support:
+                    known |= adq == s
+                order = np.argsort(adq, kind="stable")
+                first_sorted = np.empty(len(adq), dtype=bool)
+                first_sorted[0] = True
+                srt = adq[order]
+                np.not_equal(srt[1:], srt[:-1], out=first_sorted[1:])
+                first_occ = np.zeros(len(adq), dtype=bool)
+                first_occ[order] = first_sorted
+                fresh = first_occ & ~known
+                support = len(self._cand_support) + np.cumsum(fresh)
+                hits = np.flatnonzero(support >= self.min_support)
+                if len(hits):
+                    new.append(self._commit())
+                    qual = None
+                    pos = int(qw[hits[0]]) + 1
+                    continue
+                self._cand_support.update(int(a) for a in adq[fresh])
+            if wend < ncand:
+                # Support never arrived inside the window: expire, and
+                # reconsider the expiring event itself as a fresh start.
+                self._cand_index = None
+                self._cand_support = set()
+                pos = wend
+            else:
+                pos = ncand  # window extends past this chunk: carry on
+        return new
+
+    def _commit(self) -> int:
+        committed = self._cand_index
+        self._start = committed
+        self._last_commit_cycle = self._cand_cycle
+        self._boundaries.append(committed)
+        self._boundary_cycles.append(self._cand_cycle)
+        self._cand_index = None
+        self._cand_support = set()
+        return committed
 
 
 def consensus_boundaries(
@@ -246,34 +383,49 @@ def consensus_boundaries(
     at least ``quorum`` distinct runs contributes its median cycle.
     Single-run artefacts (a forged RAW edge is a product of one run's
     noise draw) fail the quorum and vanish.
+
+    One sort-and-sweep pass: boundaries are stamped with their run,
+    sorted once by cycle, split into clusters where the sorted gap
+    exceeds ``tol``, and every cluster's distinct-run count and median
+    fall out of segment reductions — no per-cluster rescans.
     """
     if quorum < 1:
         raise ConfigError(f"quorum must be >= 1, got {quorum}")
     if tol < 0:
         raise ConfigError(f"tol must be >= 0, got {tol}")
-    stamped = sorted(
-        (cycle, run_id)
-        for run_id, cycles in enumerate(runs)
-        for cycle in cycles
+    cycles = np.array(
+        [c for run in runs for c in run], dtype=np.int64
     )
-    out: list[int] = []
-    cluster: list[tuple[int, int]] = []
-    for cycle, run_id in stamped:
-        if cluster and cycle - cluster[-1][0] > tol:
-            _commit_cluster(cluster, quorum, out)
-            cluster = []
-        cluster.append((cycle, run_id))
-    _commit_cluster(cluster, quorum, out)
-    return out
-
-
-def _commit_cluster(
-    cluster: list[tuple[int, int]], quorum: int, out: list[int]
-) -> None:
-    if not cluster:
-        return
-    if len({run_id for _, run_id in cluster}) >= quorum:
-        out.append(int(np.median([cycle for cycle, _ in cluster])))
+    if not len(cycles):
+        return []
+    run_ids = np.repeat(
+        np.arange(len(runs), dtype=np.int64),
+        [len(run) for run in runs],
+    )
+    order = np.argsort(cycles, kind="stable")
+    cycles = cycles[order]
+    run_ids = run_ids[order]
+    cluster_id = np.zeros(len(cycles), dtype=np.int64)
+    np.cumsum(np.diff(cycles) > tol, out=cluster_id[1:])
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(cluster_id)) + 1)
+    )
+    ends = np.append(starts[1:], len(cycles))
+    # Distinct runs per cluster: first occurrence of each (cluster, run)
+    # pair under a secondary sort by run.
+    pair_order = np.lexsort((run_ids, cluster_id))
+    pc, pr = cluster_id[pair_order], run_ids[pair_order]
+    first = np.empty(len(pc), dtype=bool)
+    first[0] = True
+    first[1:] = (pc[1:] != pc[:-1]) | (pr[1:] != pr[:-1])
+    support = np.bincount(pc[first], minlength=len(starts))
+    # Median per cluster from the already-sorted cycles; even-sized
+    # clusters truncate the midpoint average like ``int(np.median(...))``.
+    size = ends - starts
+    mid_hi = cycles[starts + size // 2]
+    mid_lo = cycles[starts + (size - 1) // 2]
+    medians = (mid_lo + mid_hi) // 2
+    return [int(m) for m in medians[support >= quorum]]
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ from repro.attacks.robust.boundary import (
     consensus_boundaries,
 )
 from repro.attacks.structure.trace_analysis import RawBoundaryTracker
-from repro.device import DeviceSession
+from repro.device import CoalescingSink, DeviceSession
 from repro.errors import ConfigError
 
 __all__ = [
@@ -44,8 +44,8 @@ class RawBoundaryCycleSink:
     cycle stamps survive).
     """
 
-    def __init__(self) -> None:
-        self._tracker = RawBoundaryTracker()
+    def __init__(self, engine: str = "vectorised") -> None:
+        self._tracker = RawBoundaryTracker(engine=engine)
         self._cycles: list[int] = []
 
     @property
@@ -127,6 +127,7 @@ def recover_boundaries(
     seed: int = 0,
     compare_naive: bool = False,
     dataflow: str = "output-stationary",
+    engine: str = "vectorised",
 ) -> RobustStructureResult:
     """Recover layer-boundary cycles by multi-run consensus.
 
@@ -165,6 +166,9 @@ def recover_boundaries(
             disabled and forged edges are left to ``min_support`` and
             the cross-run quorum (see
             :class:`RobustRawBoundaryTracker`).
+        engine: per-run decode engine — ``"vectorised"`` (default) or
+            the original ``"reference"`` oracle; boundaries are
+            bit-identical.
     """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
@@ -187,14 +191,18 @@ def recover_boundaries(
             expiry=expiry,
             refractory=refractory,
             producer_refractory=producer_refractory,
+            engine=engine,
         )
         if compare_naive:
-            naive = RawBoundaryCycleSink()
+            naive = RawBoundaryCycleSink(engine=engine)
             sink = _FanOutSink(robust, naive)
         else:
             naive = None
             sink = robust
-        session.observe_structure(seed=seed, sink=sink)
+        # Coalesce upstream of the fan-out: the channel's reorder buffer
+        # delivers fragmented spans, and both decoders are chunking
+        # invariant, so fewer/larger chunks is pure decode throughput.
+        session.observe_structure(seed=seed, sink=CoalescingSink(sink))
         per_run.append(robust.boundary_cycles)
         if naive is not None:
             naive_runs.append(naive.boundary_cycles)

@@ -11,7 +11,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.device import DeviceSession, QueryLedger, StructureObservation
+from repro.device import (
+    CoalescingSink,
+    DeviceSession,
+    QueryLedger,
+    StructureObservation,
+)
 from repro.attacks.structure.constraints import DeviceKnowledge
 from repro.attacks.structure.dataflow_id import DataflowIdentifier
 from repro.attacks.structure.modules import detect_fire_modules
@@ -59,6 +64,7 @@ def run_structure_attack(
     workers: int | None = None,
     streaming: bool = True,
     dataflow: str = "output-stationary",
+    engine: str = "vectorised",
 ) -> StructureAttackResult:
     """Run Algorithm 1 against a victim accelerator.
 
@@ -91,14 +97,23 @@ def run_structure_attack(
             metered observation identifying it with
             :class:`DataflowIdentifier` before decoding — the attack
             has no a-priori schedule knowledge in that mode.
+        engine: decode engine for every analysis step (boundary
+            tracking, streaming analysis, dataflow identification) —
+            ``"vectorised"`` (the default) or the original
+            ``"reference"`` oracle.  Results are bit-identical.
     """
     session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
 
     if dataflow == "auto":
         identifier = DataflowIdentifier(
-            session.image_shape, session.element_bytes, session.block_bytes
+            session.image_shape,
+            session.element_bytes,
+            session.block_bytes,
+            engine=engine,
         )
-        session.observe_structure(x, seed=seed, sink=identifier)
+        session.observe_structure(
+            x, seed=seed, sink=CoalescingSink(identifier)
+        )
         dataflow = identifier.finish().dataflow
     else:
         from repro.accel.dataflow import resolve_dataflow
@@ -112,17 +127,23 @@ def run_structure_attack(
                 session.element_bytes,
                 session.block_bytes,
                 dataflow=dataflow,
+                engine=engine,
             )
-            obs = session.observe_structure(x, seed=seed + k, sink=analyzer)
+            obs = session.observe_structure(
+                x, seed=seed + k, sink=CoalescingSink(analyzer)
+            )
             return obs, analyzer.finish(obs), analyzer.boundaries
         obs = session.observe_structure(x, seed=seed + k)
         if dataflow == "output-stationary":
             bounds = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
         else:
             bounds = find_layer_boundaries_dataflow(
-                obs.trace.addresses, obs.trace.is_write, obs.block_bytes
+                obs.trace.addresses,
+                obs.trace.is_write,
+                obs.block_bytes,
+                engine=engine,
             )
-        return obs, analyse_trace(obs, dataflow=dataflow), bounds
+        return obs, analyse_trace(obs, dataflow=dataflow, engine=engine), bounds
 
     observation, analysis, boundaries = _one_run(0)
     if runs > 1:

@@ -189,8 +189,15 @@ def solve_conv_layer(
 ) -> list[LayerGeometry]:
     """All CONV(+POOL) geometries satisfying Eq. (1)-(8) + timing.
 
-    Returned geometries are validated and de-duplicated, ordered by
-    (F_conv, S_conv, P_conv, pooling).
+    Returned geometries are validated and de-duplicated *canonically*
+    (see :meth:`LayerGeometry.canonical`), ordered by (F_conv, S_conv,
+    P_conv, pooling).  Eq. (1) is applied in its floored form, so
+    ragged-stride geometries (e.g. ``w_ifm=27, f=6, s=2, p=1`` with
+    conv width ``(27-6+2)//2 + 1 = 12``) are enumerable — flooring
+    makes several ``(W, F, S, P)`` assignments width-equivalent, and
+    the canonical dedupe keeps exactly one representative per
+    equivalence class instead of letting the ambiguity multiply the
+    candidate count.
     """
     rules = rules or PracticalityRules()
     w_ifm, d_ifm = problem.w_ifm, problem.d_ifm
@@ -230,7 +237,7 @@ def solve_conv_layer(
                                 w_ofm=w_ofm, d_ofm=d_ofm,
                                 f_conv=f, s_conv=s, p_conv=p,
                             )
-                            results[geom] = None
+                            results[geom.canonical()] = None
                         for f_pool, s_pool, p_pool in _pool_options(
                             w_conv, w_ofm, rules
                         ):
@@ -241,7 +248,7 @@ def solve_conv_layer(
                                 has_pool=True, f_pool=f_pool,
                                 s_pool=s_pool, p_pool=p_pool,
                             )
-                            results[geom] = None
+                            results[geom.canonical()] = None
     return [g.validate() for g in results]
 
 

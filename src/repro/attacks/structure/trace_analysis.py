@@ -41,6 +41,11 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.device import StructureObservation
+from repro.attacks.structure.decode import (
+    LastWriterIndex,
+    resolve_engine,
+    sorted_unique,
+)
 
 __all__ = [
     "SizeRange",
@@ -295,13 +300,21 @@ class RawBoundaryTracker:
     rather than by trace length.  Chunks resolve RAW edges locally via
     :func:`_previous_write_index` and reach into the carried map only
     for addresses with no earlier write in the chunk.
+
+    ``engine="vectorised"`` (the default) carries the map as a
+    :class:`~repro.attacks.structure.decode.LastWriterIndex`, so the
+    carried lookups and updates are single gather/scatter kernels;
+    ``engine="reference"`` keeps the original per-address dict walk as
+    the bit-identity oracle.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "vectorised") -> None:
+        self._engine = resolve_engine(engine)
         self._n = 0
         self._boundaries: list[int] = [0]
         self._start = 0
         self._last_write: dict[int, int] = {}
+        self._index = LastWriterIndex() if self._engine == "vectorised" else None
 
     @property
     def num_events(self) -> int:
@@ -326,15 +339,20 @@ class RawBoundaryTracker:
         prev = np.where(local_prev >= 0, base + local_prev, np.int64(-1))
         carried_needed = local_prev < 0
         if carried_needed.any():
-            uniq, inv = np.unique(
-                addresses[carried_needed], return_inverse=True
-            )
-            carried = np.fromiter(
-                (self._last_write.get(int(a), -1) for a in uniq),
-                dtype=np.int64,
-                count=len(uniq),
-            )
-            prev[carried_needed] = carried[inv]
+            if self._index is not None:
+                prev[carried_needed] = self._index.lookup(
+                    addresses[carried_needed]
+                )
+            else:
+                uniq, inv = np.unique(
+                    addresses[carried_needed], return_inverse=True
+                )
+                carried = np.fromiter(
+                    (self._last_write.get(int(a), -1) for a in uniq),
+                    dtype=np.int64,
+                    count=len(uniq),
+                )
+                prev[carried_needed] = carried[inv]
 
         new: list[int] = []
         cand = np.flatnonzero((~is_write) & (prev >= 0))
@@ -354,11 +372,14 @@ class RawBoundaryTracker:
 
         w = np.flatnonzero(is_write)
         if len(w):
-            wa = addresses[w]
-            uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
-            last_local = w[len(wa) - 1 - rev_first]
-            for a, g in zip(uniq_w.tolist(), (base + last_local).tolist()):
-                self._last_write[a] = g
+            if self._index is not None:
+                self._index.update(addresses[w], base + w)
+            else:
+                wa = addresses[w]
+                uniq_w, rev_first = np.unique(wa[::-1], return_index=True)
+                last_local = w[len(wa) - 1 - rev_first]
+                for a, g in zip(uniq_w.tolist(), (base + last_local).tolist()):
+                    self._last_write[a] = g
 
         self._n += n
         self._boundaries.extend(new)
@@ -392,9 +413,18 @@ class DataflowBoundaryTracker:
     output is invariant to chunking (a range split across chunks folds
     its first part into the window, making the continuation
     block-contiguous by construction).
+
+    ``engine="vectorised"`` (the default) decides whole read runs at
+    once: every range start is checked against the read window in one
+    batched ``touches`` query and the RAW test runs over the full run,
+    falling back to the per-range scan only around an actual (or
+    suspected) cut — which happens once per layer, not once per tile
+    row.  ``engine="reference"`` keeps the original per-range loop as
+    the bit-identity oracle.
     """
 
-    def __init__(self, block_bytes: int) -> None:
+    def __init__(self, block_bytes: int, engine: str = "vectorised") -> None:
+        self._engine = resolve_engine(engine)
         self._block = block_bytes
         self._n = 0
         self._boundaries: list[int] = [0]
@@ -445,6 +475,62 @@ class DataflowBoundaryTracker:
                 self._window_reads.add(rng)
         return offs
 
+    def _scan_read_run_fast(self, addresses: np.ndarray) -> list[int]:
+        """Vectorised run scan: bulk-fold until a cut is actually near.
+
+        Decisions are identical to :meth:`_scan_read_run` — both checks
+        are evaluated for every range, just batched.  A range start that
+        fails the batched (pre-run) touch test is only a *suspected*
+        cut: the reference scan would have folded the run's earlier
+        ranges into the window first, and one of those may be what this
+        range touches.  The suspect is therefore re-tested after the
+        fold, and scanning resumes if it survives.
+        """
+        offs: list[int] = []
+        off0 = 0
+        rest = addresses
+        while len(rest):
+            if not self._has_written and not self._window_writes:
+                # No write since the window opened: neither check can
+                # fire, the whole remaining run folds in.
+                self._window_reads.add(sorted_unique(rest))
+                break
+            breaks = np.flatnonzero(np.diff(rest) != self._block) + 1
+            starts = np.concatenate(([0], breaks))
+            contained = np.flatnonzero(self._window_writes.contains(rest))
+            first_b = int(contained[0]) if len(contained) else None
+            first_a = None
+            if self._has_written:
+                fresh = starts[~self._window_reads.touches_batch(rest[starts])]
+                if len(fresh):
+                    first_a = int(fresh[0])
+            if first_a is None and first_b is None:
+                self._window_reads.add(sorted_unique(rest))
+                break
+            if first_a is not None and (first_b is None or first_a <= first_b):
+                # Fresh-region rule fires first (the reference checks it
+                # before the RAW test, and a range's start precedes any
+                # RAW hit inside it).
+                if first_a > 0:
+                    self._window_reads.add(sorted_unique(rest[:first_a]))
+                if self._window_reads.touches(int(rest[first_a])):
+                    # It touched an earlier range of this same run — the
+                    # incremental oracle would not cut here.  Rescan from
+                    # this range with the window now up to date.
+                    rest = rest[first_a:]
+                    off0 += first_a
+                    continue
+                cut = first_a
+            else:
+                cut = first_b
+                if cut > 0:
+                    self._window_reads.add(sorted_unique(rest[:cut]))
+            offs.append(off0 + cut)
+            self._reset_window()
+            rest = rest[cut:]
+            off0 += cut
+        return offs
+
     def feed(self, addresses: np.ndarray, is_write: np.ndarray) -> list[int]:
         """Fold one event chunk; returns boundaries found in it."""
         addresses = np.asarray(addresses, dtype=np.int64)
@@ -452,6 +538,8 @@ class DataflowBoundaryTracker:
         n = len(addresses)
         if n == 0:
             return []
+        vec = self._engine == "vectorised"
+        scan = self._scan_read_run_fast if vec else self._scan_read_run
         base = self._n
         new: list[int] = []
         change = np.flatnonzero(np.diff(is_write)) + 1
@@ -459,12 +547,14 @@ class DataflowBoundaryTracker:
         ends = np.concatenate((change, [n]))
         for s, e in zip(starts, ends):
             if is_write[s]:
-                self._window_writes.add(np.unique(addresses[s:e]))
+                wa = addresses[s:e]
+                self._window_writes.add(
+                    sorted_unique(wa) if vec else np.unique(wa)
+                )
                 self._has_written = True
             else:
                 new.extend(
-                    base + int(s) + off
-                    for off in self._scan_read_run(addresses[s:e])
+                    base + int(s) + off for off in scan(addresses[s:e])
                 )
         self._n += n
         self._boundaries.extend(new)
@@ -472,7 +562,10 @@ class DataflowBoundaryTracker:
 
 
 def find_layer_boundaries_dataflow(
-    addresses: np.ndarray, is_write: np.ndarray, block_bytes: int
+    addresses: np.ndarray,
+    is_write: np.ndarray,
+    block_bytes: int,
+    engine: str = "vectorised",
 ) -> list[int]:
     """Batch form of :class:`DataflowBoundaryTracker`.
 
@@ -482,7 +575,7 @@ def find_layer_boundaries_dataflow(
     """
     if len(addresses) == 0:
         raise TraceError("empty trace")
-    tracker = DataflowBoundaryTracker(block_bytes)
+    tracker = DataflowBoundaryTracker(block_bytes, engine=engine)
     tracker.feed(addresses, is_write)
     return tracker.boundaries
 
@@ -495,55 +588,57 @@ class _BlockIntervalSet:
     per the paper, so this is a handful of entries — while still
     answering the exact unique-block count and extent the batch path
     derives from ``np.unique``.
+
+    Internals are flat ``lo``/``hi`` arrays, so folding a chunk in is
+    one sort + running-maximum merge and every query (``contains``,
+    ``touches_batch``) is a ``searchsorted`` — both decode engines
+    share this structure.
     """
 
-    __slots__ = ("_block", "_iv")
+    __slots__ = ("_block", "_lo", "_hi")
 
     def __init__(self, block_bytes: int) -> None:
         self._block = block_bytes
-        self._iv: list[list[int]] = []
+        self._lo = np.empty(0, dtype=np.int64)
+        self._hi = np.empty(0, dtype=np.int64)
 
     def __bool__(self) -> bool:
-        return bool(self._iv)
+        return len(self._lo) > 0
 
     def add(self, unique_addresses: np.ndarray) -> None:
         """Fold a sorted array of unique block addresses in."""
         if len(unique_addresses) == 0:
             return
-        a = unique_addresses
+        a = np.asarray(unique_addresses, dtype=np.int64)
         breaks = np.flatnonzero(np.diff(a) != self._block)
-        starts = np.concatenate(([0], breaks + 1))
-        ends = np.concatenate((breaks, [len(a) - 1]))
-        new = [
-            [int(a[s]), int(a[e]) + self._block]
-            for s, e in zip(starts, ends)
-        ]
-        merged: list[list[int]] = []
-        i = j = 0
-        old = self._iv
-        while i < len(old) or j < len(new):
-            if j >= len(new) or (i < len(old) and old[i][0] <= new[j][0]):
-                cur = old[i]
-                i += 1
-            else:
-                cur = new[j]
-                j += 1
-            if merged and cur[0] <= merged[-1][1]:
-                merged[-1][1] = max(merged[-1][1], cur[1])
-            else:
-                merged.append(cur)
-        self._iv = merged
+        nlo = a[np.concatenate(([0], breaks + 1))]
+        nhi = a[np.concatenate((breaks, [len(a) - 1]))] + self._block
+        if not len(self._lo):
+            self._lo, self._hi = nlo, nhi
+            return
+        lo = np.concatenate([self._lo, nlo])
+        hi = np.concatenate([self._hi, nhi])
+        order = np.argsort(lo, kind="stable")
+        lo = lo[order]
+        hi = hi[order]
+        run_hi = np.maximum.accumulate(hi)
+        # A strictly-greater lo opens a new interval; lo == previous hi
+        # is block-contiguous and merges.
+        first = np.empty(len(lo), dtype=bool)
+        first[0] = True
+        np.greater(lo[1:], run_hi[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        self._lo = lo[starts]
+        self._hi = run_hi[np.concatenate((starts[1:] - 1, [len(lo) - 1]))]
 
     def contains(self, addresses: np.ndarray) -> np.ndarray:
         """Vectorised membership test of block addresses against the set."""
         addresses = np.asarray(addresses, dtype=np.int64)
-        if not self._iv:
+        if not len(self._lo):
             return np.zeros(len(addresses), dtype=bool)
-        bounds = np.fromiter(
-            (b for iv in self._iv for b in iv),
-            dtype=np.int64,
-            count=2 * len(self._iv),
-        )
+        bounds = np.empty(2 * len(self._lo), dtype=np.int64)
+        bounds[0::2] = self._lo
+        bounds[1::2] = self._hi
         # Odd insertion position = strictly inside some [lo, hi).
         return np.searchsorted(bounds, addresses, side="right") % 2 == 1
 
@@ -554,24 +649,32 @@ class _BlockIntervalSet:
         interval (the next tile picking up exactly where the previous
         fetch stopped) is "the same region still being read".
         """
-        for lo, hi in self._iv:
-            if lo <= address <= hi:
-                return True
-        return False
+        pos = int(np.searchsorted(self._lo, address, side="right")) - 1
+        return pos >= 0 and address <= self._hi[pos]
+
+    def touches_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`touches` over an address array."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if not len(self._lo):
+            return np.zeros(len(addresses), dtype=bool)
+        pos = np.searchsorted(self._lo, addresses, side="right") - 1
+        out = pos >= 0
+        out[out] = addresses[out] <= self._hi[pos[out]]
+        return out
 
     @property
     def blocks(self) -> int:
         """Exact count of distinct blocks folded in."""
-        return sum(hi - lo for lo, hi in self._iv) // self._block
+        return int((self._hi - self._lo).sum()) // self._block
 
     @property
     def extent(self) -> tuple[int, int]:
-        return self._iv[0][0], self._iv[-1][1]
+        return int(self._lo[0]), int(self._hi[-1])
 
     def contiguous_extent(self) -> tuple[int, int]:
         """The batch path's :func:`_contiguous_extent`, from intervals."""
         lo, hi = self.extent
-        if len(self._iv) != 1:
+        if len(self._lo) != 1:
             raise TraceError(
                 f"address set is not contiguous: {self.blocks} blocks "
                 f"across {(hi - lo) // self._block} block slots"
@@ -582,14 +685,12 @@ class _BlockIntervalSet:
         """Partition into (< cut, >= cut) at a block-aligned boundary."""
         below = _BlockIntervalSet(self._block)
         above = _BlockIntervalSet(self._block)
-        for lo, hi in self._iv:
-            if hi <= cut:
-                below._iv.append([lo, hi])
-            elif lo >= cut:
-                above._iv.append([lo, hi])
-            else:
-                below._iv.append([lo, cut])
-                above._iv.append([cut, hi])
+        bm = self._lo < cut
+        below._lo = self._lo[bm]
+        below._hi = np.minimum(self._hi[bm], cut)
+        am = self._hi > cut
+        above._lo = np.maximum(self._lo[am], cut)
+        above._hi = self._hi[am]
         return below, above
 
 
@@ -609,6 +710,12 @@ class StreamingTraceAnalyzer:
     state is the OFM / unattributed-read interval sets, per-source hit
     flags against finalized write ranges, and two transaction counters —
     all independent of trace length.
+
+    ``engine="vectorised"`` (the default) deduplicates chunks with the
+    sort-based kernel and attributes reads to producing layers through
+    one ``searchsorted`` over the finalized write ranges instead of a
+    per-source mask loop; ``engine="reference"`` keeps the original
+    fold as the bit-identity oracle.
     """
 
     def __init__(
@@ -617,6 +724,7 @@ class StreamingTraceAnalyzer:
         element_bytes: int,
         block_bytes: int,
         dataflow: str = "output-stationary",
+        engine: str = "vectorised",
     ) -> None:
         from repro.accel.dataflow import resolve_dataflow
 
@@ -624,6 +732,7 @@ class StreamingTraceAnalyzer:
         self.element_bytes = element_bytes
         self.block_bytes = block_bytes
         self.dataflow = resolve_dataflow(dataflow).name
+        self.engine = resolve_engine(engine)
         # The write-at-end protocol rule is exact (and O(1)) for the
         # output-stationary schedule; dataflows that interleave write
         # bursts need the address-aware tracker.
@@ -631,8 +740,12 @@ class StreamingTraceAnalyzer:
         if self.dataflow == "output-stationary":
             self._tracker = BoundaryTracker()
         else:
-            self._tracker = DataflowBoundaryTracker(block_bytes)
+            self._tracker = DataflowBoundaryTracker(block_bytes, engine=engine)
         self._write_ranges: list[tuple[int, int]] = []
+        # Sorted view of the finalized write ranges for one-searchsorted
+        # read attribution; None while ranges overlap (never on real
+        # traces), which falls back to the per-source loop.
+        self._src_index: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._layers: list[LayerObservation] = []
         self._finished = False
         self._layer_start_cycle = 0
@@ -702,6 +815,9 @@ class StreamingTraceAnalyzer:
         """Accumulate events that all belong to the current layer."""
         if len(addresses) == 0:
             return
+        if self.engine == "vectorised":
+            self._consume_vectorised(addresses, is_write)
+            return
         write_addrs = addresses[is_write]
         read_addrs = addresses[~is_write]
         self._writes += len(write_addrs)
@@ -718,6 +834,41 @@ class StreamingTraceAnalyzer:
             rest = read_addrs[unattributed]
             if len(rest):
                 self._unattributed.add(np.unique(rest))
+
+    def _consume_vectorised(
+        self, addresses: np.ndarray, is_write: np.ndarray
+    ) -> None:
+        write_addrs = addresses[is_write]
+        read_addrs = addresses[~is_write]
+        self._writes += len(write_addrs)
+        self._reads += len(read_addrs)
+        if len(write_addrs):
+            self._ofm.add(sorted_unique(write_addrs))
+        if not len(read_addrs):
+            return
+        if self._src_index is None and self._write_ranges:
+            # Overlapping write ranges: a read may belong to several
+            # sources at once, which only the mask loop expresses.
+            unattributed = np.ones(len(read_addrs), dtype=bool)
+            for src, (w_lo, w_hi) in enumerate(self._write_ranges):
+                mask = (read_addrs >= w_lo) & (read_addrs < w_hi)
+                if mask.any():
+                    self._source_hit[src] = True
+                    unattributed &= ~mask
+            rest = read_addrs[unattributed]
+        elif self._write_ranges:
+            lo, hi, src_ids = self._src_index
+            pos = np.searchsorted(lo, read_addrs, side="right") - 1
+            hit = pos >= 0
+            hit[hit] = read_addrs[hit] < hi[pos[hit]]
+            if hit.any():
+                for src in sorted_unique(src_ids[pos[hit]]).tolist():
+                    self._source_hit[src] = True
+            rest = read_addrs[~hit]
+        else:
+            rest = read_addrs
+        if len(rest):
+            self._unattributed.add(sorted_unique(rest))
 
     def _finalize_layer(self, end_cycle: int) -> None:
         li = len(self._layers)
@@ -781,7 +932,19 @@ class StreamingTraceAnalyzer:
             )
         )
         self._write_ranges.append((ofm_lo, ofm_hi))
+        if self.engine == "vectorised":
+            self._rebuild_src_index()
         self._reset_layer()
+
+    def _rebuild_src_index(self) -> None:
+        lo = np.array([r[0] for r in self._write_ranges], dtype=np.int64)
+        hi = np.array([r[1] for r in self._write_ranges], dtype=np.int64)
+        src = np.arange(len(lo), dtype=np.int64)
+        order = np.argsort(lo, kind="stable")
+        lo, hi, src = lo[order], hi[order], src[order]
+        self._src_index = (
+            None if bool(np.any(lo[1:] < hi[:-1])) else (lo, hi, src)
+        )
 
     def finish(self, obs: StructureObservation) -> TraceAnalysis:
         """Finalise the last layer and assemble the analysis.
@@ -852,16 +1015,22 @@ def _split_first_layer_reads(
 
 
 def analyse_trace(
-    obs: StructureObservation, dataflow: str = "output-stationary"
+    obs: StructureObservation,
+    dataflow: str = "output-stationary",
+    engine: str = "vectorised",
 ) -> TraceAnalysis:
     """Run the full trace analysis on a structure-attack observation.
 
-    This is the batch reference implementation; it needs the whole trace
-    in memory.  Observations captured through a streaming sink carry no
-    trace — analyse those with :class:`StreamingTraceAnalyzer` instead.
-    ``dataflow`` names the victim's loop order (identify it first with
+    This needs the whole trace in memory.  Observations captured
+    through a streaming sink carry no trace — analyse those with
+    :class:`StreamingTraceAnalyzer` instead.  ``dataflow`` names the
+    victim's loop order (identify it first with
     :class:`~repro.attacks.structure.DataflowIdentifier` if unknown);
     it selects the boundary rule the segmentation uses.
+    ``engine="vectorised"`` (the default) folds the trace through the
+    streaming analyzer's batched kernels in one chunk;
+    ``engine="reference"`` is the original batch implementation and
+    the bit-identity oracle.
     """
     from repro.accel.dataflow import resolve_dataflow
 
@@ -871,6 +1040,16 @@ def analyse_trace(
             "observation carries no materialised trace (it was streamed "
             "to a sink); use StreamingTraceAnalyzer for streaming runs"
         )
+    if resolve_engine(engine) == "vectorised":
+        analyzer = StreamingTraceAnalyzer(
+            obs.input_shape,
+            obs.element_bytes,
+            obs.block_bytes,
+            dataflow=dataflow,
+            engine="vectorised",
+        )
+        analyzer.feed(trace.cycles, trace.addresses, trace.is_write)
+        return analyzer.finish(obs)
     addresses, is_write, cycles = trace.addresses, trace.is_write, trace.cycles
     if resolve_dataflow(dataflow).name == "output-stationary":
         boundaries = find_layer_boundaries(addresses, is_write)

@@ -124,7 +124,9 @@ def cmd_structure(args) -> int:
         # noisy channel run the consensus boundary recovery instead.
         session = DeviceSession(sim, channel=channel)
         runs = max(args.runs, 3)
-        result = recover_boundaries(session, runs=runs, compare_naive=True)
+        result = recover_boundaries(
+            session, runs=runs, compare_naive=True, engine=args.engine
+        )
         print(f"channel: {channel.describe()}")
         print(f"consensus boundaries over {runs} runs "
               f"(quorum {result.quorum}, tol {result.tol} cycles): "
@@ -151,7 +153,7 @@ def cmd_structure(args) -> int:
     # observation identifying the dataflow, then decodes with it.
     result = run_structure_attack(
         sim, tolerance=args.tolerance, rules=rules, runs=args.runs,
-        workers=args.workers, dataflow="auto",
+        workers=args.workers, dataflow="auto", engine=args.engine,
     )
     print(f"dataflow identified: {result.dataflow}")
     print(f"layers detected: {len(result.boundaries)}")
@@ -309,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--loose-rules", action="store_true")
     st.add_argument("--show", type=int, default=1,
                     help="candidates to print in full")
+    st.add_argument("--engine", choices=("vectorised", "reference"),
+                    default="vectorised",
+                    help="trace-decode engine (reference: the original "
+                         "per-event decoders, kept as a bit-identity "
+                         "oracle)")
     _add_workers_flag(st)
     _add_channel_flags(st)
     st.set_defaults(func=cmd_structure)

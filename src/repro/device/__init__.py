@@ -4,13 +4,16 @@ This package is the only sanctioned way for attacks to touch a victim
 device.  :class:`DeviceSession` meters every inference, channel query
 and trace byte on a :class:`QueryLedger`, memoises and batches channel
 queries, and streams structure-attack traces span-by-span into an
-attacker-supplied :class:`~repro.accel.trace.TraceSink`;
+attacker-supplied :class:`~repro.accel.trace.TraceSink`
+(re-exporting :class:`~repro.accel.sinks.CoalescingSink` so attack
+code can right-size chunk delivery without crossing the boundary);
 :mod:`repro.device.backends` replaces the old ``prefer_sparse`` flag
 with a capability-based registry.  A guard test asserts that nothing
 under :mod:`repro.attacks` imports simulator or oracle internals
 directly.
 """
 
+from repro.accel.sinks import CoalescingSink
 from repro.device.observation import StructureObservation
 from repro.device.backends import (
     BackendSpec,
@@ -30,6 +33,7 @@ __all__ = [
     "QueryLedger",
     "QueryBudgetExceeded",
     "QueryCache",
+    "CoalescingSink",
     "TRACE_EVENT_BYTES",
     "BackendSpec",
     "register_backend",

@@ -101,32 +101,47 @@ class LayerGeometry:
         return self
 
     def canonical(self) -> "LayerGeometry":
-        """Reduce paddings to the smallest values with identical widths.
+        """Reduce the geometry to the smallest equivalent parameters.
 
         Two geometries differing only in padding that floor-division
-        absorbs (e.g. ``p_conv`` 0 vs 1 at stride 4) compute outputs of
-        identical shape with identical MAC counts; the attack literature
-        and this repo's solver treat them as one configuration.  This
-        returns the canonical representative (minimal ``p_conv`` giving
-        the same ``w_conv``, minimal ``p_pool`` giving the same
-        ``w_ofm``).
+        absorbs (e.g. ``p_conv`` 0 vs 1 at stride 4), or in how far an
+        oversized ceil-mode pooling window hangs off the feature-map
+        edge (e.g. 2x2 and 3x3 stride-2 both pool a 32-wide map to 16),
+        compute outputs of identical shape with identical MAC counts;
+        the attack literature and this repo's solver treat them as one
+        configuration.  This returns the canonical representative:
+        minimal ``p_conv`` giving the same ``w_conv``, then the
+        lexicographically minimal ``(p_pool, f_pool)`` giving the same
+        ``w_ofm`` at the same pooling stride, subject to the paper's
+        Eq. (6) (``f_pool >= s_pool``) and Eq. (8) (``p_pool <
+        f_pool``).  The reduction is idempotent.
         """
         p_conv = self.p_conv
         while p_conv > 0 and conv_output_width(
             self.w_ifm, self.f_conv, self.s_conv, p_conv - 1
         ) == self.w_conv:
             p_conv -= 1
-        p_pool = self.p_pool
+        f_pool, p_pool = self.f_pool, self.p_pool
         if self.has_pool:
-            while p_pool > 0 and pool_output_width(
-                self.w_conv, self.f_pool, self.s_pool, p_pool - 1
-            ) == self.w_ofm:
-                p_pool -= 1
+            w_conv = self.w_conv
+            reduced = False
+            for p in range(0, self.p_pool + 1):
+                for f in range(max(1, self.s_pool), self.f_pool + 1):
+                    if p >= f or w_conv - f + 2 * p < 0:
+                        continue
+                    if pool_output_width(
+                        w_conv, f, self.s_pool, p
+                    ) == self.w_ofm:
+                        f_pool, p_pool = f, p
+                        reduced = True
+                        break
+                if reduced:
+                    break
         return LayerGeometry(
             w_ifm=self.w_ifm, d_ifm=self.d_ifm,
             w_ofm=self.w_ofm, d_ofm=self.d_ofm,
             f_conv=self.f_conv, s_conv=self.s_conv, p_conv=p_conv,
-            has_pool=self.has_pool, f_pool=self.f_pool,
+            has_pool=self.has_pool, f_pool=f_pool,
             s_pool=self.s_pool, p_pool=p_pool,
         )
 

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import TraceError
 from repro.accel import AcceleratorSim
 from repro.accel.sinks import (
+    CoalescingSink,
     MaterializeSink,
     SpoolSink,
     StatsSink,
@@ -206,6 +207,93 @@ def test_tee_fans_out_to_all_sinks():
 def test_tee_requires_a_downstream():
     with pytest.raises(TraceError, match="at least one downstream"):
         TeeSink()
+
+
+# -- CoalescingSink --------------------------------------------------------
+
+def test_coalescing_buffers_below_target():
+    mat = MaterializeSink()
+    sink = CoalescingSink(mat, target_events=8)
+    sink.emit(SPANS[0])
+    sink.emit(SPANS[1])
+    assert sink.buffered_events == 4
+    assert mat.num_events == 0  # nothing forwarded yet
+    sink.emit(SPANS[2])  # 6 events buffered, still < 8
+    assert sink.buffered_events == 6
+    sink.close()
+    assert sink.buffered_events == 0
+    assert mat.num_events == 6
+
+
+def test_coalescing_forwards_one_span_at_target():
+    class CountingSink(MaterializeSink):
+        def __init__(self):
+            super().__init__()
+            self.span_sizes = []
+
+        def emit(self, span):
+            self.span_sizes.append(len(span))
+            super().emit(span)
+
+    inner = CountingSink()
+    sink = CoalescingSink(inner, target_events=4)
+    feed(sink, *SPANS)  # 3 + 1 hits the target, then 2 flushed on close
+    assert inner.span_sizes == [4, 2]
+
+
+def test_coalescing_passthrough_for_large_spans():
+    class CountingSink(MaterializeSink):
+        def __init__(self):
+            super().__init__()
+            self.span_sizes = []
+
+        def emit(self, span):
+            self.span_sizes.append(len(span))
+            super().emit(span)
+
+    inner = CountingSink()
+    sink = CoalescingSink(inner, target_events=2)
+    sink.emit(SPANS[0])  # >= target with empty buffer: straight through
+    assert inner.span_sizes == [3]
+    assert sink.buffered_events == 0
+
+
+def test_coalescing_is_bit_identical_to_direct():
+    direct = MaterializeSink()
+    feed(direct, *SPANS)
+    coalesced = MaterializeSink()
+    feed(CoalescingSink(coalesced, target_events=4), *SPANS)
+    a, b = direct.trace(), coalesced.trace()
+    np.testing.assert_array_equal(a.cycles, b.cycles)
+    np.testing.assert_array_equal(a.addresses, b.addresses)
+    np.testing.assert_array_equal(a.is_write, b.is_write)
+
+
+def test_coalescing_flushes_before_stage_marker():
+    stats = StatsSink()
+    sink = CoalescingSink(stats, target_events=100)
+    sink.begin_stage("conv1", "conv")
+    sink.emit(SPANS[0])
+    sink.emit(SPANS[1])
+    sink.begin_stage("fc2", "fc")  # must flush conv1's events first
+    sink.emit(SPANS[2])
+    sink.close()
+    assert [s.name for s in stats.stages] == ["conv1", "fc2"]
+    assert [s.events for s in stats.stages] == [4, 2]
+
+
+def test_coalescing_ignores_empty_spans():
+    mat = MaterializeSink()
+    sink = CoalescingSink(mat, target_events=4)
+    sink.emit(span([], [], []))
+    assert sink.buffered_events == 0
+    sink.close()
+    assert mat.num_events == 0
+
+
+def test_coalescing_rejects_nonpositive_target():
+    with pytest.raises(TraceError, match="target_events must be >= 1"):
+        CoalescingSink(MaterializeSink(), target_events=0)
 
 
 # -- TraceBuilder streaming ------------------------------------------------

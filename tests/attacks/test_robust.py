@@ -348,6 +348,31 @@ def test_consensus_counts_runs_not_events():
     assert consensus_boundaries([[100, 101, 102], []], quorum=2, tol=5) == []
 
 
+def test_consensus_overlapping_clusters():
+    """Clusters whose member ranges interleave across runs.
+
+    The sweep is single-linkage over the *merged* sorted cycle stream:
+    two boundaries land in one cluster iff the gap chain between them
+    never exceeds the tolerance, regardless of which run contributed
+    which cycle.
+    """
+    # Interleaved pairs: 100/103 and 110/113 split at the 7-cycle gap.
+    assert consensus_boundaries(
+        [[100, 110], [103, 113]], quorum=2, tol=4
+    ) == [101, 111]
+    # Chain linking: 100-104-108 joins via <=5 steps into one cluster
+    # with distinct-run support 3 and the true median.
+    assert consensus_boundaries([[100], [104], [108]], quorum=3, tol=5) == [104]
+    # Same chain, but the middle link comes from a run that already
+    # contributed — support stays 2 and a quorum of 3 rejects it.
+    assert consensus_boundaries([[100, 104], [108]], quorum=3, tol=5) == []
+    # A dense cluster absorbing a duplicate from one run keeps the
+    # median over all events, not per-run firsts.
+    assert consensus_boundaries(
+        [[100, 102], [101], [130]], quorum=2, tol=5
+    ) == [101]
+
+
 def test_boundary_f1_greedy_matching():
     score = boundary_f1([100, 200], [101, 300], tol=5)
     assert score == BoundaryScore(matched=1, predicted=2, truth=2)

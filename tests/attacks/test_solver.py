@@ -164,3 +164,20 @@ def test_solver_soundness_property(w, d_in, d_out, f, s, p):
     geom = LayerGeometry.from_conv(w, d_in, d_out, f, s, p)
     cands = solve_conv_layer(problem_for(geom), DEVICE, tolerance=0.25)
     assert geom.canonical() in {c.canonical() for c in cands}
+
+
+def test_ragged_stride_geometry_enumerable():
+    """Floored Eq. (1): (27-6+2)/2 is not integral, width floors to 12.
+
+    The ROADMAP's escape example — the simulator floors non-exact
+    stride division, so the solver must enumerate such geometries too,
+    and canonical dedupe must keep the width-equivalent (W, F, S, P)
+    ambiguity from multiplying the candidate list.
+    """
+    geom = LayerGeometry.from_conv(27, 2, 4, 6, 2, 1)
+    assert geom.w_ofm == 12  # floored, not 12.5-rounded
+    cands = solve_conv_layer(problem_for(geom), DEVICE, tolerance=0.25)
+    canonical = [c.canonical() for c in cands]
+    assert geom.canonical() in canonical
+    # Canonical dedupe: no two returned candidates share a class.
+    assert len(set(canonical)) == len(cands)

@@ -25,7 +25,13 @@ from repro.nn.stages import StagedNetworkBuilder
 
 
 def random_sequential_victim(rng: np.random.Generator):
-    """A random 2-conv + 1-fc victim obeying the paper's Eq. (5)."""
+    """A random 2-conv + 1-fc victim obeying the paper's Eq. (5)/(7).
+
+    Stride and padding range over their full Eq. (5)/(7) intervals
+    (``1 <= s <= f``, ``0 <= p < f``), so ragged-stride geometries
+    whose conv width Eq. (1) floors (e.g. w=27, f=6, s=2, p=1) are
+    generated routinely — the solver must enumerate them too.
+    """
     w = int(rng.integers(16, 29))
     c = int(rng.integers(1, 3))
     builder = StagedNetworkBuilder("victim", (c, w, w))
@@ -37,8 +43,8 @@ def random_sequential_victim(rng: np.random.Generator):
         f = min(f, width // 2)
         if f < 1:
             break
-        s = int(rng.integers(1, min(f, 2) + 1))
-        p = int(rng.integers(0, min(f - 1, 2) + 1))
+        s = int(rng.integers(1, f + 1))
+        p = int(rng.integers(0, f))
         d_out = int(rng.integers(2, 7))
         conv_out = (width - f + 2 * p) // s + 1
         pool = None

@@ -1,0 +1,87 @@
+"""Perf-regression gate: pure-function tests for the CI throughput check.
+
+The live gate only runs on multi-CPU hosts (single-CPU wall clocks
+measure contention, not the code), so its decision logic is unit-tested
+here where it always runs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.__main__ import (
+    SKIP_SINGLE_CPU,
+    _throughput_figures,
+    check_throughput_regression,
+)
+
+
+def results_with(synth_eps: int, decode_eps: int, quick: bool = True) -> dict:
+    return {
+        "events_per_second": {
+            "nets": {"alexnet": {"events_per_second": synth_eps}},
+        },
+        "decode_events_per_second": {"events_per_second": decode_eps},
+        "_meta": {"quick": quick},
+    }
+
+
+def test_figures_cover_synthesis_and_decode():
+    figs = _throughput_figures(results_with(1_000_000, 2_000_000))
+    assert figs == {
+        "synthesis:alexnet": 1_000_000,
+        "decode:alexnet": 2_000_000,
+    }
+
+
+def test_gate_passes_within_tolerance():
+    baseline = results_with(1_000_000, 2_000_000)
+    # 30% slower is exactly the floor; still passing.
+    current = results_with(700_000, 1_400_000)
+    assert check_throughput_regression(baseline, current, cpus=2) == []
+
+
+def test_gate_fails_past_tolerance(capsys):
+    baseline = results_with(1_000_000, 2_000_000)
+    current = results_with(699_999, 2_100_000)
+    failures = check_throughput_regression(baseline, current, cpus=2)
+    assert len(failures) == 1
+    assert "synthesis:alexnet" in failures[0]
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_gate_flags_decode_regression():
+    baseline = results_with(1_000_000, 2_000_000)
+    current = results_with(1_000_000, 500_000)
+    failures = check_throughput_regression(baseline, current, cpus=2)
+    assert len(failures) == 1
+    assert "decode:alexnet" in failures[0]
+
+
+def test_gate_skips_on_single_cpu(capsys):
+    baseline = results_with(1_000_000, 2_000_000)
+    current = results_with(1, 1)
+    assert check_throughput_regression(baseline, current, cpus=1) == []
+    assert SKIP_SINGLE_CPU in capsys.readouterr().out
+
+
+def test_gate_skips_without_baseline(capsys):
+    assert check_throughput_regression(
+        None, results_with(1, 1), cpus=2
+    ) == []
+    assert "no committed baseline" in capsys.readouterr().out
+
+
+def test_gate_skips_on_scale_mismatch(capsys):
+    baseline = results_with(1_000_000, 2_000_000, quick=False)
+    current = results_with(1, 1, quick=True)
+    assert check_throughput_regression(baseline, current, cpus=2) == []
+    assert "different scale" in capsys.readouterr().out
+
+
+def test_gate_ignores_metrics_missing_from_either_side():
+    baseline = results_with(1_000_000, 2_000_000)
+    del baseline["decode_events_per_second"]
+    current = results_with(500_000, 1, quick=True)
+    failures = check_throughput_regression(baseline, current, cpus=2)
+    # decode has no baseline -> not compared; synthesis still gates.
+    assert len(failures) == 1
+    assert "synthesis:alexnet" in failures[0]
