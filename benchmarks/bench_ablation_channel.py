@@ -18,6 +18,11 @@ robust ones (:mod:`repro.attacks.robust`) on identical noise draws:
   calibrated repeat-and-vote recovers the ideal-channel result bit
   for bit.
 
+The bench is a client of the campaign service: the whole sweep is one
+declarative :class:`~repro.campaign.CampaignSpec` (every cell a
+resumable, metered job), and the tables plus acceptance assertions
+are derived purely from the campaign's results records.
+
 Acceptance asserts: on the ideal channel both estimators equal the
 exact paper behaviour; at drop <= 2% (plus latency/duplication) the
 robust estimators stay at F1 = 1.0 / within the paper's ratio bound
@@ -26,25 +31,9 @@ while the naive ones measurably degrade.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
-from repro.attacks.robust import (
-    VotingChannel,
-    boundary_cycles_from_trace,
-    boundary_f1,
-    calibrate_channel,
-    recover_boundaries,
-)
-from repro.attacks.weights import AttackTarget, WeightAttack
-from repro.channel import ChannelModel
-from repro.device import DeviceSession
-from repro.nn.spec import LayerGeometry
-from repro.nn.stages import StagedNetworkBuilder
-from repro.nn.zoo import build_lenet, build_model
 from repro.report import render_table
 
-from benchmarks.common import emit, paper_scale
+from benchmarks.common import emit, paper_scale, run_campaign
 
 # Structure sweep: (label, drop, dup, granularity, cycle sigma).
 STRUCTURE_POINTS = [
@@ -61,122 +50,126 @@ COUNTER_SIGMAS = (0.0, 0.5, 1.0)
 SEARCH_STEPS = 28  # keeps each bisection well inside the 2^-10 bound
 RATIO_BOUND = 2.0**-10
 
+# The tiny dense-in-zeros conv victim of the weight sweep, declared
+# for the campaign's victim builder (same seeded construction).
+WEIGHT_VICTIM = {"conv": {"w": 8, "seed": 5, "bias_sign": -1.0}}
 
-def _structure_rows(staged, truth):
+
+def _structure_channels() -> list[dict]:
+    cells = []
+    for _, drop, dup, gran, sigma in STRUCTURE_POINTS:
+        cell = {
+            "drop_rate": drop,
+            "dup_rate": dup,
+            "cycle_sigma": sigma,
+            "seed": CHANNEL_SEED,
+        }
+        if gran is not None:
+            cell["probe_granularity"] = gran
+        cells.append(cell)
+    return cells
+
+
+def _campaign_spec() -> dict:
+    victims = [
+        {"model": "lenet"},
+        {
+            "model": "alexnet",
+            "width_scale": 1.0 if paper_scale() else 0.25,
+            "num_classes": 1000 if paper_scale() else 100,
+        },
+    ]
+    weight_base = {
+        "victim": WEIGHT_VICTIM,
+        "device": {"pruning": True},
+        "search_steps": SEARCH_STEPS,
+    }
+    return {
+        "name": "ablation_channel",
+        "sweeps": [
+            {
+                "kind": "boundary_recovery",
+                "tenant": "structure",
+                "base": {"runs": STRUCTURE_RUNS, "compare_naive": True},
+                "grid": {
+                    "victim": victims,
+                    "channel": _structure_channels(),
+                },
+            },
+            # Ideal-channel baseline the voted cells must reproduce.
+            {
+                "kind": "weight_recovery",
+                "tenant": "weights",
+                "base": dict(weight_base, mode="naive"),
+            },
+            {
+                "kind": "weight_recovery",
+                "tenant": "weights",
+                "base": weight_base,
+                "grid": {
+                    "channel": [
+                        {"counter_sigma": sigma, "seed": 3}
+                        for sigma in COUNTER_SIGMAS
+                    ],
+                    "mode": ["naive", "voted"],
+                },
+            },
+        ],
+    }
+
+
+def _structure_rows(records):
     rows = []
     scores = {}
-    for label, drop, dup, gran, sig in STRUCTURE_POINTS:
-        channel = ChannelModel(
-            drop_rate=drop, dup_rate=dup, probe_granularity=gran,
-            cycle_sigma=sig, seed=CHANNEL_SEED,
-        )
-        session = DeviceSession(AcceleratorSim(staged), channel=channel)
-        result = recover_boundaries(
-            session, runs=STRUCTURE_RUNS, compare_naive=True
-        )
-        ftol = channel.latency_window + 50
-        robust = boundary_f1(result.boundaries, truth, tol=ftol)
-        naive = float(np.mean([
-            boundary_f1(n, truth, tol=ftol).f1 for n in result.naive_runs
-        ]))
-        exact = "yes" if result.boundaries == truth else "no"
+    for (label, *_), record in zip(STRUCTURE_POINTS, records):
+        m = record["metrics"]
         rows.append((
-            label, f"{robust.f1:.3f}", f"{naive:.3f}",
-            f"{len(result.boundaries)}/{len(truth)}", exact,
+            label, f"{m['robust_f1']:.3f}", f"{m['naive_f1_mean']:.3f}",
+            f"{m['found_boundaries']}/{m['truth_boundaries']}",
+            "yes" if m["exact"] else "no",
         ))
-        scores[label] = (robust.f1, naive, result.boundaries)
+        scores[label] = (m["robust_f1"], m["naive_f1_mean"], m["exact"])
     return rows, scores
 
 
-def _weight_victim(seed: int = 5):
-    """Tiny dense-in-zeros conv victim, fast enough for ~100x voting."""
-    rng = np.random.default_rng(seed)
-    builder = StagedNetworkBuilder("victim", (1, 8, 8), relu_threshold=0.0)
-    geom = LayerGeometry.from_conv(8, 1, 3, 3, 1, 0, pool=None)
-    builder.add_conv("conv1", geom)
-    staged = builder.build()
-    conv = staged.network.nodes["conv1/conv"].layer
-    weights = rng.normal(size=conv.weight.value.shape)
-    weights[np.abs(weights) < 0.15] = 0.0
-    conv.weight.value[:] = weights
-    conv.bias.value[:] = -rng.uniform(0.3, 1.2, size=3)
-    target = AttackTarget(w_ifm=8, d_ifm=1, d_ofm=3, f_conv=3, s_conv=1)
-    return staged, target, weights, conv.bias.value.copy()
-
-
-def _weight_session(staged, channel=None):
-    sim = AcceleratorSim(
-        staged,
-        AcceleratorConfig(
-            pruning=PruningConfig(enabled=True, granularity="plane")
-        ),
-    )
-    return DeviceSession(sim, "conv1", channel=channel)
-
-
-def _weight_rows(staged, target, weights, biases):
-    ideal = WeightAttack(
-        _weight_session(staged), target, search_steps=SEARCH_STEPS
-    ).run()
-    ideal_ratios = ideal.ratio_tensor()
-    err_ideal = ideal.max_ratio_error(weights, biases)
+def _weight_rows(ideal_record, records):
+    ideal = ideal_record["metrics"]
+    err_ideal = ideal["max_ratio_error"]
     rows = []
     stats = {}
-    for sigma in COUNTER_SIGMAS:
-        channel = ChannelModel(counter_sigma=sigma, seed=3)
-        naive = WeightAttack(
-            _weight_session(staged, channel), target,
-            search_steps=SEARCH_STEPS,
-        ).run()
-        session = _weight_session(staged, channel)
-        cal = calibrate_channel(session, repeats=32)
-        voting = VotingChannel(session, sigma=cal.counter_sigma)
-        voted = WeightAttack(
-            voting, target, search_steps=SEARCH_STEPS
-        ).run()
-        naive_err = naive.max_ratio_error(weights, biases)
-        voted_err = voted.max_ratio_error(weights, biases)
-        identical = bool(
-            np.array_equal(voted.ratio_tensor(), ideal_ratios)
-        )
+    for i, sigma in enumerate(COUNTER_SIGMAS):
+        naive = records[2 * i]["metrics"]
+        voted = records[2 * i + 1]["metrics"]
+        identical = voted["ratio_digest"] == ideal["ratio_digest"]
+        cal = voted["calibrated_sigma"]
         rows.append((
             f"{sigma:.1f}",
-            f"{cal.counter_sigma:.2f}" if sigma else "0.00",
-            voting.last_repeats or 1,
-            f"{naive_err:.2e}",
-            f"{voted_err:.2e}",
+            f"{cal:.2f}" if sigma else "0.00",
+            voted["repeats"],
+            f"{naive['max_ratio_error']:.2e}",
+            f"{voted['max_ratio_error']:.2e}",
             "yes" if identical else "no",
-            f"{session.ledger.repeat_queries:,}",
+            f"{voted['repeat_queries']:,}",
         ))
-        stats[sigma] = (naive_err, voted_err, identical)
+        stats[sigma] = (
+            naive["max_ratio_error"], voted["max_ratio_error"], identical
+        )
     return rows, stats, err_ideal
 
 
 def test_ablation_channel(benchmark):
-    lenet = build_lenet()
-    lenet_truth = boundary_cycles_from_trace(
-        DeviceSession(AcceleratorSim(lenet)).observe_structure(seed=0).trace
-    )
-    alexnet = build_model(
-        "alexnet",
-        width_scale=1.0 if paper_scale() else 0.25,
-        num_classes=1000 if paper_scale() else 100,
-    )
-    alexnet_truth = boundary_cycles_from_trace(
-        DeviceSession(AcceleratorSim(alexnet)).observe_structure(seed=0).trace
-    )
-    staged, target, weights, biases = _weight_victim()
+    spec = _campaign_spec()
 
     def sweep():
-        lrows, lscores = _structure_rows(lenet, lenet_truth)
-        arows, ascores = _structure_rows(alexnet, alexnet_truth)
-        wrows, wstats, err_ideal = _weight_rows(
-            staged, target, weights, biases
-        )
-        return lrows, lscores, arows, ascores, wrows, wstats, err_ideal
+        return run_campaign("ablation_channel", spec)
 
-    lrows, lscores, arows, ascores, wrows, wstats, err_ideal = (
-        benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    records = [record for _, record in pairs]
+    points = len(STRUCTURE_POINTS)
+    lrows, lscores = _structure_rows(records[:points])
+    arows, ascores = _structure_rows(records[points:2 * points])
+    wrows, wstats, err_ideal = _weight_rows(
+        records[2 * points], records[2 * points + 1:]
     )
 
     headers = ["channel", "robust F1 (consensus)",
@@ -202,8 +195,8 @@ def test_ablation_channel(benchmark):
     emit("ablation_channel", text)
 
     # Ideal channel: both sides reduce to the exact paper behaviour.
-    assert lscores["ideal"][2] == lenet_truth
-    assert ascores["ideal"][2] == alexnet_truth
+    assert lscores["ideal"][2], "ideal LeNet boundaries must be exact"
+    assert ascores["ideal"][2], "ideal AlexNet boundaries must be exact"
     assert lscores["ideal"][0] == 1.0 and lscores["ideal"][1] == 1.0
     assert wstats[0.0][2], "ideal-channel voted attack must be bit-identical"
     assert err_ideal <= RATIO_BOUND

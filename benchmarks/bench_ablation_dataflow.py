@@ -17,6 +17,12 @@ against output-, weight- and row-stationary victims:
   stationarity produces, so robustness must not be an
   output-stationary privilege.
 
+The bench is a client of the campaign service: every victim ×
+dataflow (× noise point) cell is one resumable, metered campaign job,
+and tables plus acceptance assertions are derived purely from the
+campaign's results records (the clean-tap oracle figures come from
+each structure job's ``signature`` step).
+
 Acceptance asserts: identification accuracy 100% and boundary F1 = 1.0
 on clean traces for all models × dataflows, ground truth among the
 clean candidates, and robust noisy-channel F1 = 1.0 at drop ≤ 2% for
@@ -31,25 +37,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accel import AcceleratorConfig, AcceleratorSim, available_dataflows
-from repro.attacks.robust import boundary_f1, recover_boundaries
-from repro.attacks.robust.structure import boundary_cycles_from_trace
-from repro.attacks.structure import (
-    PracticalityRules,
-    find_layer_boundaries,
-    find_layer_boundaries_dataflow,
-    identify_dataflow,
-    run_structure_attack,
-)
-from repro.channel import ChannelModel
-from repro.device import DeviceSession
-from repro.nn.zoo import build_lenet, build_model
+from repro.accel import available_dataflows
 from repro.report import render_table
 
-from benchmarks.common import emit, paper_scale
+from benchmarks.common import emit, paper_scale, run_campaign
 
 DATAFLOWS = available_dataflows()
-RULES = PracticalityRules(exact_pool_division=True)
 TOLERANCE = 0.25
 
 # Noisy sweep: (label, drop, dup, cycle sigma); ideal is covered by the
@@ -61,148 +54,117 @@ NOISE_POINTS = [
 NOISE_RUNS = 3
 CHANNEL_SEED = 11
 
+MODELS = ("lenet", "alexnet", "squeezenet")
 
-def _victims():
+
+def _victim_specs() -> list[dict]:
     if paper_scale():
         scale, classes = 1.0, 1000
     else:
         scale, classes = 0.25, 100
-    return [
-        ("lenet", build_lenet()),
-        ("alexnet", build_model(
-            "alexnet", width_scale=scale, num_classes=classes
-        )),
-        ("squeezenet", build_model(
-            "squeezenet", width_scale=scale, num_classes=classes
-        )),
-    ]
-
-
-def _truth_found(result, staged) -> bool:
-    # Compare only layers carrying conv geometry, pairing candidate
-    # and truth *after* filtering: merge stages (concat/bypass) sit in
-    # the candidate layer list but not in ``geometries()``, so a
-    # positional zip over the raw lists would misalign on SqueezeNet.
-    truth = [g for g in staged.geometries() if hasattr(g, "canonical")]
-    for cand in result.candidates:
-        layers = [
-            layer for layer in cand.layers
-            if hasattr(layer.geometry, "canonical")
-        ]
-        if len(layers) != len(truth):
-            continue
-        if all(
-            layer.geometry.canonical() == true.canonical()
-            for layer, true in zip(layers, truth)
-        ):
-            return True
-    return False
-
-
-def _clean_row(name, staged, dataflow):
-    """One clean-tap case: identify, decode boundaries, run the attack."""
-    config = AcceleratorConfig(dataflow=dataflow)
-    sim = AcceleratorSim(staged, config)
-    x = np.zeros((1, *staged.network.input_shape))
-    res = sim.run(x)
-    mem = config.memory
-
-    sig = identify_dataflow(
-        res.trace, staged.network.input_shape,
-        mem.element_bytes, mem.block_bytes,
-    )
-
-    # Event-index boundary F1 against device ground truth (the first
-    # transaction of each stage window).
-    counts = [w.num_reads + w.num_writes for w in res.windows]
-    truth_idx = [0] + list(np.cumsum(counts[:-1]))
-    if dataflow == "output-stationary":
-        bounds = find_layer_boundaries(res.trace.addresses, res.trace.is_write)
-    else:
-        bounds = find_layer_boundaries_dataflow(
-            res.trace.addresses, res.trace.is_write, mem.block_bytes
+    specs = [{"model": "lenet"}]
+    for name in ("alexnet", "squeezenet"):
+        specs.append(
+            {"model": name, "width_scale": scale, "num_classes": classes}
         )
-    f1 = boundary_f1(bounds, truth_idx, tol=0).f1
+    return specs
 
-    attack = run_structure_attack(
-        AcceleratorSim(staged, config), tolerance=TOLERANCE, rules=RULES,
-        dataflow="auto",
-    )
-    found = _truth_found(attack, staged)
+
+def _campaign_spec() -> dict:
+    return {
+        "name": "ablation_dataflow",
+        "sweeps": [
+            {
+                "kind": "structure",
+                "tenant": "structure",
+                "base": {"tolerance": TOLERANCE},
+                "grid": {
+                    "victim": _victim_specs(),
+                    "device": [{"dataflow": df} for df in DATAFLOWS],
+                },
+            },
+            {
+                "kind": "boundary_recovery",
+                "tenant": "structure",
+                "base": {"victim": {"model": "lenet"}, "runs": NOISE_RUNS},
+                "grid": {
+                    "device": [{"dataflow": df} for df in DATAFLOWS],
+                    "channel": [
+                        {
+                            "drop_rate": drop,
+                            "dup_rate": dup,
+                            "cycle_sigma": sigma,
+                            "seed": CHANNEL_SEED,
+                        }
+                        for _, drop, dup, sigma in NOISE_POINTS
+                    ],
+                },
+            },
+        ],
+    }
+
+
+def _clean_row(name, dataflow, record):
+    m = record["metrics"]
+    sig = m["signature"]
     row = (
-        name, dataflow, sig.dataflow, attack.dataflow,
-        f"{len(bounds)}/{len(res.windows)}", f"{f1:.3f}",
-        attack.count, "yes" if found else "NO",
+        name, dataflow, sig["identified"], m["attack_identified"],
+        f"{sig['found_boundaries']}/{sig['stages']}",
+        f"{sig['boundary_f1']:.3f}",
+        m["candidates"], "yes" if m["truth_found"] else "NO",
     )
     facts = {
-        "identified": sig.dataflow == dataflow,
-        "attack_identified": attack.dataflow == dataflow,
-        "f1": f1,
-        "layers": attack.num_layers == len(staged.stages),
-        "found": found,
+        "identified": sig["identified"] == dataflow,
+        "attack_identified": m["attack_identified"] == dataflow,
+        "f1": sig["boundary_f1"],
+        "layers": m["num_layers"] == m["expected_layers"],
+        "found": m["truth_found"],
     }
     return row, facts
 
 
-def _noisy_rows(staged, dataflow):
-    """Consensus recovery under trace noise for one victim × dataflow."""
-    config = AcceleratorConfig(dataflow=dataflow)
-    truth = boundary_cycles_from_trace(
-        DeviceSession(AcceleratorSim(staged, config))
-        .observe_structure(seed=0).trace
+def _noisy_row(dataflow, label, record):
+    m = record["metrics"]
+    resolvable = m["min_truth_gap"] > m["latency_window"]
+    row = (
+        dataflow, label, f"{m['robust_f1']:.3f}",
+        f"{m['found_boundaries']}/{m['truth_boundaries']}",
+        "yes" if resolvable else f"no ({m['min_truth_gap']} < "
+        f"{m['latency_window']})",
     )
-    min_gap = int(np.min(np.diff(truth)))
-    rows, scores = [], {}
-    for label, drop, dup, sigma in NOISE_POINTS:
-        channel = ChannelModel(
-            drop_rate=drop, dup_rate=dup, cycle_sigma=sigma,
-            seed=CHANNEL_SEED,
-        )
-        session = DeviceSession(
-            AcceleratorSim(staged, config), channel=channel
-        )
-        result = recover_boundaries(
-            session, runs=NOISE_RUNS, dataflow=dataflow
-        )
-        score = boundary_f1(
-            result.boundaries, truth, tol=channel.latency_window + 50
-        )
-        # A boundary closer to its predecessor than the latency window
-        # is below the channel's resolution — no estimator separates a
-        # genuine transition from echo inside the window.
-        resolvable = min_gap > channel.latency_window
-        rows.append((
-            dataflow, label, f"{score.f1:.3f}",
-            f"{len(result.boundaries)}/{len(truth)}",
-            "yes" if resolvable else f"no ({min_gap} < "
-            f"{channel.latency_window})",
-        ))
-        scores[label] = (score.f1, len(result.boundaries), len(truth),
-                         resolvable)
-    return rows, scores
+    score = (
+        m["robust_f1"], m["found_boundaries"], m["truth_boundaries"],
+        resolvable,
+    )
+    return row, score
 
 
 def test_ablation_dataflow(benchmark):
-    victims = _victims()
+    spec = _campaign_spec()
 
     def sweep():
-        clean_rows, clean_facts = [], {}
-        for name, staged in victims:
-            for dataflow in DATAFLOWS:
-                row, facts = _clean_row(name, staged, dataflow)
-                clean_rows.append(row)
-                clean_facts[(name, dataflow)] = facts
-        noisy_rows, noisy_scores = [], {}
-        lenet = victims[0][1]
-        for dataflow in DATAFLOWS:
-            rows, scores = _noisy_rows(lenet, dataflow)
-            noisy_rows.extend(rows)
-            noisy_scores[dataflow] = scores
-        return clean_rows, clean_facts, noisy_rows, noisy_scores
+        return run_campaign("ablation_dataflow", spec)
 
-    clean_rows, clean_facts, noisy_rows, noisy_scores = benchmark.pedantic(
-        sweep, rounds=1, iterations=1
-    )
+    pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    records = [record for _, record in pairs]
+
+    clean_rows, clean_facts = [], {}
+    i = 0
+    for name in MODELS:
+        for dataflow in DATAFLOWS:
+            row, facts = _clean_row(name, dataflow, records[i])
+            clean_rows.append(row)
+            clean_facts[(name, dataflow)] = facts
+            i += 1
+    noisy_rows, noisy_scores = [], {}
+    for dataflow in DATAFLOWS:
+        scores = {}
+        for label, *_ in NOISE_POINTS:
+            row, score = _noisy_row(dataflow, label, records[i])
+            noisy_rows.append(row)
+            scores[label] = score
+            i += 1
+        noisy_scores[dataflow] = scores
 
     accuracy = float(np.mean([
         f["identified"] for f in clean_facts.values()

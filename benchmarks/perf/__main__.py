@@ -610,6 +610,68 @@ def bench_channel(workers: int, quick: bool, scale: str) -> dict:
     return entry
 
 
+# -- bench: campaign scheduling + fleet cache reuse ----------------------------
+def bench_campaign(workers: int, quick: bool, scale: str) -> dict:
+    """Campaign throughput: jobs/minute and fleet-wide cache reuse.
+
+    Runs one tiny grid with a duplicated cell twice — serial, then on
+    ``workers`` pool workers.  The duplicate cell must be answered
+    entirely by the campaign's shared content-addressed cache, so the
+    hit-rate is structural, not incidental; ``identical`` asserts the
+    two runs' ``results.jsonl`` match byte for byte.  ``jobs/minute``
+    (parallel arm) feeds the throughput-regression gate.
+    """
+    import shutil
+
+    from repro.campaign import Campaign, JobCheckpoint
+
+    base = {
+        "victim": {"conv": {"w": 6 if quick else 8, "d": 2, "seed": 9}},
+        "device": {"pruning": True},
+        "search_steps": 8 if quick else 12,
+        "filters_per_step": 1,
+    }
+    spec = {
+        "name": "perf",
+        "sweeps": [{
+            "kind": "weight_recovery",
+            "base": base,
+            "grid": {"mode": ["naive", "naive"]},
+        }],
+    }
+
+    def run(w):
+        root = Path(tempfile.mkdtemp(prefix="repro-perf-campaign-"))
+        try:
+            campaign = Campaign.create(spec, root / "campaign")
+            campaign.run(workers=w)
+            text = (root / "campaign" / "results.jsonl").read_bytes()
+            shared = lookups = 0
+            for job in campaign.jobs:
+                ckpt = JobCheckpoint.load(campaign.store.jobs_dir, job.job_id)
+                for snap in ckpt.ledgers:
+                    shared += snap["shared_hits"]
+                    lookups += snap["cache_hits"] + snap["cache_misses"]
+            return text, len(campaign.jobs), shared, lookups
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    serial_s, (r1, n_jobs, shared, lookups) = _timed(lambda: run(1))
+    parallel_s, (rn, _, _, _) = _timed(lambda: run(workers))
+    hit_rate = shared / lookups if lookups else 0.0
+    entry = _entry(serial_s, parallel_s, workers, scale, r1 == rn)
+    entry.update(
+        jobs=n_jobs,
+        jobs_per_minute=round(n_jobs / parallel_s * 60, 2)
+        if parallel_s else 0.0,
+        cache_hit_rate=round(hit_rate, 4),
+        shared_hits=int(shared),
+        probe_lookups=int(lookups),
+        bounded=hit_rate > 0.0,
+    )
+    return entry
+
+
 BENCHES = {
     "ranking": bench_ranking,
     "weights": bench_weights,
@@ -622,6 +684,7 @@ BENCHES = {
     "dataflow_id": bench_dataflow_id,
     "memory": bench_memory,
     "channel": bench_channel,
+    "campaign": bench_campaign,
 }
 
 
@@ -638,6 +701,9 @@ def _throughput_figures(results: dict) -> dict[str, int]:
     decode = results.get("decode_events_per_second", {})
     if "events_per_second" in decode:
         figures["decode:alexnet"] = decode["events_per_second"]
+    campaign = results.get("campaign", {})
+    if "jobs_per_minute" in campaign:
+        figures["campaign:jobs_per_minute"] = campaign["jobs_per_minute"]
     return figures
 
 

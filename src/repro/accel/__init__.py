@@ -38,6 +38,8 @@ from repro.accel.sinks import (
     StageStats,
     StatsSink,
     TeeSink,
+    reclaim_shared_segments,
+    reclaim_spool_dirs,
 )
 from repro.accel.tiling import BufferConfig, plan_conv_tiles, plan_fc_tiles
 from repro.accel.timing import TimingModel
@@ -66,6 +68,8 @@ __all__ = [
     "SharedSpanBuffer",
     "SharedSpanHandle",
     "SpoolSink",
+    "reclaim_shared_segments",
+    "reclaim_spool_dirs",
     "StatsSink",
     "StageStats",
     "TeeSink",

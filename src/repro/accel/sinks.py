@@ -54,7 +54,76 @@ __all__ = [
     "StatsSink",
     "StageStats",
     "TeeSink",
+    "reclaim_shared_segments",
+    "reclaim_spool_dirs",
 ]
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this machine."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    return True
+
+
+def _owner_pid(name: str, prefix: str) -> int | None:
+    """Parse the pid out of a ``<prefix><pid>-<suffix>`` resource name."""
+    rest = name[len(prefix):]
+    pid_part = rest.split("-", 1)[0]
+    return int(pid_part) if pid_part.isdigit() else None
+
+
+def reclaim_shared_segments() -> list[str]:
+    """Unlink ``/dev/shm`` span segments whose owning process died.
+
+    :class:`SharedSpanBuffer` names every segment
+    ``repro-span-<pid>-<token>``; a process killed between create and
+    unlink (SIGKILL takes no finally blocks) leaks the segment until
+    reboot.  This sweep removes exactly the segments whose embedded
+    pid is no longer alive — live processes' buffers are untouched.
+    Returns the names removed.  No-op on platforms without ``/dev/shm``.
+    """
+    shm_dir = Path("/dev/shm")
+    removed: list[str] = []
+    if not shm_dir.is_dir():
+        return removed
+    for path in sorted(shm_dir.glob("repro-span-*")):
+        pid = _owner_pid(path.name, "repro-span-")
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed.append(path.name)
+    return removed
+
+
+def reclaim_spool_dirs(base: str | None = None) -> list[str]:
+    """Remove spool directories whose owning process died.
+
+    Private :class:`SpoolSink` directories are created as
+    ``repro-spool-<pid>-<random>`` under the system temp dir; an
+    abnormal exit strands them with their ``.npz`` chunks.  Like
+    :func:`reclaim_shared_segments`, only directories owned by dead
+    pids are swept.  Returns the paths removed.
+    """
+    root = Path(base or tempfile.gettempdir())
+    removed: list[str] = []
+    for path in sorted(root.glob("repro-spool-*")):
+        if not path.is_dir():
+            continue
+        pid = _owner_pid(path.name, "repro-spool-")
+        if pid is None or _pid_alive(pid):
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        if not path.exists():
+            removed.append(str(path))
+    return removed
 
 
 @dataclass(frozen=True)
@@ -367,7 +436,13 @@ class SpoolSink:
             )
         self.budget_bytes = budget_bytes
         self._own_dir = directory is None
-        self._dir = Path(directory or tempfile.mkdtemp(prefix="repro-spool-"))
+        # Pid-stamped prefix: a crashed process leaves a directory that
+        # names its dead owner, so reclaim_spool_dirs() can attribute
+        # and sweep it without guessing.
+        self._dir = Path(
+            directory
+            or tempfile.mkdtemp(prefix=f"repro-spool-{os.getpid()}-")
+        )
         self._buffer = buffer
         self._segments: list[tuple[int, int]] = []
         self._pending: list[TraceSpan] = []

@@ -2,6 +2,11 @@
 via the zero-pruning channel (Section 4), and end-to-end model cloning
 combining the two (the Section 2 objective)."""
 
-from repro.attacks.clone import CloneResult, clone_model, prediction_agreement
+from repro.attacks.clone import (
+    CloneAttack,
+    CloneResult,
+    clone_model,
+    prediction_agreement,
+)
 
-__all__ = ["clone_model", "prediction_agreement", "CloneResult"]
+__all__ = ["CloneAttack", "clone_model", "prediction_agreement", "CloneResult"]

@@ -24,13 +24,13 @@ against the victim's (``prediction_agreement``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.errors import AttackError
+from repro.errors import AttackError, ConfigError
 from repro.device import DeviceSession, QueryLedger
-from repro.attacks.structure.attack import run_structure_attack
+from repro.attacks.structure.attack import StructureAttack
 from repro.attacks.structure.pipeline import CandidateStructure
 from repro.attacks.structure.reconstruct import reconstruct_network
 from repro.attacks.structure.solver import PracticalityRules
@@ -42,7 +42,7 @@ from repro.nn.optim import Adam
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetwork
 
-__all__ = ["CloneResult", "clone_model", "prediction_agreement"]
+__all__ = ["CloneAttack", "CloneResult", "clone_model", "prediction_agreement"]
 
 
 @dataclass
@@ -174,6 +174,224 @@ def _steal_first_layer(
     )
 
 
+class CloneAttack:
+    """Checkpointable step/resume runner for end-to-end duplication.
+
+    The clone pipeline decomposes into the structure phase's own step
+    plan (delegated to :class:`StructureAttack` and prefixed
+    ``structure:``), a ``steal`` step (threshold weight recovery over
+    the candidate geometries, persisting the surviving geometry plus
+    the recovered weights and biases as plain lists), a ``label`` step
+    (victim predictions for every probe image, persisted as an int
+    list so a resume never re-queries the device for labels), and a
+    final device-free ``distill`` step.  Structure candidates are never
+    serialised: a resume re-derives them deterministically from the
+    persisted trace analyses (see :meth:`StructureAttack.result`), so
+    the checkpoint stays small and JSON-only.
+
+    Parameters are those of :func:`clone_model`, which is the thin
+    all-steps-in-order driver over this class.
+    """
+
+    def __init__(
+        self,
+        dense_sim,
+        pruned_sim,
+        probe_images: np.ndarray,
+        t1: float = 0.0,
+        t2: float = 1.0,
+        tolerance: float = 0.1,
+        distill_epochs: int = 10,
+        lr: float = 3e-3,
+        seed: int = 0,
+        workers: int | None = None,
+        dataflow: str = "output-stationary",
+    ) -> None:
+        # Anything already speaking the session surface passes through —
+        # a DeviceSession, or a wrapper over one (e.g. the robust
+        # VotingChannel); bare devices get a session of their own.
+        self.dense = (
+            dense_sim
+            if hasattr(dense_sim, "ledger")
+            else DeviceSession(dense_sim)
+        )
+        self.pruned = (
+            pruned_sim
+            if hasattr(pruned_sim, "ledger")
+            else DeviceSession(pruned_sim)
+        )
+        self.probe_images = probe_images
+        self.t1 = t1
+        self.t2 = t2
+        self.distill_epochs = distill_epochs
+        self.lr = lr
+        self.seed = seed
+        self._structure = StructureAttack(
+            self.dense,
+            tolerance=tolerance,
+            rules=PracticalityRules(exact_pool_division=True),
+            workers=workers,
+            dataflow=dataflow,
+        )
+        # In-memory product of the distill step, consumed by result();
+        # reconstructed deterministically (and device-free) if missing.
+        self._network: StagedNetwork | None = None
+
+    def steps(self) -> list[str]:
+        """The deterministic step plan for this attack."""
+        plan = [f"structure:{name}" for name in self._structure.steps()]
+        plan += ["steal", "label", "distill"]
+        return plan
+
+    def run_step(self, name: str, state: dict | None = None) -> dict:
+        """Execute one named step, returning the updated state dict."""
+        state = dict(state or {})
+        if name.startswith("structure:"):
+            return self._step_structure(name.split(":", 1)[1], state)
+        if name == "steal":
+            return self._step_steal(state)
+        if name == "label":
+            return self._step_label(state)
+        if name == "distill":
+            return self._step_distill(state)
+        raise ConfigError(f"unknown clone step {name!r}")
+
+    # -- individual steps --------------------------------------------------
+    def _step_structure(self, sub: str, state: dict) -> dict:
+        inner = dict(state.get("structure", {}))
+        inner = self._structure.run_step(sub, inner)
+        done = list(inner.get("steps_done", []))
+        if sub not in done:
+            done.append(sub)
+        inner["steps_done"] = done
+        state["structure"] = inner
+        return state
+
+    def _structure_result(self, state: dict):
+        inner = state.get("structure")
+        if inner is None:
+            raise ConfigError("clone state has no structure phase yet")
+        result = self._structure.result(dict(inner))
+        if not result.candidates:
+            raise AttackError("structure attack produced no candidates")
+        return result
+
+    def _step_steal(self, state: dict) -> dict:
+        structure = self._structure_result(state)
+        geometries = _first_conv_geometries(structure.candidates)
+        if not geometries:
+            raise AttackError("no conv interpretation of the first layer")
+        geometry, recovery = _steal_first_layer(
+            self.pruned, geometries, self.t1, self.t2
+        )
+        state["steal"] = {
+            "geometry": asdict(geometry),
+            "weights": recovery.weights.tolist(),
+            "biases": recovery.biases.tolist(),
+            "resolved_fraction": float(recovery.resolved.mean()),
+            "queries": int(recovery.queries),
+        }
+        return state
+
+    def _step_label(self, state: dict) -> dict:
+        state["labels"] = [
+            int(np.argmax(self.dense.classify(img[None])))
+            for img in self.probe_images
+        ]
+        return state
+
+    def _step_distill(self, state: dict) -> dict:
+        stolen = state.get("steal")
+        labels_raw = state.get("labels")
+        if stolen is None or labels_raw is None:
+            raise ConfigError("distill step needs the steal and label steps")
+        structure = self._structure_result(state)
+        geometry = LayerGeometry(**stolen["geometry"])
+        clone_cand = next(
+            c
+            for c in structure.candidates
+            if isinstance(c.layers[0].geometry, LayerGeometry)
+            and c.layers[0].geometry.canonical() == geometry
+        )
+        staged = reconstruct_network(
+            clone_cand,
+            structure.observation.input_shape,
+            structure.analysis.num_classes,
+            name="clone",
+        )
+        first_stage = staged.stages[0].name
+        conv = staged.network.nodes[f"{first_stage}/conv"].layer
+        conv.weight.value[:] = np.asarray(stolen["weights"], dtype=float)
+        conv.bias.value[:] = np.asarray(stolen["biases"], dtype=float)
+
+        # Distil the unstolen layers against the victim's own
+        # predictions: the classification output is the normal-user API
+        # of Figure 2.  Labels come from the persisted label step, so
+        # this step touches no device at all.
+        labels = np.asarray(labels_raw, dtype=int)
+        trainable = [
+            p
+            for name, layer in staged.network.layers()
+            for p in layer.parameters()
+            if not isinstance(layer, Conv2D) or not name.startswith(first_stage)
+        ]
+        if trainable:
+            optimizer = Adam(trainable, lr=self.lr)
+            loss = SoftmaxCrossEntropy()
+            rng = np.random.default_rng(self.seed)
+            net = staged.network
+            net.train(True)
+            for _ in range(self.distill_epochs):
+                order = rng.permutation(len(self.probe_images))
+                for start in range(0, len(order), 16):
+                    batch = order[start : start + 16]
+                    optimizer.zero_grad()
+                    logits = net.forward(self.probe_images[batch])
+                    loss.forward(logits, labels[batch])
+                    net.backward(loss.backward())
+                    optimizer.step()
+            net.train(False)
+        self._network = staged
+        return state
+
+    def result(self, state: dict) -> CloneResult:
+        """Assemble the final result from a completed state.
+
+        The trained clone network is not serialised in the checkpoint;
+        if this instance did not itself run the distill step (a resume
+        that found every step already done), distillation is re-derived
+        from the persisted steal and label products — a deterministic,
+        device-free computation.
+        """
+        if self._network is None:
+            state = self._step_distill(dict(state))
+        assert self._network is not None
+        stolen = state["steal"]
+        return CloneResult(
+            network=self._network,
+            geometry=LayerGeometry(**stolen["geometry"]),
+            structure_candidates=self._structure_result(state).count,
+            weights_resolved_fraction=float(stolen["resolved_fraction"]),
+            channel_queries=int(stolen["queries"]),
+            labeling_queries=len(self.probe_images),
+            structure_ledger=self.dense.ledger,
+            weight_ledger=self.pruned.ledger,
+        )
+
+    def run(self, state: dict | None = None) -> CloneResult:
+        """Drive every remaining step in order (the resume path skips
+        steps recorded in ``state["steps_done"]``)."""
+        state = dict(state or {})
+        done = list(state.get("steps_done", []))
+        for name in self.steps():
+            if name in done:
+                continue
+            state = self.run_step(name, state)
+            done.append(name)
+            state["steps_done"] = list(done)
+        return self.result(state)
+
+
 def clone_model(
     dense_sim,
     pruned_sim,
@@ -188,6 +406,10 @@ def clone_model(
     dataflow: str = "output-stationary",
 ) -> CloneResult:
     """Duplicate a victim model end to end.
+
+    A thin driver over :class:`CloneAttack` (the checkpointable step
+    runner); running every step in order in-process is bit-identical to
+    the historical monolithic implementation.
 
     Args:
         dense_sim: the victim without pruning (structure phase) — a bare
@@ -207,87 +429,19 @@ def clone_model(
             structure phase (``"auto"`` identifies it from one extra
             observation).
     """
-    # Anything already speaking the session surface passes through —
-    # a DeviceSession, or a wrapper over one (e.g. the robust
-    # VotingChannel); bare devices get a session of their own.
-    dense = (
-        dense_sim
-        if hasattr(dense_sim, "ledger")
-        else DeviceSession(dense_sim)
-    )
-    pruned = (
-        pruned_sim
-        if hasattr(pruned_sim, "ledger")
-        else DeviceSession(pruned_sim)
-    )
-    structure = run_structure_attack(
-        dense, tolerance=tolerance,
-        rules=PracticalityRules(exact_pool_division=True),
+    return CloneAttack(
+        dense_sim,
+        pruned_sim,
+        probe_images,
+        t1=t1,
+        t2=t2,
+        tolerance=tolerance,
+        distill_epochs=distill_epochs,
+        lr=lr,
+        seed=seed,
         workers=workers,
         dataflow=dataflow,
-    )
-    if not structure.candidates:
-        raise AttackError("structure attack produced no candidates")
-    geometries = _first_conv_geometries(structure.candidates)
-    if not geometries:
-        raise AttackError("no conv interpretation of the first layer")
-
-    geometry, recovery = _steal_first_layer(pruned, geometries, t1, t2)
-    clone_cand = next(
-        c
-        for c in structure.candidates
-        if isinstance(c.layers[0].geometry, LayerGeometry)
-        and c.layers[0].geometry.canonical() == geometry
-    )
-    staged = reconstruct_network(
-        clone_cand,
-        structure.observation.input_shape,
-        structure.analysis.num_classes,
-        name="clone",
-    )
-    first_stage = staged.stages[0].name
-    conv = staged.network.nodes[f"{first_stage}/conv"].layer
-    conv.weight.value[:] = recovery.weights
-    conv.bias.value[:] = recovery.biases
-
-    # Distil the unstolen layers against the victim's own predictions:
-    # the classification output is the normal-user API of Figure 2.
-    labels = np.array(
-        [int(np.argmax(dense.classify(img[None]))) for img in probe_images]
-    )
-    trainable = [
-        p
-        for name, layer in staged.network.layers()
-        for p in layer.parameters()
-        if not isinstance(layer, Conv2D) or not name.startswith(first_stage)
-    ]
-    if trainable:
-        optimizer = Adam(trainable, lr=lr)
-        loss = SoftmaxCrossEntropy()
-        rng = np.random.default_rng(seed)
-        net = staged.network
-        net.train(True)
-        for _ in range(distill_epochs):
-            order = rng.permutation(len(probe_images))
-            for start in range(0, len(order), 16):
-                batch = order[start : start + 16]
-                optimizer.zero_grad()
-                logits = net.forward(probe_images[batch])
-                loss.forward(logits, labels[batch])
-                net.backward(loss.backward())
-                optimizer.step()
-        net.train(False)
-
-    return CloneResult(
-        network=staged,
-        geometry=geometry,
-        structure_candidates=structure.count,
-        weights_resolved_fraction=float(recovery.resolved.mean()),
-        channel_queries=recovery.queries,
-        labeling_queries=len(probe_images),
-        structure_ledger=dense.ledger,
-        weight_ledger=pruned.ledger,
-    )
+    ).run()
 
 
 def prediction_agreement(

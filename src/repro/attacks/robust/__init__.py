@@ -27,6 +27,7 @@ from repro.attacks.robust.boundary import (
 )
 from repro.attacks.robust.calibrate import ChannelCalibration, calibrate_channel
 from repro.attacks.robust.structure import (
+    BoundaryRecovery,
     RawBoundaryCycleSink,
     RobustStructureResult,
     boundary_cycles_from_trace,
@@ -43,6 +44,7 @@ __all__ = [
     "required_repeats",
     "vote_confidence",
     "RobustRawBoundaryTracker",
+    "BoundaryRecovery",
     "RawBoundaryCycleSink",
     "RobustStructureResult",
     "recover_boundaries",

@@ -30,6 +30,7 @@ from repro.errors import ConfigError
 __all__ = [
     "RawBoundaryCycleSink",
     "RobustStructureResult",
+    "BoundaryRecovery",
     "recover_boundaries",
     "boundary_cycles_from_trace",
 ]
@@ -115,6 +116,146 @@ class RobustStructureResult:
         return len(self.boundaries)
 
 
+class BoundaryRecovery:
+    """Checkpointable step/resume runner for consensus boundary recovery.
+
+    One ``run:k`` step per observation run plus a final device-free
+    ``consensus`` step; each run's boundary cycles (robust and, with
+    ``compare_naive``, naive) are plain int lists, so the state dict is
+    JSON-serialisable as-is.  Run ``k`` observes with an explicit run
+    index (``observe_structure(run=k)``), pinning its channel noise
+    stream — a killed recovery resumed on a fresh session replays the
+    remaining runs under exactly the noise the uninterrupted run would
+    have drawn, making resume bit-identical.
+
+    Parameters are those of :func:`recover_boundaries`, which is the
+    thin all-steps-in-order driver over this class.
+    """
+
+    def __init__(
+        self,
+        session: DeviceSession,
+        runs: int = 3,
+        *,
+        min_support: int = 3,
+        expiry: int = 4096,
+        refractory: int | None = None,
+        quorum: int | None = None,
+        tol: int | None = None,
+        seed: int = 0,
+        compare_naive: bool = False,
+        dataflow: str = "output-stationary",
+        engine: str = "vectorised",
+    ) -> None:
+        if runs < 1:
+            raise ConfigError(f"runs must be >= 1, got {runs}")
+        if quorum is not None and not 1 <= quorum <= runs:
+            raise ConfigError(f"quorum must be in [1, {runs}], got {quorum}")
+        window = session.channel.latency_window
+        self.session = session
+        self.runs = runs
+        self.min_support = min_support
+        self.expiry = expiry
+        self.refractory = window if refractory is None else refractory
+        self.quorum = quorum if quorum is not None else runs // 2 + 1
+        self.tol = max(1, window // 4) if tol is None else tol
+        self.seed = seed
+        self.compare_naive = compare_naive
+        self.engine = engine
+        self.producer_refractory = (
+            self.refractory if dataflow == "output-stationary" else 0
+        )
+
+    def steps(self) -> list[str]:
+        """The deterministic step plan for this recovery."""
+        return [f"run:{k}" for k in range(self.runs)] + ["consensus"]
+
+    def run_step(self, name: str, state: dict | None = None) -> dict:
+        """Execute one named step, returning the updated state dict."""
+        state = dict(state or {})
+        if name.startswith("run:"):
+            return self._step_run(int(name.split(":", 1)[1]), state)
+        if name == "consensus":
+            return self._step_consensus(state)
+        raise ConfigError(f"unknown boundary recovery step {name!r}")
+
+    def _step_run(self, k: int, state: dict) -> dict:
+        robust = RobustRawBoundaryTracker(
+            min_support=self.min_support,
+            expiry=self.expiry,
+            refractory=self.refractory,
+            producer_refractory=self.producer_refractory,
+            engine=self.engine,
+        )
+        if self.compare_naive:
+            naive = RawBoundaryCycleSink(engine=self.engine)
+            sink = _FanOutSink(robust, naive)
+        else:
+            naive = None
+            sink = robust
+        # Coalesce upstream of the fan-out: the channel's reorder buffer
+        # delivers fragmented spans, and both decoders are chunking
+        # invariant, so fewer/larger chunks is pure decode throughput.
+        self.session.observe_structure(
+            seed=self.seed, sink=CoalescingSink(sink), run=k
+        )
+        runs = dict(state.get("runs", {}))
+        runs[str(k)] = [int(c) for c in robust.boundary_cycles]
+        state["runs"] = runs
+        if naive is not None:
+            naive_runs = dict(state.get("naive_runs", {}))
+            naive_runs[str(k)] = [int(c) for c in naive.boundary_cycles]
+            state["naive_runs"] = naive_runs
+        return state
+
+    def _step_consensus(self, state: dict) -> dict:
+        runs = state.get("runs", {})
+        missing = [k for k in range(self.runs) if str(k) not in runs]
+        if missing:
+            raise ConfigError(
+                f"consensus step needs all {self.runs} runs; missing {missing}"
+            )
+        per_run = [runs[str(k)] for k in range(self.runs)]
+        state["boundaries"] = [
+            int(b)
+            for b in consensus_boundaries(
+                per_run, quorum=self.quorum, tol=self.tol
+            )
+        ]
+        return state
+
+    def result(self, state: dict) -> RobustStructureResult:
+        """Assemble the final result from a completed state."""
+        if "boundaries" not in state:
+            state = self._step_consensus(dict(state))
+        runs = state["runs"]
+        naive_runs = state.get("naive_runs", {})
+        return RobustStructureResult(
+            boundaries=list(state["boundaries"]),
+            runs=[list(runs[str(k)]) for k in range(self.runs)],
+            naive_runs=[
+                list(naive_runs[str(k)])
+                for k in range(self.runs)
+                if str(k) in naive_runs
+            ],
+            quorum=self.quorum,
+            tol=int(self.tol),
+        )
+
+    def run(self, state: dict | None = None) -> RobustStructureResult:
+        """Drive every remaining step in order (the resume path skips
+        steps recorded in ``state["steps_done"]``)."""
+        state = dict(state or {})
+        done = list(state.get("steps_done", []))
+        for name in self.steps():
+            if name in done:
+                continue
+            state = self.run_step(name, state)
+            done.append(name)
+            state["steps_done"] = list(done)
+        return self.result(state)
+
+
 def recover_boundaries(
     session: DeviceSession,
     runs: int = 3,
@@ -130,6 +271,10 @@ def recover_boundaries(
     engine: str = "vectorised",
 ) -> RobustStructureResult:
     """Recover layer-boundary cycles by multi-run consensus.
+
+    A thin driver over :class:`BoundaryRecovery` (the checkpointable
+    step runner); running every step in order in-process is
+    bit-identical to the historical monolithic implementation.
 
     The per-run refractory and the cross-run clustering tolerance both
     default from the channel's latency window — a property of the
@@ -170,52 +315,19 @@ def recover_boundaries(
             the original ``"reference"`` oracle; boundaries are
             bit-identical.
     """
-    if runs < 1:
-        raise ConfigError(f"runs must be >= 1, got {runs}")
-    if quorum is not None and not 1 <= quorum <= runs:
-        raise ConfigError(f"quorum must be in [1, {runs}], got {quorum}")
-    window = session.channel.latency_window
-    if refractory is None:
-        refractory = window
-    if tol is None:
-        tol = max(1, window // 4)
-    producer_refractory = (
-        refractory if dataflow == "output-stationary" else 0
-    )
-
-    per_run: list[list[int]] = []
-    naive_runs: list[list[int]] = []
-    for _ in range(runs):
-        robust = RobustRawBoundaryTracker(
-            min_support=min_support,
-            expiry=expiry,
-            refractory=refractory,
-            producer_refractory=producer_refractory,
-            engine=engine,
-        )
-        if compare_naive:
-            naive = RawBoundaryCycleSink(engine=engine)
-            sink = _FanOutSink(robust, naive)
-        else:
-            naive = None
-            sink = robust
-        # Coalesce upstream of the fan-out: the channel's reorder buffer
-        # delivers fragmented spans, and both decoders are chunking
-        # invariant, so fewer/larger chunks is pure decode throughput.
-        session.observe_structure(seed=seed, sink=CoalescingSink(sink))
-        per_run.append(robust.boundary_cycles)
-        if naive is not None:
-            naive_runs.append(naive.boundary_cycles)
-
-    q = quorum if quorum is not None else runs // 2 + 1
-    consensus = consensus_boundaries(per_run, quorum=q, tol=tol)
-    return RobustStructureResult(
-        boundaries=consensus,
-        runs=per_run,
-        naive_runs=naive_runs,
-        quorum=q,
-        tol=int(tol),
-    )
+    return BoundaryRecovery(
+        session,
+        runs,
+        min_support=min_support,
+        expiry=expiry,
+        refractory=refractory,
+        quorum=quorum,
+        tol=tol,
+        seed=seed,
+        compare_naive=compare_naive,
+        dataflow=dataflow,
+        engine=engine,
+    ).run()
 
 
 def boundary_cycles_from_trace(trace) -> list[int]:

@@ -1,6 +1,10 @@
 """The Section 3 structure reverse-engineering attack."""
 
-from repro.attacks.structure.attack import StructureAttackResult, run_structure_attack
+from repro.attacks.structure.attack import (
+    StructureAttack,
+    StructureAttackResult,
+    run_structure_attack,
+)
 from repro.attacks.structure.constraints import DeviceKnowledge, timing_consistent
 from repro.attacks.structure.dataflow_id import (
     DataflowIdentifier,
@@ -40,6 +44,7 @@ from repro.attacks.structure.trace_analysis import (
 
 __all__ = [
     "run_structure_attack",
+    "StructureAttack",
     "StructureAttackResult",
     "DeviceKnowledge",
     "timing_consistent",

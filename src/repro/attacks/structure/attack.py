@@ -17,6 +17,7 @@ from repro.device import (
     QueryLedger,
     StructureObservation,
 )
+from repro.errors import ConfigError
 from repro.attacks.structure.constraints import DeviceKnowledge
 from repro.attacks.structure.dataflow_id import DataflowIdentifier
 from repro.attacks.structure.modules import detect_fire_modules
@@ -26,12 +27,14 @@ from repro.attacks.structure.trace_analysis import (
     StreamingTraceAnalyzer,
     TraceAnalysis,
     analyse_trace,
+    analysis_from_dict,
+    analysis_to_dict,
     average_analyses,
     find_layer_boundaries,
     find_layer_boundaries_dataflow,
 )
 
-__all__ = ["StructureAttackResult", "run_structure_attack"]
+__all__ = ["StructureAttack", "StructureAttackResult", "run_structure_attack"]
 
 
 @dataclass
@@ -52,6 +55,270 @@ class StructureAttackResult:
         return self.analysis.num_layers
 
 
+class StructureAttack:
+    """Checkpointable step/resume runner for Algorithm 1.
+
+    The monolithic :func:`run_structure_attack` call is decomposed into
+    a deterministic plan of named steps — ``identify`` (only with
+    ``dataflow="auto"``), one ``observe:k`` per observation run, and a
+    final ``enumerate`` — threaded through a JSON-serialisable *state*
+    dict.  A campaign persists the state after each step; a killed
+    attack resumes by replaying :meth:`run_step` for the remaining plan
+    entries against a fresh session, and because every observe step pins
+    its run index explicitly (``observe_structure(run=k)``: run ``k``
+    draws run ``k``'s noise stream no matter when it executes), the
+    resumed result is bit-identical to the uninterrupted one.
+
+    Driving all steps in order through :meth:`run` reproduces the
+    original monolithic behaviour exactly; parameters are those of
+    :func:`run_structure_attack`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        x: np.ndarray | None = None,
+        tolerance: float = 0.25,
+        rules: PracticalityRules | None = None,
+        use_modular_assumption: bool = True,
+        enumerate_limit: int = 100_000,
+        seed: int = 0,
+        runs: int = 1,
+        workers: int | None = None,
+        streaming: bool = True,
+        dataflow: str = "output-stationary",
+        engine: str = "vectorised",
+    ) -> None:
+        self.session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
+        self.x = x
+        self.tolerance = tolerance
+        self.rules = rules
+        self.use_modular_assumption = use_modular_assumption
+        self.enumerate_limit = enumerate_limit
+        self.seed = seed
+        self.runs = runs
+        self.workers = workers
+        self.streaming = streaming
+        self.engine = engine
+        self._auto = dataflow == "auto"
+        if self._auto:
+            self._dataflow = None
+        else:
+            from repro.accel.dataflow import resolve_dataflow
+
+            self._dataflow = resolve_dataflow(dataflow).name
+        # Non-serialisable products of the last enumerate step, consumed
+        # by result(); reconstructed deterministically if missing.
+        self._candidates: list[CandidateStructure] | None = None
+        self._analysis: TraceAnalysis | None = None
+        self._roles: dict[int, str] | None = None
+        self._count: int | None = None
+        self._observation: StructureObservation | None = None
+
+    def steps(self) -> list[str]:
+        """The deterministic step plan for this attack."""
+        plan = ["identify"] if self._auto else []
+        plan += [f"observe:{k}" for k in range(self.runs)]
+        plan.append("enumerate")
+        return plan
+
+    # -- individual steps --------------------------------------------------
+    def _resolved_dataflow(self, state: dict) -> str:
+        if self._dataflow is not None:
+            return self._dataflow
+        dataflow = state.get("dataflow")
+        if dataflow is None:
+            raise ConfigError(
+                "dataflow='auto' requires the identify step before any "
+                "observe step"
+            )
+        return str(dataflow)
+
+    def _run_offset(self) -> int:
+        """Observation run index of observe:0 (identify consumes run 0)."""
+        return 1 if self._auto else 0
+
+    def _step_identify(self, state: dict) -> dict:
+        identifier = DataflowIdentifier(
+            self.session.image_shape,
+            self.session.element_bytes,
+            self.session.block_bytes,
+            engine=self.engine,
+        )
+        self.session.observe_structure(
+            self.x, seed=self.seed, sink=CoalescingSink(identifier), run=0
+        )
+        state["dataflow"] = identifier.finish().dataflow
+        return state
+
+    def _step_observe(self, k: int, state: dict) -> dict:
+        dataflow = self._resolved_dataflow(state)
+        session = self.session
+        run_index = k + self._run_offset()
+        if self.streaming:
+            analyzer = StreamingTraceAnalyzer(
+                session.image_shape,
+                session.element_bytes,
+                session.block_bytes,
+                dataflow=dataflow,
+                engine=self.engine,
+            )
+            obs = session.observe_structure(
+                self.x,
+                seed=self.seed + k,
+                sink=CoalescingSink(analyzer),
+                run=run_index,
+            )
+            analysis = analyzer.finish(obs)
+            bounds = analyzer.boundaries
+        else:
+            obs = session.observe_structure(
+                self.x, seed=self.seed + k, run=run_index
+            )
+            if dataflow == "output-stationary":
+                bounds = find_layer_boundaries(
+                    obs.trace.addresses, obs.trace.is_write
+                )
+            else:
+                bounds = find_layer_boundaries_dataflow(
+                    obs.trace.addresses,
+                    obs.trace.is_write,
+                    obs.block_bytes,
+                    engine=self.engine,
+                )
+            analysis = analyse_trace(obs, dataflow=dataflow, engine=self.engine)
+        analyses = dict(state.get("analyses", {}))
+        analyses[str(k)] = analysis_to_dict(analysis)
+        state["analyses"] = analyses
+        if k == 0:
+            state["boundaries"] = [int(b) for b in bounds]
+            state["observation"] = {
+                "input_shape": list(obs.input_shape),
+                "num_classes": obs.num_classes,
+                "element_bytes": obs.element_bytes,
+                "block_bytes": obs.block_bytes,
+                "total_cycles": obs.total_cycles,
+            }
+            if not self.streaming:
+                # Keep the materialised trace for in-process result()
+                # consumers; it is intentionally not checkpointed.
+                self._observation = obs
+        return state
+
+    def _step_enumerate(self, state: dict) -> dict:
+        analyses = state.get("analyses", {})
+        if len(analyses) != self.runs:
+            missing = [
+                k for k in range(self.runs) if str(k) not in analyses
+            ]
+            raise ConfigError(
+                f"enumerate step needs all {self.runs} observe steps; "
+                f"missing runs {missing}"
+            )
+        per_run = [
+            analysis_from_dict(analyses[str(k)]) for k in range(self.runs)
+        ]
+        analysis = per_run[0] if self.runs == 1 else average_analyses(per_run)
+        roles = (
+            detect_fire_modules(analysis) if self.use_modular_assumption else {}
+        )
+        search = StructureSearch(
+            analysis,
+            DeviceKnowledge.from_timing(self.session.public_timing),
+            tolerance=self.tolerance,
+            module_roles=roles,
+            rules=self.rules,
+        )
+        count = search.count()
+        candidates = (
+            search.enumerate(self.enumerate_limit, workers=self.workers)
+            if count <= self.enumerate_limit
+            else []
+        )
+        self._analysis = analysis
+        self._roles = roles
+        self._count = count
+        self._candidates = candidates
+        state["dataflow"] = self._resolved_dataflow(state)
+        state["count"] = count
+        state["num_candidates"] = len(candidates)
+        state["num_layers"] = analysis.num_layers
+        return state
+
+    def run_step(self, name: str, state: dict | None = None) -> dict:
+        """Execute one named step, returning the updated state dict.
+
+        The input state is not mutated; callers persist the returned
+        dict before moving to the next step.  Steps must respect the
+        plan order (observe steps need the identify verdict under
+        ``dataflow="auto"``; enumerate needs every observe).
+        """
+        state = dict(state or {})
+        if name == "identify":
+            return self._step_identify(state)
+        if name.startswith("observe:"):
+            return self._step_observe(int(name.split(":", 1)[1]), state)
+        if name == "enumerate":
+            return self._step_enumerate(state)
+        raise ConfigError(f"unknown structure attack step {name!r}")
+
+    # -- results -----------------------------------------------------------
+    def result(self, state: dict) -> StructureAttackResult:
+        """Assemble the final result from a completed state.
+
+        Candidate objects are not serialised in the checkpoint; if this
+        instance did not itself run the enumerate step (a resume that
+        found every step already done), the enumeration is re-derived
+        from the persisted analyses — a deterministic, device-free
+        computation.
+        """
+        if self._candidates is None:
+            state = self._step_enumerate(dict(state))
+        assert self._analysis is not None and self._count is not None
+        observation = self._observation
+        if observation is None:
+            meta = state.get("observation")
+            if meta is None:
+                raise ConfigError(
+                    "state has no observation; run the observe steps first"
+                )
+            observation = StructureObservation(
+                trace=None,
+                input_shape=tuple(meta["input_shape"]),
+                num_classes=int(meta["num_classes"]),
+                element_bytes=int(meta["element_bytes"]),
+                block_bytes=int(meta["block_bytes"]),
+                total_cycles=int(meta["total_cycles"]),
+            )
+        return StructureAttackResult(
+            observation=observation,
+            analysis=self._analysis,
+            candidates=self._candidates or [],
+            count=self._count,
+            module_roles=self._roles or {},
+            ledger=self.session.ledger,
+            boundaries=[int(b) for b in state.get("boundaries", [])] or None,
+            dataflow=self._resolved_dataflow(state),
+        )
+
+    def run(self, state: dict | None = None) -> StructureAttackResult:
+        """Drive every remaining step in order and assemble the result.
+
+        ``state`` may carry a partial checkpoint; steps recorded in its
+        ``"steps_done"`` list are skipped (their products are already in
+        the state), which is the resume path.
+        """
+        state = dict(state or {})
+        done = list(state.get("steps_done", []))
+        for name in self.steps():
+            if name in done:
+                continue
+            state = self.run_step(name, state)
+            done.append(name)
+            state["steps_done"] = list(done)
+        return self.result(state)
+
+
 def run_structure_attack(
     sim,
     x: np.ndarray | None = None,
@@ -67,6 +334,10 @@ def run_structure_attack(
     engine: str = "vectorised",
 ) -> StructureAttackResult:
     """Run Algorithm 1 against a victim accelerator.
+
+    A thin driver over :class:`StructureAttack` (the checkpointable
+    step runner): every step executes in order in-process, which is
+    bit-identical to the historical monolithic implementation.
 
     Args:
         sim: the victim device or an existing
@@ -102,74 +373,17 @@ def run_structure_attack(
             ``"vectorised"`` (the default) or the original
             ``"reference"`` oracle.  Results are bit-identical.
     """
-    session = sim if isinstance(sim, DeviceSession) else DeviceSession(sim)
-
-    if dataflow == "auto":
-        identifier = DataflowIdentifier(
-            session.image_shape,
-            session.element_bytes,
-            session.block_bytes,
-            engine=engine,
-        )
-        session.observe_structure(
-            x, seed=seed, sink=CoalescingSink(identifier)
-        )
-        dataflow = identifier.finish().dataflow
-    else:
-        from repro.accel.dataflow import resolve_dataflow
-
-        dataflow = resolve_dataflow(dataflow).name
-
-    def _one_run(k: int) -> tuple[StructureObservation, TraceAnalysis, list[int]]:
-        if streaming:
-            analyzer = StreamingTraceAnalyzer(
-                session.image_shape,
-                session.element_bytes,
-                session.block_bytes,
-                dataflow=dataflow,
-                engine=engine,
-            )
-            obs = session.observe_structure(
-                x, seed=seed + k, sink=CoalescingSink(analyzer)
-            )
-            return obs, analyzer.finish(obs), analyzer.boundaries
-        obs = session.observe_structure(x, seed=seed + k)
-        if dataflow == "output-stationary":
-            bounds = find_layer_boundaries(obs.trace.addresses, obs.trace.is_write)
-        else:
-            bounds = find_layer_boundaries_dataflow(
-                obs.trace.addresses,
-                obs.trace.is_write,
-                obs.block_bytes,
-                engine=engine,
-            )
-        return obs, analyse_trace(obs, dataflow=dataflow, engine=engine), bounds
-
-    observation, analysis, boundaries = _one_run(0)
-    if runs > 1:
-        extra = [_one_run(k)[1] for k in range(1, runs)]
-        analysis = average_analyses([analysis] + extra)
-    roles = detect_fire_modules(analysis) if use_modular_assumption else {}
-    search = StructureSearch(
-        analysis,
-        DeviceKnowledge.from_timing(session.public_timing),
+    return StructureAttack(
+        sim,
+        x=x,
         tolerance=tolerance,
-        module_roles=roles,
         rules=rules,
-    )
-    count = search.count()
-    candidates = (
-        search.enumerate(enumerate_limit, workers=workers)
-        if count <= enumerate_limit
-        else []
-    )
-    return StructureAttackResult(
-        observation=observation,
-        analysis=analysis,
-        candidates=candidates,
-        count=count,
-        module_roles=roles,
-        ledger=session.ledger,
-        boundaries=boundaries,
+        use_modular_assumption=use_modular_assumption,
+        enumerate_limit=enumerate_limit,
+        seed=seed,
+        runs=runs,
+        workers=workers,
+        streaming=streaming,
         dataflow=dataflow,
-    )
+        engine=engine,
+    ).run()

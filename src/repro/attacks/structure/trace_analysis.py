@@ -60,6 +60,8 @@ __all__ = [
     "StreamingTraceAnalyzer",
     "analyse_trace",
     "average_analyses",
+    "analysis_to_dict",
+    "analysis_from_dict",
 ]
 
 INPUT_SOURCE = -1  # pseudo-index for the network input feature map
@@ -1200,4 +1202,73 @@ def average_analyses(
         num_classes=first.num_classes,
         element_bytes=first.element_bytes,
         block_bytes=first.block_bytes,
+    )
+
+
+# -- checkpoint serialisation ------------------------------------------------
+# TraceAnalysis is the structure attack's per-run checkpoint unit: every
+# field is a plain int/str/tuple, so one analysis round-trips through
+# JSON exactly.  The campaign layer persists one dict per observation
+# run and a resumed attack averages the restored analyses bit for bit.
+
+
+def analysis_to_dict(analysis: TraceAnalysis) -> dict:
+    """One analysis as a JSON-serialisable dict (exact round trip)."""
+    return {
+        "layers": [
+            {
+                "index": layer.index,
+                "kind": layer.kind,
+                "sources": list(layer.sources),
+                "size_ifm_per_source": [
+                    [r.lo, r.hi] for r in layer.size_ifm_per_source
+                ],
+                "size_ofm": [layer.size_ofm.lo, layer.size_ofm.hi],
+                "size_fltr": (
+                    None
+                    if layer.size_fltr is None
+                    else [layer.size_fltr.lo, layer.size_fltr.hi]
+                ),
+                "duration": layer.duration,
+                "read_transactions": layer.read_transactions,
+                "write_transactions": layer.write_transactions,
+            }
+            for layer in analysis.layers
+        ],
+        "input_shape": list(analysis.input_shape),
+        "num_classes": analysis.num_classes,
+        "element_bytes": analysis.element_bytes,
+        "block_bytes": analysis.block_bytes,
+    }
+
+
+def analysis_from_dict(data: dict) -> TraceAnalysis:
+    """Inverse of :func:`analysis_to_dict`."""
+    layers = tuple(
+        LayerObservation(
+            index=int(layer["index"]),
+            kind=str(layer["kind"]),
+            sources=tuple(int(s) for s in layer["sources"]),
+            size_ifm_per_source=tuple(
+                SizeRange(int(lo), int(hi))
+                for lo, hi in layer["size_ifm_per_source"]
+            ),
+            size_ofm=SizeRange(*[int(v) for v in layer["size_ofm"]]),
+            size_fltr=(
+                None
+                if layer["size_fltr"] is None
+                else SizeRange(*[int(v) for v in layer["size_fltr"]])
+            ),
+            duration=int(layer["duration"]),
+            read_transactions=int(layer["read_transactions"]),
+            write_transactions=int(layer["write_transactions"]),
+        )
+        for layer in data["layers"]
+    )
+    return TraceAnalysis(
+        layers=layers,
+        input_shape=tuple(int(v) for v in data["input_shape"]),
+        num_classes=int(data["num_classes"]),
+        element_bytes=int(data["element_bytes"]),
+        block_bytes=int(data["block_bytes"]),
     )

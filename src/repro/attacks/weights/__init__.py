@@ -7,6 +7,7 @@ from repro.attacks.weights.aggregate import (
 )
 from repro.attacks.weights.recovery import (
     FilterRecovery,
+    SteppedWeightAttack,
     WeightAttack,
     WeightAttackResult,
     WeightStatus,
@@ -20,6 +21,7 @@ from repro.attacks.weights.threshold_attack import (
 
 __all__ = [
     "AttackTarget",
+    "SteppedWeightAttack",
     "WeightAttack",
     "WeightAttackResult",
     "FilterRecovery",

@@ -61,6 +61,7 @@ __all__ = [
     "FilterRecovery",
     "WeightAttackResult",
     "WeightAttack",
+    "SteppedWeightAttack",
 ]
 
 
@@ -773,3 +774,116 @@ def _recover_shard(filter_range: tuple[int, int]):
         filter_range=filter_range,
     )
     return attack._run_shard_local(), session.ledger
+
+
+class SteppedWeightAttack:
+    """Checkpointable step/resume runner for the weight attack.
+
+    The filter axis is the attack's natural checkpoint granularity:
+    plane ``f``'s reply in a per-filter batch depends only on run ``f``'s
+    own input, so a contiguous ``filter_range`` recovers bit-identically
+    to its slice of a full run (the same property the sharded parallel
+    path rests on).  Each step recovers one filter chunk via
+    ``WeightAttack(filter_range=...)`` and serialises the recovered
+    ratios/status into the state dict; a killed attack resumes at the
+    first missing chunk against a fresh session.  Counter noise is
+    content-keyed (never call-order-keyed), so a resumed chunk measures
+    exactly what the uninterrupted run would have.
+
+    Args:
+        channel: the metered device session (per-plane).
+        target: structural knowledge of the attacked stage.
+        search_steps, max_resolution_rounds: as :class:`WeightAttack`.
+        filters_per_step: chunk width; the last chunk may be narrower.
+    """
+
+    def __init__(
+        self,
+        channel: DeviceSession,
+        target: AttackTarget,
+        search_steps: int = 64,
+        max_resolution_rounds: int = 4,
+        filters_per_step: int = 8,
+    ) -> None:
+        if filters_per_step < 1:
+            raise AttackError(
+                f"filters_per_step must be >= 1, got {filters_per_step}"
+            )
+        self.channel = channel
+        self.target = target
+        self.search_steps = search_steps
+        self.max_resolution_rounds = max_resolution_rounds
+        self.filters_per_step = filters_per_step
+
+    def _chunks(self) -> list[tuple[int, int]]:
+        d = self.target.d_ofm
+        step = self.filters_per_step
+        return [(lo, min(lo + step, d)) for lo in range(0, d, step)]
+
+    def steps(self) -> list[str]:
+        """The deterministic step plan: one entry per filter chunk."""
+        return [f"filters:{lo}:{hi}" for lo, hi in self._chunks()]
+
+    def run_step(self, name: str, state: dict | None = None) -> dict:
+        """Recover one filter chunk; returns the updated state dict."""
+        try:
+            _, lo_s, hi_s = name.split(":")
+            lo, hi = int(lo_s), int(hi_s)
+        except ValueError:
+            raise AttackError(f"unknown weight attack step {name!r}") from None
+        attack = WeightAttack(
+            self.channel,
+            self.target,
+            search_steps=self.search_steps,
+            max_resolution_rounds=self.max_resolution_rounds,
+            filter_range=(lo, hi),
+        )
+        partial = attack._run_shard_local()
+        state = dict(state or {})
+        filters = dict(state.get("filters", {}))
+        for rec in partial.filters:
+            filters[str(rec.filter_index)] = {
+                "bias_positive": rec.bias_positive,
+                "ratios": rec.ratios.tolist(),
+                "status": rec.status.tolist(),
+            }
+        state["filters"] = filters
+        return state
+
+    def result(self, state: dict) -> WeightAttackResult:
+        """Assemble the full-layer result from a completed state."""
+        filters = state.get("filters", {})
+        missing = [
+            f for f in range(self.target.d_ofm) if str(f) not in filters
+        ]
+        if missing:
+            raise AttackError(
+                f"weight attack state incomplete: filters {missing} missing"
+            )
+        recoveries = [
+            FilterRecovery(
+                filter_index=f,
+                bias_positive=bool(filters[str(f)]["bias_positive"]),
+                ratios=np.array(filters[str(f)]["ratios"], dtype=float),
+                status=np.array(filters[str(f)]["status"], dtype=object),
+            )
+            for f in range(self.target.d_ofm)
+        ]
+        return WeightAttackResult(
+            target=self.target,
+            filters=recoveries,
+            queries=self.channel.queries,
+        )
+
+    def run(self, state: dict | None = None) -> WeightAttackResult:
+        """Drive every remaining step in order (the resume path skips
+        steps recorded in ``state["steps_done"]``)."""
+        state = dict(state or {})
+        done = list(state.get("steps_done", []))
+        for name in self.steps():
+            if name in done:
+                continue
+            state = self.run_step(name, state)
+            done.append(name)
+            state["steps_done"] = list(done)
+        return self.result(state)

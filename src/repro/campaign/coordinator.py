@@ -1,0 +1,269 @@
+"""The campaign coordinator: resumable, metered, fleet-scale attacks.
+
+A campaign lives in one directory::
+
+    <root>/spec.json       the declarative spec (canonical JSON)
+    <root>/cache.sqlite    shared content-addressed query cache
+    <root>/jobs/<id>/      per-job checkpoint + result files
+    <root>/results.jsonl   consolidated results, spec order
+    <root>/tmp/            atomic-write staging
+
+:class:`Campaign` expands the spec into jobs, schedules them serially
+or onto the process's warm :func:`~repro.parallel.get_pool` registry,
+persists a checkpoint after every attack step, and bills every ledger
+snapshot to its tenant's quota.  ``run`` *is* ``resume``: completed
+jobs are skipped, partially-done jobs restore their ledger snapshot
+and re-enter their step plan at the first missing step, and identical
+probes anywhere in the fleet are answered from the shared cache
+instead of the victim.  Fault injection for the CI smoke test:
+``REPRO_CAMPAIGN_KILL=<n>`` hard-exits the process after the *n*-th
+persisted checkpoint, which is exactly the window a real crash hits.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.campaign.checkpoint import JobCheckpoint, atomic_write_text
+from repro.campaign.jobs import build_runner, ledger_totals
+from repro.campaign.quota import QuotaBook
+from repro.campaign.spec import AttackJob, CampaignSpec, canonical_json
+from repro.campaign.store import ResultsStore
+from repro.device import SharedQueryCache
+from repro.errors import ConfigError, QueryBudgetExceeded
+
+__all__ = ["Campaign"]
+
+_KILL_ENV = "REPRO_CAMPAIGN_KILL"
+_persisted_checkpoints = 0
+
+
+def _maybe_kill() -> None:
+    """Fault injection: die (as a crash would) after N persisted steps."""
+    global _persisted_checkpoints
+    limit = os.environ.get(_KILL_ENV)
+    if not limit:
+        return
+    _persisted_checkpoints += 1
+    if _persisted_checkpoints >= int(limit):
+        os._exit(137)
+
+
+def _device_charge(snapshots: list) -> dict:
+    """The quota-relevant device spend recorded in ledger snapshots."""
+    out = {"channel_queries": 0, "inferences": 0, "trace_bytes": 0}
+    for snap in snapshots:
+        for key in out:
+            out[key] += int(snap.get(key, 0))
+    return out
+
+
+def _execute_job(payload: dict) -> dict:
+    """Run (or finish) one job inside whatever process holds it."""
+    root = Path(payload["root"])
+    job = AttackJob.from_dict(payload["job"])
+    budgets = dict(payload.get("budgets", {}))
+    store = ResultsStore(root)
+    ckpt = JobCheckpoint.load(store.jobs_dir, job.job_id)
+    if ckpt.status == "done" and store.read_result(job.job_id) is not None:
+        return {"job_id": job.job_id, "status": "done", "skipped": True}
+
+    record = {
+        "job": job.job_id,
+        "kind": job.kind,
+        "tenant": job.tenant,
+        "repeat": job.repeat,
+        "params": job.params,
+    }
+    cache = SharedQueryCache(root / "cache.sqlite")
+    try:
+        runner = build_runner(
+            job.kind, job.params, shared_cache=cache, budgets=budgets
+        )
+        ledgers = runner.ledgers()
+        for ledger, snap in zip(ledgers, ckpt.ledgers):
+            ledger.restore(snap)
+        state = dict(ckpt.state)
+        for name in runner.steps():
+            if name in ckpt.steps_done:
+                continue
+            state = runner.run_step(name, state)
+            ckpt.state = state
+            ckpt.steps_done.append(name)
+            ckpt.ledgers = [ledger.snapshot() for ledger in ledgers]
+            ckpt.status = "running"
+            ckpt.save(store.jobs_dir, store.tmp_dir)
+            _maybe_kill()
+        record["metrics"] = runner.metrics(state)
+        record["ledger"] = ledger_totals(ledgers)
+        record["status"] = ckpt.status = "done"
+    except QueryBudgetExceeded as exc:
+        ckpt.ledgers = [ledger.snapshot() for ledger in ledgers]
+        record["status"] = ckpt.status = "failed:budget"
+        record["error"] = ckpt.error = str(exc)
+    except Exception as exc:  # noqa: BLE001 - one bad job must not sink the fleet
+        record["status"] = ckpt.status = "failed:error"
+        record["error"] = ckpt.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        cache.close()
+    ckpt.save(store.jobs_dir, store.tmp_dir)
+    store.write_result(job, record)
+    return {
+        "job_id": job.job_id,
+        "status": record["status"],
+        "skipped": False,
+    }
+
+
+class Campaign:
+    """One campaign directory and its job fleet."""
+
+    def __init__(self, root: Path | str, spec: CampaignSpec) -> None:
+        self.root = Path(root)
+        self.spec = spec
+        self.jobs = spec.expand()
+        self.store = ResultsStore(self.root)
+
+    # -- lifecycle ---------------------------------------------------------
+    @staticmethod
+    def create(spec: CampaignSpec | dict, root: Path | str) -> "Campaign":
+        """Initialise a campaign directory from a spec."""
+        if isinstance(spec, dict):
+            spec = CampaignSpec.from_dict(spec)
+        root = Path(root)
+        spec_path = root / "spec.json"
+        if spec_path.exists():
+            raise ConfigError(f"campaign already exists at {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            spec_path, canonical_json(spec.to_dict()) + "\n", root / "tmp"
+        )
+        return Campaign(root, spec)
+
+    @staticmethod
+    def load(root: Path | str) -> "Campaign":
+        root = Path(root)
+        spec_path = root / "spec.json"
+        if not spec_path.exists():
+            raise ConfigError(f"no campaign spec at {spec_path}")
+        import json
+
+        return Campaign(root, CampaignSpec.from_dict(
+            json.loads(spec_path.read_text())
+        ))
+
+    # -- accounting --------------------------------------------------------
+    def _checkpoints(self) -> dict[str, JobCheckpoint]:
+        return {
+            job.job_id: JobCheckpoint.load(self.store.jobs_dir, job.job_id)
+            for job in self.jobs
+        }
+
+    def _quota_book(
+        self, checkpoints: dict[str, JobCheckpoint]
+    ) -> QuotaBook:
+        book = QuotaBook(self.spec.tenants)
+        for job in self.jobs:
+            charge = _device_charge(checkpoints[job.job_id].ledgers)
+            book.charge(job.tenant, charge)
+        return book
+
+    def _budgets_for(
+        self, job: AttackJob, checkpoints: dict[str, JobCheckpoint]
+    ) -> dict:
+        """The job's session budgets: tenant quota minus *others'* spend.
+
+        The job's own prior spend is excluded here because its restored
+        ledger already carries those counters — the ledger budget then
+        caps the job's lifetime total at exactly the tenant remainder.
+        """
+        book = QuotaBook(self.spec.tenants)
+        for other in self.jobs:
+            if other.job_id == job.job_id:
+                continue
+            book.charge(
+                other.tenant,
+                _device_charge(checkpoints[other.job_id].ledgers),
+            )
+        return book.budgets(job.tenant)
+
+    # -- execution ---------------------------------------------------------
+    def _reclaim(self) -> None:
+        """Sweep leaked resources from dead processes before running."""
+        from repro.accel.sinks import (
+            reclaim_shared_segments,
+            reclaim_spool_dirs,
+        )
+
+        reclaim_shared_segments()
+        reclaim_spool_dirs()
+
+    def run(self, workers: int | None = None) -> dict:
+        """Run every pending job; completed ones are skipped (= resume)."""
+        self._reclaim()
+        checkpoints = self._checkpoints()
+        pending = [
+            job
+            for job in self.jobs
+            if not (
+                checkpoints[job.job_id].status == "done"
+                and self.store.read_result(job.job_id) is not None
+            )
+        ]
+        if workers is not None and workers > 1 and pending:
+            from repro.parallel import get_pool
+
+            payloads = [
+                {
+                    "root": str(self.root),
+                    "job": job.to_dict(),
+                    "budgets": self._budgets_for(job, checkpoints),
+                }
+                for job in pending
+            ]
+            pool = get_pool(workers)
+            pool.start()
+            pool.map(_execute_job, payloads)
+        else:
+            for job in pending:
+                # Serial enforcement is exact: each dispatch sees every
+                # earlier job's true ledger.
+                checkpoints[job.job_id] = JobCheckpoint.load(
+                    self.store.jobs_dir, job.job_id
+                )
+                _execute_job(
+                    {
+                        "root": str(self.root),
+                        "job": job.to_dict(),
+                        "budgets": self._budgets_for(job, checkpoints),
+                    }
+                )
+                checkpoints[job.job_id] = JobCheckpoint.load(
+                    self.store.jobs_dir, job.job_id
+                )
+        self.store.consolidate(self.jobs)
+        return self.status()
+
+    def status(self) -> dict:
+        """Job / quota / cache accounting for the whole campaign."""
+        checkpoints = self._checkpoints()
+        by_status: dict[str, int] = {}
+        for ckpt in checkpoints.values():
+            by_status[ckpt.status] = by_status.get(ckpt.status, 0) + 1
+        cache_path = self.root / "cache.sqlite"
+        cache_stats = None
+        if cache_path.exists():
+            cache = SharedQueryCache(cache_path)
+            try:
+                cache_stats = cache.stats()
+            finally:
+                cache.close()
+        return {
+            "name": self.spec.name,
+            "jobs": len(self.jobs),
+            "by_status": by_status,
+            "results": len(self.store.read_all()),
+            "tenants": self._quota_book(checkpoints).status(),
+            "cache": cache_stats,
+        }

@@ -1,0 +1,488 @@
+"""Campaign job kinds: stepwise attack runners behind one protocol.
+
+Every job kind wraps one of the repo's checkpointable attack runners
+(:class:`~repro.attacks.robust.BoundaryRecovery`,
+:class:`~repro.attacks.weights.SteppedWeightAttack`,
+:class:`~repro.attacks.structure.StructureAttack`,
+:class:`~repro.attacks.clone.CloneAttack`) and speaks the same step
+protocol itself: ``steps()`` is a deterministic plan, ``run_step``
+threads a JSON-serialisable state dict, and ``metrics(state)``
+distils the completed state into the job's results record.  Metrics
+include *in-job truth figures* (ground truth is recomputed from the
+declarative victim spec inside the job — the campaign store never has
+to ship arrays around), and every figure written to results is
+invariant under kill-and-resume: noise streams are content- or
+run-index-keyed, and the ledger figures reported
+(``probe_lookups``, ``observations``, ``trace_events``,
+``repeat_queries``) count *lookups*, not cache-state-dependent device
+charges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.attacks.robust import (
+    BoundaryRecovery,
+    VotingChannel,
+    boundary_cycles_from_trace,
+    boundary_f1,
+    calibrate_channel,
+)
+from repro.attacks.structure import (
+    PracticalityRules,
+    StructureAttack,
+    find_layer_boundaries,
+    find_layer_boundaries_dataflow,
+    identify_dataflow,
+)
+from repro.attacks.weights import AttackTarget, SteppedWeightAttack
+from repro.campaign.victims import build_device, build_victim, job_session
+from repro.channel import ChannelModel
+from repro.device import DeviceSession, QueryLedger, SharedQueryCache
+from repro.errors import ConfigError
+
+__all__ = ["JOB_KINDS", "build_runner", "ledger_totals"]
+
+
+def _digest(arr: np.ndarray) -> str:
+    """Content digest of a result tensor, for cross-job comparisons."""
+    data = np.ascontiguousarray(arr)
+    return hashlib.sha256(
+        repr((data.shape, str(data.dtype))).encode() + data.tobytes()
+    ).hexdigest()[:16]
+
+
+def ledger_totals(ledgers: list[QueryLedger]) -> dict:
+    """The deterministic ledger figures a results record may carry."""
+    return {
+        "probe_lookups": sum(led.probe_lookups for led in ledgers),
+        "observations": sum(led.observations for led in ledgers),
+        "trace_events": sum(led.trace_events for led in ledgers),
+        "repeat_queries": sum(led.repeat_queries for led in ledgers),
+    }
+
+
+class _BudgetKwargs(dict):
+    """Quota-derived session budget keywords (may be empty)."""
+
+
+class BoundaryRecoveryJob:
+    """Consensus boundary recovery against its own clean-trace truth.
+
+    Plan: ``truth`` (clean-channel observation of the same device
+    configuration, scored against later) followed by the
+    :class:`BoundaryRecovery` plan (``run:k`` per noisy observation,
+    then ``consensus``).
+    """
+
+    def __init__(
+        self,
+        params: dict,
+        shared_cache: SharedQueryCache | None,
+        budgets: dict,
+    ) -> None:
+        self.params = params
+        self.session = job_session(
+            params, shared_cache=shared_cache, **budgets
+        )
+        # The truth observation is part of the job's metered activity:
+        # same device, ideal channel, one shared ledger.
+        self._truth_session = DeviceSession(
+            self.session.device,
+            params.get("stage"),
+            channel=ChannelModel.ideal(),
+            ledger=self.session.ledger,
+            shared_cache=shared_cache,
+        )
+        # The recovery decodes the device's own dataflow unless the
+        # spec pins a different (mismatched-estimator) one.
+        device = dict(params.get("device") or {})
+        self._recovery = BoundaryRecovery(
+            self.session,
+            int(params.get("runs", 3)),
+            compare_naive=bool(params.get("compare_naive", False)),
+            dataflow=str(
+                params.get(
+                    "dataflow", device.get("dataflow", "output-stationary")
+                )
+            ),
+        )
+
+    def ledgers(self) -> list[QueryLedger]:
+        return [self.session.ledger]
+
+    def steps(self) -> list[str]:
+        return ["truth"] + self._recovery.steps()
+
+    def run_step(self, name: str, state: dict) -> dict:
+        state = dict(state)
+        if name == "truth":
+            obs = self._truth_session.observe_structure(seed=0)
+            state["truth"] = [
+                int(c) for c in boundary_cycles_from_trace(obs.trace)
+            ]
+            return state
+        return self._recovery.run_step(name, state)
+
+    def metrics(self, state: dict) -> dict:
+        result = self._recovery.result(state)
+        truth = [int(c) for c in state["truth"]]
+        window = self.session.channel.latency_window
+        tol = window + 50
+        robust = boundary_f1(result.boundaries, truth, tol=tol)
+        naive_f1 = (
+            float(
+                np.mean(
+                    [
+                        boundary_f1(n, truth, tol=tol).f1
+                        for n in result.naive_runs
+                    ]
+                )
+            )
+            if result.naive_runs
+            else None
+        )
+        gaps = np.diff(truth) if len(truth) > 1 else np.array([0])
+        return {
+            "boundaries": [int(b) for b in result.boundaries],
+            "truth_boundaries": len(truth),
+            "found_boundaries": len(result.boundaries),
+            "robust_f1": float(robust.f1),
+            "naive_f1_mean": naive_f1,
+            "exact": result.boundaries == truth,
+            "latency_window": int(window),
+            "min_truth_gap": int(np.min(gaps)),
+            "quorum": int(result.quorum),
+        }
+
+
+class WeightRecoveryJob:
+    """Per-filter ``w/b`` recovery, scored against the spec's truth.
+
+    ``mode`` selects the estimator: ``naive`` reads the (possibly
+    noisy) counter once per probe, ``voted`` first calibrates the
+    channel then queries through repeat-and-vote.  Truth ratios come
+    from rebuilding the declarative victim in-job.
+    """
+
+    def __init__(
+        self,
+        params: dict,
+        shared_cache: SharedQueryCache | None,
+        budgets: dict,
+    ) -> None:
+        self.params = params
+        conv = dict(params["victim"].get("conv") or {})
+        if not conv:
+            raise ConfigError("weight_recovery needs a 'conv' victim spec")
+        self.session = job_session(
+            params, shared_cache=shared_cache, **budgets
+        )
+        self.target = AttackTarget(
+            w_ifm=int(conv["w"]),
+            d_ifm=int(conv.get("c", 1)),
+            d_ofm=int(conv.get("d", 3)),
+            f_conv=int(conv.get("f", 3)),
+            s_conv=int(conv.get("s", 1)),
+        )
+        self.mode = str(params.get("mode", "naive"))
+        if self.mode not in ("naive", "voted"):
+            raise ConfigError(f"unknown weight_recovery mode {self.mode!r}")
+        self.search_steps = int(params.get("search_steps", 28))
+        self.filters_per_step = int(params.get("filters_per_step", 8))
+        self._attack: SteppedWeightAttack | None = None
+
+    def ledgers(self) -> list[QueryLedger]:
+        return [self.session.ledger]
+
+    def _stepped(self, state: dict) -> SteppedWeightAttack:
+        if self._attack is None:
+            channel = self.session
+            if self.mode == "voted":
+                sigma = state.get("calibrated_sigma")
+                if sigma is None:
+                    raise ConfigError(
+                        "voted mode needs the calibrate step first"
+                    )
+                channel = VotingChannel(self.session, sigma=float(sigma))
+            self._attack = SteppedWeightAttack(
+                channel,
+                self.target,
+                search_steps=self.search_steps,
+                filters_per_step=self.filters_per_step,
+            )
+        return self._attack
+
+    def steps(self) -> list[str]:
+        plan = ["calibrate"] if self.mode == "voted" else []
+        chunks = SteppedWeightAttack(
+            self.session,
+            self.target,
+            search_steps=self.search_steps,
+            filters_per_step=self.filters_per_step,
+        ).steps()
+        return plan + chunks
+
+    def run_step(self, name: str, state: dict) -> dict:
+        state = dict(state)
+        if name == "calibrate":
+            cal = calibrate_channel(
+                self.session,
+                repeats=int(self.params.get("calibrate_repeats", 32)),
+            )
+            state["calibrated_sigma"] = float(cal.counter_sigma)
+            return state
+        attack = self._stepped(state)
+        state = attack.run_step(name, state)
+        if isinstance(attack.channel, VotingChannel):
+            state["repeats"] = int(attack.channel.last_repeats or 1)
+        return state
+
+    def metrics(self, state: dict) -> dict:
+        result = self._stepped(state).result(state)
+        victim = build_victim(dict(self.params["victim"]))
+        conv = victim.network.nodes["conv1/conv"].layer
+        ratios = result.ratio_tensor()
+        return {
+            "mode": self.mode,
+            "max_ratio_error": float(
+                result.max_ratio_error(conv.weight.value, conv.bias.value)
+            ),
+            "ratio_digest": _digest(ratios),
+            "resolved_fraction": float(result.resolved_mask().mean()),
+            "calibrated_sigma": state.get("calibrated_sigma"),
+            "repeats": int(state.get("repeats", 1)),
+            "repeat_queries": int(self.session.ledger.repeat_queries),
+        }
+
+
+class StructureJob:
+    """Full identify-then-enumerate structure attack with in-job truth.
+
+    Plan: ``signature`` (device ground truth — stage windows and the
+    batch dataflow identifier on a raw clean trace, the bench-side
+    oracle of the dataflow ablation) followed by the
+    :class:`StructureAttack` plan.
+    """
+
+    def __init__(
+        self,
+        params: dict,
+        shared_cache: SharedQueryCache | None,
+        budgets: dict,
+    ) -> None:
+        self.params = params
+        self.session = job_session(
+            params, shared_cache=shared_cache, **budgets
+        )
+        self._structure = StructureAttack(
+            self.session,
+            tolerance=float(params.get("tolerance", 0.25)),
+            rules=PracticalityRules(
+                exact_pool_division=bool(
+                    params.get("exact_pool_division", True)
+                )
+            ),
+            runs=int(params.get("runs", 1)),
+            dataflow=str(params.get("attack_dataflow", "auto")),
+        )
+
+    def ledgers(self) -> list[QueryLedger]:
+        return [self.session.ledger]
+
+    def steps(self) -> list[str]:
+        plan = ["signature"] if self.params.get("signature", True) else []
+        return plan + [f"attack:{s}" for s in self._structure.steps()]
+
+    def _device_dataflow(self) -> str:
+        return str(
+            dict(self.params.get("device") or {}).get(
+                "dataflow", "output-stationary"
+            )
+        )
+
+    def run_step(self, name: str, state: dict) -> dict:
+        state = dict(state)
+        if name == "signature":
+            return self._step_signature(state)
+        if name.startswith("attack:"):
+            inner = dict(state.get("attack", {}))
+            sub = name.split(":", 1)[1]
+            inner = self._structure.run_step(sub, inner)
+            done = list(inner.get("steps_done", []))
+            if sub not in done:
+                done.append(sub)
+            inner["steps_done"] = done
+            state["attack"] = inner
+            return state
+        raise ConfigError(f"unknown structure step {name!r}")
+
+    def _step_signature(self, state: dict) -> dict:
+        # Device-side ground truth: not an attack measurement, so it
+        # runs on the raw simulator, outside the metered session.
+        victim = build_victim(dict(self.params["victim"]))
+        sim = build_device(victim, self.params.get("device"))
+        res = sim.run(np.zeros((1, *victim.network.input_shape)))
+        mem = sim.config.memory
+        sig = identify_dataflow(
+            res.trace,
+            victim.network.input_shape,
+            mem.element_bytes,
+            mem.block_bytes,
+        )
+        counts = [w.num_reads + w.num_writes for w in res.windows]
+        truth_idx = [0] + list(np.cumsum(counts[:-1]))
+        if self._device_dataflow() == "output-stationary":
+            bounds = find_layer_boundaries(
+                res.trace.addresses, res.trace.is_write
+            )
+        else:
+            bounds = find_layer_boundaries_dataflow(
+                res.trace.addresses, res.trace.is_write, mem.block_bytes
+            )
+        state["signature"] = {
+            "identified": sig.dataflow,
+            "boundary_f1": float(
+                boundary_f1(bounds, truth_idx, tol=0).f1
+            ),
+            "found_boundaries": len(bounds),
+            "stages": len(res.windows),
+        }
+        return state
+
+    def metrics(self, state: dict) -> dict:
+        result = self._structure.result(dict(state.get("attack", {})))
+        victim = build_victim(dict(self.params["victim"]))
+        truth = [
+            g for g in victim.geometries() if hasattr(g, "canonical")
+        ]
+        found = False
+        for cand in result.candidates:
+            layers = [
+                layer
+                for layer in cand.layers
+                if hasattr(layer.geometry, "canonical")
+            ]
+            if len(layers) == len(truth) and all(
+                layer.geometry.canonical() == true.canonical()
+                for layer, true in zip(layers, truth)
+            ):
+                found = True
+                break
+        out = {
+            "dataflow": self._device_dataflow(),
+            "attack_identified": result.dataflow,
+            "candidates": int(result.count),
+            "num_layers": int(result.num_layers),
+            "expected_layers": len(victim.stages),
+            "truth_found": found,
+        }
+        if "signature" in state:
+            out["signature"] = dict(state["signature"])
+        return out
+
+
+class CloneJob:
+    """End-to-end duplication: the paper's stated objective as a job.
+
+    The probe/evaluation images come from the deterministic synthetic
+    dataset (``dataset`` sub-spec), so agreement figures are in-job
+    truth metrics like everything else.
+    """
+
+    def __init__(
+        self,
+        params: dict,
+        shared_cache: SharedQueryCache | None,
+        budgets: dict,
+    ) -> None:
+        from repro.attacks.clone import CloneAttack
+        from repro.data import make_dataset
+
+        self.params = params
+        victim = build_victim(dict(params["victim"]))
+        self._victim = victim
+        dense = DeviceSession(
+            build_device(victim, {"pruning": False}),
+            shared_cache=shared_cache,
+            **budgets,
+        )
+        pruned = DeviceSession(
+            build_device(victim, {"pruning": True}),
+            shared_cache=shared_cache,
+            **budgets,
+        )
+        ds_spec = dict(params.get("dataset", {}))
+        self._dataset = make_dataset(
+            num_classes=int(ds_spec.get("num_classes", 10)),
+            image_size=int(ds_spec.get("image_size", 14)),
+            channels=int(ds_spec.get("channels", 1)),
+            train_per_class=int(ds_spec.get("train_per_class", 4)),
+            val_per_class=int(ds_spec.get("val_per_class", 2)),
+            seed=int(ds_spec.get("seed", 3)),
+        )
+        self._attack = CloneAttack(
+            dense,
+            pruned,
+            self._dataset.train_images,
+            distill_epochs=int(params.get("distill_epochs", 10)),
+            seed=int(params.get("seed", 0)),
+        )
+
+    def ledgers(self) -> list[QueryLedger]:
+        return [self._attack.dense.ledger, self._attack.pruned.ledger]
+
+    def steps(self) -> list[str]:
+        return self._attack.steps()
+
+    def run_step(self, name: str, state: dict) -> dict:
+        return self._attack.run_step(name, dict(state))
+
+    def metrics(self, state: dict) -> dict:
+        from dataclasses import asdict
+
+        from repro.attacks.clone import prediction_agreement
+
+        result = self._attack.result(state)
+        return {
+            "geometry": asdict(result.geometry),
+            "structure_candidates": int(result.structure_candidates),
+            "weights_resolved_fraction": float(
+                result.weights_resolved_fraction
+            ),
+            "labeling_queries": int(result.labeling_queries),
+            "train_agreement": prediction_agreement(
+                self._victim, result.network, self._dataset.train_images
+            ),
+            "val_agreement": prediction_agreement(
+                self._victim, result.network, self._dataset.val_images
+            ),
+        }
+
+
+JOB_KINDS = {
+    "boundary_recovery": BoundaryRecoveryJob,
+    "weight_recovery": WeightRecoveryJob,
+    "structure": StructureJob,
+    "clone": CloneJob,
+}
+
+
+def build_runner(
+    kind: str,
+    params: dict,
+    *,
+    shared_cache: SharedQueryCache | None = None,
+    budgets: dict | None = None,
+):
+    """Instantiate the stepwise runner for one job."""
+    try:
+        cls = JOB_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown job kind {kind!r}; choose from {sorted(JOB_KINDS)}"
+        ) from None
+    return cls(dict(params), shared_cache, dict(budgets or {}))

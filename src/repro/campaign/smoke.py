@@ -1,0 +1,176 @@
+"""Campaign smoke check: kill-and-resume must be byte-identical.
+
+``python -m repro.campaign.smoke [workdir]`` runs a tiny grid twice:
+
+1. **reference** — one uninterrupted campaign;
+2. **resumed** — the same spec in a fresh directory, driven through
+   subprocesses that hard-exit (``os._exit``, the SIGKILL model) after
+   every few persisted checkpoints, resumed until done.
+
+It then asserts the two ``results.jsonl`` files are byte-identical
+and that the duplicate grid cell consumed zero device queries (every
+probe answered by the shared cache).  Exit code 0 on success; CI runs
+this as the campaign gate and uploads both JSONL files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign import Campaign, CampaignSpec
+
+__all__ = ["SMOKE_SPEC", "run_smoke"]
+
+SMOKE_SPEC = {
+    "name": "smoke",
+    "sweeps": [
+        {
+            "kind": "boundary_recovery",
+            "tenant": "structure",
+            "base": {
+                "victim": {"conv": {"w": 12, "c": 2, "d": 6, "seed": 7}},
+                "runs": 2,
+                "compare_naive": True,
+            },
+            "grid": {
+                "channel": [
+                    {"drop_rate": 0.02, "dup_rate": 0.01,
+                     "cycle_sigma": 40.0, "seed": 11},
+                ],
+            },
+        },
+        {
+            "kind": "weight_recovery",
+            "tenant": "weights",
+            "base": {
+                "victim": {
+                    "conv": {"w": 8, "d": 3, "seed": 5, "bias_sign": -1.0},
+                },
+                "device": {"pruning": True},
+                "search_steps": 12,
+                "filters_per_step": 1,
+            },
+            "grid": {"mode": ["naive", "naive"]},
+        },
+    ],
+}
+
+
+def _run_until_done(root: Path, kill_every: int | None) -> int:
+    """Drive ``Campaign.load(root).run()`` in subprocesses to completion.
+
+    ``kill_every`` persisted checkpoints per subprocess (``None`` runs
+    uninterrupted in-process).  Returns the number of subprocess deaths.
+    """
+    if kill_every is None:
+        Campaign.load(root).run()
+        return 0
+    deaths = 0
+    code = (
+        "import sys\n"
+        "from repro.campaign import Campaign\n"
+        f"Campaign.load({str(root)!r}).run()\n"
+    )
+    for _ in range(1000):
+        env = dict(os.environ)
+        env["REPRO_CAMPAIGN_KILL"] = str(kill_every)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True,
+        )
+        if proc.returncode == 0:
+            return deaths
+        if proc.returncode != 137:
+            raise RuntimeError(
+                f"campaign subprocess failed (rc={proc.returncode}):\n"
+                f"{proc.stderr}"
+            )
+        deaths += 1
+    raise RuntimeError("campaign did not converge under fault injection")
+
+
+def run_smoke(workdir: str | None = None, kill_every: int = 2) -> dict:
+    """Run the smoke scenario; raises on any acceptance failure."""
+    base = Path(workdir) if workdir else Path(tempfile.mkdtemp(
+        prefix=f"repro-campaign-smoke-{os.getpid()}-"
+    ))
+    base.mkdir(parents=True, exist_ok=True)
+    ref_dir = base / "reference"
+    res_dir = base / "resumed"
+
+    Campaign.create(SMOKE_SPEC, ref_dir)
+    _run_until_done(ref_dir, None)
+    Campaign.create(SMOKE_SPEC, res_dir)
+    deaths = _run_until_done(res_dir, kill_every)
+
+    ref_bytes = (ref_dir / "results.jsonl").read_bytes()
+    res_bytes = (res_dir / "results.jsonl").read_bytes()
+    if ref_bytes != res_bytes:
+        raise AssertionError(
+            "kill-and-resume results.jsonl differs from the "
+            "uninterrupted run"
+        )
+    records = [
+        json.loads(line) for line in ref_bytes.decode().splitlines()
+    ]
+    statuses = [r["status"] for r in records]
+    if statuses != ["done"] * len(records):
+        raise AssertionError(f"smoke jobs not all done: {statuses}")
+
+    # The two naive weight cells are identical: the second must answer
+    # every probe from the shared cache (zero extra device queries) and
+    # still report identical scientific figures.
+    weight = [r for r in records if r["kind"] == "weight_recovery"]
+    if len(weight) != 2:
+        raise AssertionError(f"expected 2 weight cells, got {len(weight)}")
+    first, second = weight
+    if first["metrics"]["ratio_digest"] != second["metrics"]["ratio_digest"]:
+        raise AssertionError("duplicate cells disagree on recovered ratios")
+
+    # Fleet-wide dedupe: the duplicate cell must touch the victim zero
+    # times — every probe answered by the shared content-addressed cache.
+    from repro.campaign import JobCheckpoint
+
+    reference = Campaign.load(ref_dir)
+    weight_jobs = [
+        j for j in reference.jobs if j.kind == "weight_recovery"
+    ]
+    ckpt = JobCheckpoint.load(
+        reference.store.jobs_dir, weight_jobs[1].job_id
+    )
+    device_charge = sum(
+        int(s.get("channel_queries", 0)) + int(s.get("inferences", 0))
+        for s in ckpt.ledgers
+    )
+    if device_charge != 0:
+        raise AssertionError(
+            f"duplicate cell hit the device {device_charge} times; "
+            "expected 0 (shared cache must absorb it)"
+        )
+    ref_status = reference.status()
+    summary = {
+        "records": len(records),
+        "deaths": deaths,
+        "bytes": len(ref_bytes),
+        "cache": ref_status["cache"],
+        "tenants": ref_status["tenants"],
+    }
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    workdir = args[0] if args else None
+    summary = run_smoke(workdir)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print("campaign smoke: OK (kill-and-resume byte-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

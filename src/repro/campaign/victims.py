@@ -1,0 +1,154 @@
+"""Deterministic victim / device / channel construction from job params.
+
+Every campaign job describes its victim declaratively so any process —
+coordinator, warm pool worker, a resume days later — rebuilds exactly
+the same device.  Two victim families cover the repo's experiments:
+
+* ``{"model": "lenet", ...}`` — a zoo model
+  (:func:`repro.nn.zoo.build_model` keyword arguments pass through);
+* ``{"conv": {...}}`` — a one-stage synthetic conv victim with seeded
+  random weights, the shape every weight-recovery experiment uses.
+
+The builders are pure functions of the spec dicts (seeded RNG only),
+which is what lets the shared query cache's device fingerprint match
+across sessions: same spec, same parameter bytes, same fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import AcceleratorConfig, AcceleratorSim, PruningConfig
+from repro.channel import ChannelModel
+from repro.device import DeviceSession, SharedQueryCache
+from repro.errors import ConfigError
+from repro.nn.shapes import PoolSpec
+from repro.nn.spec import LayerGeometry
+from repro.nn.stages import StagedNetwork, StagedNetworkBuilder
+from repro.nn.zoo import build_model
+
+__all__ = [
+    "build_channel",
+    "build_conv_victim",
+    "build_device",
+    "build_victim",
+    "job_session",
+]
+
+
+def build_conv_victim(spec: dict) -> StagedNetwork:
+    """One-stage conv victim with seeded random weights.
+
+    Keys (all optional unless noted): ``w`` image width (required),
+    ``c`` input channels, ``d`` filters, ``f``/``s``/``p`` conv shape,
+    ``pool`` as ``[f, s, p]`` or absent, ``relu_threshold``, ``seed``,
+    ``zero_fraction`` (weights with ``|w|`` below it are zeroed),
+    ``bias_low``/``bias_high`` (uniform magnitude range) and
+    ``bias_sign`` (``-1.0``/``1.0``; absent draws signs randomly).
+    """
+    if "w" not in spec:
+        raise ConfigError(f"conv victim spec needs 'w': {spec!r}")
+    w = int(spec["w"])
+    c = int(spec.get("c", 1))
+    d = int(spec.get("d", 3))
+    f = int(spec.get("f", 3))
+    s = int(spec.get("s", 1))
+    p = int(spec.get("p", 0))
+    pool = spec.get("pool")
+    pool_spec = PoolSpec(*[int(v) for v in pool]) if pool else None
+    relu_threshold = spec.get("relu_threshold", 0.0)
+    rng = np.random.default_rng(int(spec.get("seed", 5)))
+    builder = StagedNetworkBuilder(
+        "victim",
+        (c, w, w),
+        None if relu_threshold is None else float(relu_threshold),
+    )
+    geom = LayerGeometry.from_conv(w, c, d, f, s, p, pool=pool_spec)
+    builder.add_conv("conv1", geom)
+    staged = builder.build()
+    conv = staged.network.nodes["conv1/conv"].layer
+    weights = rng.normal(size=conv.weight.value.shape)
+    weights[np.abs(weights) < float(spec.get("zero_fraction", 0.15))] = 0.0
+    conv.weight.value[:] = weights
+    magnitude = rng.uniform(
+        float(spec.get("bias_low", 0.3)),
+        float(spec.get("bias_high", 1.2)),
+        size=d,
+    )
+    sign = spec.get("bias_sign")
+    if sign is None:
+        conv.bias.value[:] = magnitude * rng.choice([-1.0, 1.0], size=d)
+    else:
+        conv.bias.value[:] = magnitude * float(sign)
+    return staged
+
+
+def build_victim(spec: dict) -> StagedNetwork:
+    """Build the victim network a job names."""
+    if "conv" in spec:
+        return build_conv_victim(dict(spec["conv"]))
+    if "model" in spec:
+        kwargs = {k: v for k, v in spec.items() if k != "model"}
+        return build_model(str(spec["model"]), **kwargs)
+    raise ConfigError(f"victim spec needs 'model' or 'conv': {spec!r}")
+
+
+def build_device(
+    victim: StagedNetwork, device_spec: dict | None
+) -> AcceleratorSim:
+    """Build the deployed accelerator for one job."""
+    spec = dict(device_spec or {})
+    pruning = PruningConfig(
+        enabled=bool(spec.get("pruning", False)),
+        granularity=str(spec.get("granularity", "plane")),
+    )
+    config = AcceleratorConfig(
+        pruning=pruning,
+        dataflow=str(spec.get("dataflow", "output-stationary")),
+    )
+    return AcceleratorSim(victim, config)
+
+
+def build_channel(channel_spec: dict | None) -> ChannelModel:
+    """Build the measurement channel for one job (ideal when absent)."""
+    if not channel_spec:
+        return ChannelModel.ideal()
+    spec = dict(channel_spec)
+    granularity = spec.get("probe_granularity")
+    return ChannelModel(
+        drop_rate=float(spec.get("drop_rate", 0.0)),
+        dup_rate=float(spec.get("dup_rate", 0.0)),
+        probe_granularity=None if granularity is None else int(granularity),
+        cycle_sigma=float(spec.get("cycle_sigma", 0.0)),
+        counter_sigma=float(spec.get("counter_sigma", 0.0)),
+        counter_quantum=int(spec.get("counter_quantum", 1)),
+        seed=int(spec.get("seed", 0)),
+    )
+
+
+def job_session(
+    params: dict,
+    *,
+    shared_cache: SharedQueryCache | None = None,
+    max_queries: int | None = None,
+    max_inferences: int | None = None,
+    max_trace_bytes: int | None = None,
+) -> DeviceSession:
+    """The metered session for one job's main channel.
+
+    ``params`` carries ``victim`` (required), ``device`` and
+    ``channel`` sub-specs; quota-derived budgets arrive as the
+    ``max_*`` keywords and land on the session's hard-budget ledger.
+    """
+    victim = build_victim(dict(params["victim"]))
+    sim = build_device(victim, params.get("device"))
+    stage = params.get("stage")
+    return DeviceSession(
+        sim,
+        None if stage is None else str(stage),
+        channel=build_channel(params.get("channel")),
+        shared_cache=shared_cache,
+        max_queries=max_queries,
+        max_inferences=max_inferences,
+        max_trace_bytes=max_trace_bytes,
+    )

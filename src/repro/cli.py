@@ -1,11 +1,12 @@
 """Command-line interface: drive the simulator and the attacks.
 
-Four subcommands cover the repo's story end to end::
+Five subcommands cover the repo's story end to end::
 
     python -m repro simulate  --model lenet [--pruned] [--save-trace t.npz]
     python -m repro structure --model alexnet [--dataflow weight-stationary]
     python -m repro weights   [--filters 8] [--size 43] [--threshold]
     python -m repro clone     [--probes 80] [--epochs 15]
+    python -m repro campaign  run|status|resume --dir DIR [--spec SPEC.json]
 
 Every command targets the bundled simulator — there is no code here
 that touches real hardware.
@@ -285,6 +286,45 @@ def cmd_clone(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import Campaign
+    from repro.report.summary import render_campaign_summary
+
+    root = Path(args.dir)
+    if args.action == "status":
+        campaign = Campaign.load(root)
+        status = campaign.status()
+        print(json.dumps(status, indent=2, sort_keys=True))
+        records = campaign.store.read_all()
+        if records:
+            print()
+            print(render_campaign_summary(records))
+        return 0
+
+    # run / resume: both drive every pending job to completion; run may
+    # first create the directory from a spec file.
+    if args.action == "run" and not (root / "spec.json").exists():
+        if not args.spec:
+            print(
+                f"no campaign at {root}; pass --spec to create one",
+                file=sys.stderr,
+            )
+            return 2
+        spec = json.loads(Path(args.spec).read_text())
+        campaign = Campaign.create(spec, root)
+    else:
+        campaign = Campaign.load(root)
+    status = campaign.run(workers=args.workers)
+    done = status["by_status"].get("done", 0)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    print(f"\ncampaign {status['name']}: {done}/{status['jobs']} jobs done; "
+          f"results in {campaign.store.results_path}")
+    return 0 if done == status["jobs"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +387,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(cl)
     _add_channel_flags(cl)
     cl.set_defaults(func=cmd_clone)
+
+    cp = sub.add_parser(
+        "campaign",
+        help="resumable, metered attack campaigns (see repro.campaign)",
+    )
+    cp.add_argument("action", choices=("run", "status", "resume"),
+                    help="run: create (with --spec) and/or execute "
+                         "pending jobs; resume: finish an interrupted "
+                         "campaign; status: job/quota/cache accounting")
+    cp.add_argument("--dir", required=True,
+                    help="campaign directory (spec, checkpoints, shared "
+                         "cache, results.jsonl)")
+    cp.add_argument("--spec", default=None,
+                    help="campaign spec JSON file (only with 'run' on a "
+                         "new directory)")
+    _add_workers_flag(cp)
+    cp.set_defaults(func=cmd_campaign)
     return parser
 
 

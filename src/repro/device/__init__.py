@@ -24,6 +24,12 @@ from repro.device.backends import (
 from repro.device.cache import QueryCache
 from repro.device.ledger import TRACE_EVENT_BYTES, QueryLedger
 from repro.device.session import DeviceSession, VictimDevice
+from repro.device.shared_cache import (
+    SharedQueryCache,
+    array_digest,
+    content_key,
+    device_fingerprint,
+)
 from repro.errors import QueryBudgetExceeded
 
 __all__ = [
@@ -33,6 +39,10 @@ __all__ = [
     "QueryLedger",
     "QueryBudgetExceeded",
     "QueryCache",
+    "SharedQueryCache",
+    "content_key",
+    "device_fingerprint",
+    "array_digest",
     "CoalescingSink",
     "TRACE_EVENT_BYTES",
     "BackendSpec",

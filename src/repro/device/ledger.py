@@ -30,6 +30,7 @@ class QueryLedger:
 
     max_queries: int | None = None
     max_inferences: int | None = None
+    max_trace_bytes: int | None = None
     channel_queries: int = 0
     inferences: int = 0
     repeat_queries: int = 0
@@ -37,6 +38,8 @@ class QueryLedger:
     trace_bytes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    shared_hits: int = 0
+    cached_inferences: int = 0
 
     # -- charging ---------------------------------------------------------
     def charge_channel(self, n: int = 1) -> None:
@@ -79,13 +82,48 @@ class QueryLedger:
         self.repeat_queries += n
 
     def record_trace(self, num_events: int) -> None:
-        """Account the bytes of one observed memory trace."""
+        """Account the bytes of one observed memory trace.
+
+        Subject to the ``max_trace_bytes`` budget: a trace that would
+        push ``trace_bytes`` past the budget raises
+        :class:`~repro.errors.QueryBudgetExceeded`.  Unlike the query
+        budgets the check necessarily happens *after* the device ran
+        (event counts are only known once the trace streamed), so the
+        observation that tripped the budget is still accounted before
+        the exception propagates.
+        """
+        extra = num_events * TRACE_EVENT_BYTES
         self.trace_events += num_events
-        self.trace_bytes += num_events * TRACE_EVENT_BYTES
+        self.trace_bytes += extra
+        if (
+            self.max_trace_bytes is not None
+            and self.trace_bytes > self.max_trace_bytes
+        ):
+            raise QueryBudgetExceeded(
+                f"trace byte budget exhausted: {self.trace_bytes} bytes "
+                f"observed exceeds the budget of {self.max_trace_bytes}"
+            )
 
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
         self.cache_hits += hits
         self.cache_misses += misses
+
+    def record_shared_hits(self, n: int = 1) -> None:
+        """Account ``n`` probe replies served by the fleet-wide shared
+        cache.  Shared hits are also counted as ordinary cache hits (a
+        lookup that did not run the device); this counter separates
+        cross-session reuse from same-session LRU reuse."""
+        if n < 0:
+            raise ConfigError(f"cannot record a negative hit count: {n}")
+        self.shared_hits += n
+
+    def record_cached_inference(self, n: int = 1) -> None:
+        """Account ``n`` structure observations replayed from the shared
+        cache instead of running the device.  Budget-exempt: the device
+        did not run."""
+        if n < 0:
+            raise ConfigError(f"cannot record a negative count: {n}")
+        self.cached_inferences += n
 
     # -- merging ----------------------------------------------------------
     def merge(self, *others: "QueryLedger") -> "QueryLedger":
@@ -108,12 +146,79 @@ class QueryLedger:
             self.trace_bytes += other.trace_bytes
             self.cache_hits += other.cache_hits
             self.cache_misses += other.cache_misses
+            self.shared_hits += other.shared_hits
+            self.cached_inferences += other.cached_inferences
+        return self
+
+    # -- checkpointing -----------------------------------------------------
+    _COUNTERS = (
+        "channel_queries",
+        "inferences",
+        "repeat_queries",
+        "trace_events",
+        "trace_bytes",
+        "cache_hits",
+        "cache_misses",
+        "shared_hits",
+        "cached_inferences",
+    )
+
+    def snapshot(self) -> dict:
+        """All counters as a plain JSON-serialisable dict.
+
+        Budgets are included so a restored ledger enforces the same
+        limits.  ``restore(snapshot())`` is a no-op round trip, and
+        snapshots taken at different points in a run can be diffed
+        counter-by-counter.
+        """
+        state = {name: getattr(self, name) for name in self._COUNTERS}
+        state["max_queries"] = self.max_queries
+        state["max_inferences"] = self.max_inferences
+        state["max_trace_bytes"] = self.max_trace_bytes
+        return state
+
+    def restore(self, state: dict) -> "QueryLedger":
+        """Overwrite counters (and budgets, if present) from a snapshot.
+
+        Unlike :meth:`merge` this is *assignment*, not accumulation:
+        restoring the same snapshot any number of times leaves the
+        ledger in the same state, which is what makes the campaign
+        resume flow idempotent — a job re-loaded after a partial merge
+        starts from exactly the persisted account.
+        """
+        for name in self._COUNTERS:
+            setattr(self, name, int(state.get(name, 0)))
+        for budget in ("max_queries", "max_inferences", "max_trace_bytes"):
+            if budget in state:
+                value = state[budget]
+                setattr(self, budget, None if value is None else int(value))
         return self
 
     # -- reporting --------------------------------------------------------
     @property
     def cache_lookups(self) -> int:
         return self.cache_hits + self.cache_misses
+
+    @property
+    def probe_lookups(self) -> int:
+        """Total channel probes the attack *issued* (hit or miss).
+
+        Deterministic for a deterministic attack: every probe is either
+        served from a cache or charged to the device, so this total is
+        independent of cache state — the figure campaign result records
+        report, because it is identical between an uninterrupted run and
+        a kill-and-resume run whose hit/miss split differs.
+        """
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def observations(self) -> int:
+        """Total structure observations consumed (live or replayed).
+
+        Like :attr:`probe_lookups`, invariant under cache state: a
+        replayed observation counts here exactly like a charged one.
+        """
+        return self.inferences + self.cached_inferences
 
     @property
     def hit_rate(self) -> float:
@@ -129,6 +234,10 @@ class QueryLedger:
         ]
         if self.repeat_queries:
             parts.append(f"noise repeats={self.repeat_queries:,}")
+        if self.cached_inferences:
+            parts.append(f"replayed observations={self.cached_inferences:,}")
+        if self.shared_hits:
+            parts.append(f"shared-cache hits={self.shared_hits:,}")
         parts += [
             f"cache hit rate={self.hit_rate:.1%} "
             f"({self.cache_hits:,}/{self.cache_lookups:,})",

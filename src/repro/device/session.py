@@ -34,12 +34,18 @@ from repro.accel.oracle import Pixel, StageOracle
 from repro.accel.simulator import AcceleratorConfig, SimulationResult
 from repro.accel.sinks import MaterializeSink
 from repro.accel.timing import TimingModel
-from repro.accel.trace import TraceSink, TraceSpan
+from repro.accel.trace import MemoryTrace, TraceSink, TraceSpan
 from repro.channel import ChannelModel, ChannelSink
 from repro.device.backends import BackendSpec, resolve_backend
 from repro.device.cache import QueryCache
 from repro.device.ledger import QueryLedger
 from repro.device.observation import StructureObservation
+from repro.device.shared_cache import (
+    SharedQueryCache,
+    array_digest,
+    content_key,
+    device_fingerprint,
+)
 from repro.errors import ConfigError, ThreatModelViolation
 from repro.nn.stages import StagedNetwork
 
@@ -69,15 +75,22 @@ class _MeteredBoundary:
     Spans cross the boundary untouched (the access pattern is exactly
     what the threat model leaks) and are counted for ledger accounting;
     ``begin_stage`` is swallowed — stage identity is device ground
-    truth, not an attacker observation.
+    truth, not an attacker observation.  With a ``recorder`` the post-
+    channel stream is additionally captured for the shared observation
+    cache.
     """
 
-    def __init__(self, inner: TraceSink) -> None:
+    def __init__(
+        self, inner: TraceSink, recorder: "_SpanRecorder | None" = None
+    ) -> None:
         self._inner = inner
+        self._recorder = recorder
         self.events = 0
 
     def emit(self, span: TraceSpan) -> None:
         self.events += len(span)
+        if self._recorder is not None:
+            self._recorder.emit(span)
         self._inner.emit(span)
 
     def begin_stage(self, name: str, kind: str) -> None:
@@ -85,6 +98,30 @@ class _MeteredBoundary:
 
     def close(self) -> None:
         self._inner.close()
+
+
+class _SpanRecorder:
+    """Accumulates one observation's post-channel stream as flat arrays."""
+
+    def __init__(self) -> None:
+        self._cycles: list[np.ndarray] = []
+        self._addresses: list[np.ndarray] = []
+        self._is_write: list[np.ndarray] = []
+
+    def emit(self, span: TraceSpan) -> None:
+        self._cycles.append(np.asarray(span.cycles))
+        self._addresses.append(np.asarray(span.addresses))
+        self._is_write.append(np.asarray(span.is_write))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not self._cycles:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=bool)
+        return (
+            np.concatenate(self._cycles),
+            np.concatenate(self._addresses),
+            np.concatenate(self._is_write),
+        )
 
 
 class DeviceSession:
@@ -125,9 +162,11 @@ class DeviceSession:
         input_range: tuple[float, float] = (-256.0, 256.0),
         max_queries: int | None = None,
         max_inferences: int | None = None,
+        max_trace_bytes: int | None = None,
         cache_size: int | None = 100_000,
         ledger: QueryLedger | None = None,
         channel: ChannelModel | None = None,
+        shared_cache: SharedQueryCache | None = None,
     ):
         self.device = device
         self.stage_name = stage_name or device.staged.stages[0].name
@@ -137,7 +176,9 @@ class DeviceSession:
             ledger
             if ledger is not None
             else QueryLedger(
-                max_queries=max_queries, max_inferences=max_inferences
+                max_queries=max_queries,
+                max_inferences=max_inferences,
+                max_trace_bytes=max_trace_bytes,
             )
         )
         self._cache = QueryCache(cache_size) if cache_size else None
@@ -148,6 +189,8 @@ class DeviceSession:
         self._threshold = 0.0
         self._obs_runs = 0
         self._forks = 0
+        self._shared = shared_cache
+        self._fingerprint: str | None = None
 
     def fork(self, index: int | None = None) -> "DeviceSession":
         """A fresh session on the same device, for one parallel worker.
@@ -180,8 +223,10 @@ class DeviceSession:
             input_range=self.input_range,
             max_queries=self.ledger.max_queries,
             max_inferences=self.ledger.max_inferences,
+            max_trace_bytes=self.ledger.max_trace_bytes,
             cache_size=self._cache_size,
             channel=self.channel.spawn(index),
+            shared_cache=self._shared,
         )
         if self._threshold != 0.0:
             forked.set_threshold(self._threshold)
@@ -247,12 +292,77 @@ class DeviceSession:
         """The pruning threshold this session last tuned (0.0 = stock)."""
         return self._threshold
 
+    # -- shared-cache key derivation ---------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content address of the victim device (see
+        :func:`~repro.device.shared_cache.device_fingerprint`)."""
+        if self._fingerprint is None:
+            self._fingerprint = device_fingerprint(self.device)
+        return self._fingerprint
+
+    def _probe_key(self, key: tuple) -> str:
+        """Fleet-wide content address of one probe reply.
+
+        Extends the session-local LRU key (threshold, pixels, values,
+        rep) with the victim fingerprint, the observed stage, the
+        attacker's count projection and the counter-noise parameters —
+        everything that determines the reply's bytes.  Counter noise is
+        content-keyed and spawn-independent, so forked sessions share
+        probe entries.
+        """
+        thr, pixel_key, row_bytes, rep = key
+        ch = self.channel
+        return content_key(
+            b"probe",
+            self.fingerprint,
+            self.stage_name,
+            self.per_plane,
+            thr,
+            repr(pixel_key),
+            row_bytes,
+            rep,
+            ch.counter_sigma,
+            ch.counter_quantum,
+            ch.seed,
+        )
+
+    def _observation_key(self, x: np.ndarray, run_index: int) -> str:
+        """Fleet-wide content address of one structure observation.
+
+        Trace noise is drawn per (seed, spawn_key, run_index), so all
+        three join the input digest and the trace-noise parameters in
+        the key; a clean channel ignores run_index by construction but
+        keying on it is still correct (all runs produce the same
+        stream and the first one charged populates the entry for the
+        rest — run_index is folded to 0 when the channel is clean so
+        repeat runs hit).
+        """
+        ch = self.channel
+        run = run_index if ch.trace_noisy else 0
+        return content_key(
+            b"observe",
+            self.fingerprint,
+            array_digest(x),
+            run,
+            ch.drop_rate,
+            ch.dup_rate,
+            ch.probe_granularity,
+            ch.cycle_sigma,
+            ch.seed,
+            repr(ch.spawn_key),
+        )
+
+    def _classify_key(self, x: np.ndarray) -> str:
+        return content_key(b"classify", self.fingerprint, array_digest(x))
+
     # -- structure side (paper Section 3) ---------------------------------
     def observe_structure(
         self,
         x: np.ndarray | None = None,
         seed: int = 0,
         sink: TraceSink | None = None,
+        run: int | None = None,
     ) -> StructureObservation:
         """One metered inference yielding the structure attacker's view.
 
@@ -270,6 +380,18 @@ class DeviceSession:
         sink (and the ledger) sees is the post-channel event stream;
         each call is a new observation run with its own noise stream,
         letting consensus estimators average over runs.
+
+        ``run`` pins the observation run index explicitly (the noise
+        stream for noisy channels).  Checkpointable attack steps use it
+        so a resumed attack re-observes run ``k`` under run ``k``'s
+        noise stream, bit-identical to the uninterrupted run; left at
+        ``None`` the session numbers runs in call order as before.
+
+        With a shared cache attached, the post-channel event stream of
+        each (input, run) is stored content-addressed; a later session
+        observing the same configuration replays the stream span by
+        span — the ledger then records a *cached* inference and the
+        device never runs.
         """
         if self.pruning_enabled:
             raise ThreatModelViolation(
@@ -280,9 +402,18 @@ class DeviceSession:
         if x is None:
             rng = np.random.default_rng(seed)
             x = rng.normal(size=(1, *self.image_shape))
+        run_index = self._obs_runs if run is None else int(run)
+        self._obs_runs = max(self._obs_runs, run_index) + 1
+
+        obs_key: str | None = None
+        if self._shared is not None:
+            obs_key = self._observation_key(x, run_index)
+            payload = self._shared.get_observation(obs_key)
+            if payload is not None:
+                return self._replay_observation(payload, sink)
+
         self.ledger.charge_inference()
-        run_index = self._obs_runs
-        self._obs_runs += 1
+        recorder = _SpanRecorder() if obs_key is not None else None
         if sink is None:
             if self.channel.trace_noisy:
                 mat = MaterializeSink()
@@ -294,14 +425,28 @@ class DeviceSession:
                 result = self.device.run(x)
                 trace = result.trace
             self.ledger.record_trace(len(trace))
+            if recorder is not None:
+                recorder.emit(
+                    TraceSpan(trace.cycles, trace.addresses, trace.is_write)
+                )
         else:
-            boundary = _MeteredBoundary(sink)
+            boundary = _MeteredBoundary(sink, recorder)
             run_sink: TraceSink = boundary
             if self.channel.trace_noisy:
                 run_sink = ChannelSink(boundary, self.channel, run_index)
             result = self.device.run(x, sink=run_sink)
             trace = None
             self.ledger.record_trace(boundary.events)
+        if obs_key is not None and recorder is not None:
+            cycles, addresses, is_write = recorder.arrays()
+            self._shared.put_observation(
+                obs_key,
+                cycles,
+                addresses,
+                is_write,
+                int(result.output.shape[-1]),
+                result.total_cycles,
+            )
         return StructureObservation(
             trace=trace,
             input_shape=self.image_shape,
@@ -311,15 +456,66 @@ class DeviceSession:
             total_cycles=result.total_cycles,
         )
 
+    def _replay_observation(
+        self, payload: dict, sink: TraceSink | None
+    ) -> StructureObservation:
+        """Serve one observation from the shared cache, device idle.
+
+        The stored stream is already post-channel; it is replayed into
+        the attacker's sink in bounded chunks (or materialised when no
+        sink was given), and the ledger records a cached inference plus
+        the trace bytes — the attacker's view and trace account match a
+        live run bit for bit, only the charged-inference count differs.
+        """
+        cycles = payload["cycles"]
+        addresses = payload["addresses"]
+        is_write = payload["is_write"]
+        self.ledger.record_cached_inference()
+        self.ledger.record_trace(len(cycles))
+        trace: MemoryTrace | None = None
+        if sink is None:
+            trace = MemoryTrace(cycles, addresses, is_write)
+        else:
+            chunk = 1 << 18
+            for lo in range(0, len(cycles), chunk):
+                hi = lo + chunk
+                sink.emit(
+                    TraceSpan(cycles[lo:hi], addresses[lo:hi], is_write[lo:hi])
+                )
+            # A live run closes the attacker's sink when the device
+            # finishes; buffering sinks flush on close, so replay must
+            # observe the same protocol.
+            sink.close()
+        return StructureObservation(
+            trace=trace,
+            input_shape=self.image_shape,
+            num_classes=payload["num_classes"],
+            element_bytes=self.element_bytes,
+            block_bytes=self.block_bytes,
+            total_cycles=payload["total_cycles"],
+        )
+
     def classify(self, x: np.ndarray) -> np.ndarray:
         """Submit an input batch and read the classification scores.
 
         This is the normal-user API of Figure 2 — the host always sees
         the model's output — used by the cloning attack to label its
-        training set.  Charged one inference per call.
+        training set.  Charged one inference per call; with a shared
+        cache attached, a batch labelled anywhere in the fleet is
+        replayed as a cached inference.
         """
+        key: str | None = None
+        if self._shared is not None:
+            key = self._classify_key(np.asarray(x))
+            cached = self._shared.get_output(key)
+            if cached is not None:
+                self.ledger.record_cached_inference()
+                return cached
         self.ledger.charge_inference()
-        return self.device.run(x).output
+        output = self.device.run(x).output
+        if key is not None:
+            self._shared.put_output(key, output)
+        return output
 
     # -- weight side (paper Section 4) ------------------------------------
     def _channel_oracle(self) -> StageOracle:
@@ -376,6 +572,7 @@ class DeviceSession:
         pending: dict[tuple, list[int]] = {}
         pending_rows: list[np.ndarray] = []
         hits = 0
+        shared_hits = 0
         for b, key in enumerate(keys):
             cached = self._cache.get(key) if self._cache else None
             if cached is not None:
@@ -387,6 +584,19 @@ class DeviceSession:
                 pending[key].append(b)
                 hits += 1
             else:
+                if self._shared is not None:
+                    reply = self._shared.get_reply(self._probe_key(key))
+                    if reply is not None:
+                        # Served fleet-wide: some other session already
+                        # paid for this probe.  Counted as a cache hit
+                        # (the lookup total stays deterministic) and
+                        # promoted into the local LRU.
+                        replies[b] = reply
+                        hits += 1
+                        shared_hits += 1
+                        if self._cache is not None:
+                            self._cache.put(key, reply)
+                        continue
                 pending[key] = [b]
                 pending_rows.append(np.asarray(rows[b], dtype=float))
         if pending_rows:
@@ -405,9 +615,13 @@ class DeviceSession:
                 reply.setflags(write=False)
                 if self._cache is not None:
                     self._cache.put(key, reply)
+                if self._shared is not None:
+                    self._shared.put_reply(self._probe_key(key), reply)
                 for b in pending[key]:
                     replies[b] = reply
         self.ledger.record_cache(hits=hits, misses=len(pending_rows))
+        if shared_hits:
+            self.ledger.record_shared_hits(shared_hits)
         return replies  # type: ignore[return-value]
 
     def query(self, pixels: list[Pixel], values, rep: int = 0) -> np.ndarray:

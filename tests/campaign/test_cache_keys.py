@@ -1,0 +1,99 @@
+"""Cache-key stability: same spec, same keys — any session, any process.
+
+The fleet-wide dedupe guarantee rests on content addressing: a probe's
+shared-cache key must be a pure function of the victim spec, the stage,
+the probe content and the channel's noise parameters.  These tests pin
+that property across fresh sessions in-process and across interpreter
+boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.campaign.victims import build_device, build_victim, job_session
+from repro.device import content_key, device_fingerprint
+
+PARAMS = {
+    "victim": {"conv": {"w": 6, "d": 2, "seed": 9}},
+    "device": {"pruning": True},
+    "stage": "conv1",
+    "channel": {"counter_sigma": 0.5, "seed": 3},
+}
+
+
+def _probe_key(session) -> str:
+    # The session-local LRU key shape: (threshold, pixel key, row bytes,
+    # repeat index).
+    return session._probe_key((0.0, ((0, 0, 1.0),), 64, 0))
+
+
+def test_fingerprint_stable_across_sessions():
+    a = build_device(build_victim(PARAMS["victim"]), PARAMS["device"])
+    b = build_device(build_victim(PARAMS["victim"]), PARAMS["device"])
+    assert device_fingerprint(a) == device_fingerprint(b)
+
+
+def test_fingerprint_tracks_the_spec():
+    base = build_device(build_victim(PARAMS["victim"]), PARAMS["device"])
+    other_victim = build_device(
+        build_victim({"conv": {"w": 6, "d": 2, "seed": 10}}),
+        PARAMS["device"],
+    )
+    other_device = build_device(build_victim(PARAMS["victim"]), None)
+    assert device_fingerprint(base) != device_fingerprint(other_victim)
+    assert device_fingerprint(base) != device_fingerprint(other_device)
+
+
+def test_probe_and_observation_keys_stable_across_sessions():
+    s1 = job_session(PARAMS)
+    s2 = job_session(PARAMS)
+    assert _probe_key(s1) == _probe_key(s2)
+    x = np.zeros((1, *s1.image_shape))
+    assert s1._observation_key(x, 2) == s2._observation_key(x, 2)
+
+
+def test_keys_separate_channels_and_repeats():
+    noisier = dict(PARAMS, channel={"counter_sigma": 1.0, "seed": 3})
+    s1 = job_session(PARAMS)
+    s2 = job_session(noisier)
+    assert _probe_key(s1) != _probe_key(s2)
+    assert s1._probe_key((0.0, ((0, 0, 1.0),), 64, 0)) != s1._probe_key(
+        (0.0, ((0, 0, 1.0),), 64, 1)
+    )
+
+
+def test_keys_stable_across_processes():
+    """A resume days later, in a new interpreter, derives the same keys."""
+    code = (
+        "import json, sys\n"
+        "import numpy as np\n"
+        "from repro.campaign.victims import job_session\n"
+        "params = json.loads(sys.argv[1])\n"
+        "s = job_session(params)\n"
+        "x = np.zeros((1, *s.image_shape))\n"
+        "print(json.dumps({\n"
+        "    'fingerprint': s.fingerprint,\n"
+        "    'probe': s._probe_key((0.0, ((0, 0, 1.0),), 64, 0)),\n"
+        "    'observe': s._observation_key(x, 2),\n"
+        "}))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(PARAMS)],
+        capture_output=True, text=True, check=True,
+    )
+    remote = json.loads(proc.stdout)
+    local = job_session(PARAMS)
+    x = np.zeros((1, *local.image_shape))
+    assert remote["fingerprint"] == local.fingerprint
+    assert remote["probe"] == _probe_key(local)
+    assert remote["observe"] == local._observation_key(x, 2)
+
+
+def test_content_key_domain_separated():
+    assert content_key(b"probe", "x") != content_key(b"observe", "x")
+    assert content_key(b"probe", 1, None) != content_key(b"probe", None, 1)

@@ -1,0 +1,85 @@
+"""Ledger semantics the campaign resume flow depends on.
+
+A job checkpoint persists ledger *snapshots*; resume restores them by
+assignment.  These tests pin the algebra: merges are order-invariant,
+snapshot/restore round trips are idempotent under arbitrary repetition
+(the kill-and-resume window can replay them any number of times), and
+the deterministic reporting figures are stable under both.
+"""
+
+from __future__ import annotations
+
+from repro.device import QueryLedger
+
+
+def _shard(queries: int, hits: int, misses: int) -> QueryLedger:
+    led = QueryLedger()
+    led.charge_channel(queries)
+    led.record_cache(hits=hits, misses=misses)
+    led.record_trace(queries)
+    return led
+
+
+def test_merge_is_order_invariant():
+    shards = [_shard(3, 1, 2), _shard(5, 4, 1), _shard(7, 0, 7)]
+    forward = QueryLedger().merge(*shards)
+    backward = QueryLedger().merge(*reversed(shards))
+    one_by_one = QueryLedger()
+    for shard in shards:
+        one_by_one.merge(shard)
+    assert forward.snapshot() == backward.snapshot()
+    assert forward.snapshot() == one_by_one.snapshot()
+
+
+def test_restore_is_assignment_not_accumulation():
+    led = _shard(10, 5, 5)
+    snap = led.snapshot()
+    for _ in range(3):
+        led.restore(snap)
+    assert led.snapshot() == snap
+    # Restoring onto a dirty ledger overwrites, never adds.
+    dirty = _shard(99, 9, 9)
+    assert dirty.restore(snap).snapshot() == snap
+
+
+def test_resume_replay_is_idempotent():
+    """The crash window: persist, die, restore, redo — counts converge.
+
+    A step that ran once before the kill and once after restore must
+    land on the same account as an uninterrupted run, because restore
+    rewinds to the persisted snapshot before the step re-runs.
+    """
+    uninterrupted = QueryLedger()
+    uninterrupted.charge_channel(4)   # step 1
+    uninterrupted.charge_channel(6)   # step 2
+
+    resumed = QueryLedger()
+    resumed.charge_channel(4)         # step 1
+    checkpoint = resumed.snapshot()   # persisted
+    resumed.charge_channel(6)         # step 2 ... crash before persist
+    resumed.restore(checkpoint)       # resume loads the checkpoint
+    resumed.charge_channel(6)         # step 2 replays
+    assert resumed.snapshot() == uninterrupted.snapshot()
+
+
+def test_merge_after_restore_matches_serial_account():
+    # Campaign parallel flow: restore the persisted account, then fold
+    # worker shards in whatever order they complete.
+    snap = _shard(10, 2, 8).snapshot()
+    a = QueryLedger().restore(snap).merge(_shard(3, 3, 0), _shard(4, 0, 4))
+    b = QueryLedger().restore(snap).merge(_shard(4, 0, 4), _shard(3, 3, 0))
+    assert a.snapshot() == b.snapshot()
+    assert a.channel_queries == 17
+
+
+def test_snapshot_preserves_budgets_and_reporting_figures():
+    led = QueryLedger(max_queries=100, max_inferences=None)
+    led.charge_channel(7)
+    led.charge_inference(2)
+    led.record_cached_inference(3)
+    led.record_cache(hits=5, misses=7)
+    restored = QueryLedger().restore(led.snapshot())
+    assert restored.max_queries == 100
+    assert restored.max_inferences is None
+    assert restored.probe_lookups == led.probe_lookups == 12
+    assert restored.observations == led.observations == 5

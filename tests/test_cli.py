@@ -106,3 +106,47 @@ def test_parser_rejects_unknown_model():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_campaign_run_status_resume(capsys, tmp_path):
+    import json
+
+    spec = {
+        "name": "cli-smoke",
+        "sweeps": [{
+            "kind": "weight_recovery",
+            "tenant": "weights",
+            "base": {
+                "victim": {"conv": {"w": 6, "d": 2, "seed": 9}},
+                "device": {"pruning": True},
+                "search_steps": 8,
+                "filters_per_step": 1,
+            },
+        }],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    root = tmp_path / "campaign"
+
+    out = run_cli(
+        capsys, "campaign", "run", "--dir", str(root),
+        "--spec", str(spec_path),
+    )
+    assert "campaign cli-smoke: 1/1 jobs done" in out
+    assert (root / "results.jsonl").exists()
+
+    out = run_cli(capsys, "campaign", "status", "--dir", str(root))
+    assert '"done": 1' in out
+    assert "weight_recovery" in out  # summary table rendered
+
+    # Resume on a finished campaign is a no-op that leaves results alone.
+    before = (root / "results.jsonl").read_bytes()
+    run_cli(capsys, "campaign", "resume", "--dir", str(root))
+    assert (root / "results.jsonl").read_bytes() == before
+
+
+def test_campaign_run_without_spec_fails(capsys, tmp_path):
+    assert main(
+        ["campaign", "run", "--dir", str(tmp_path / "nowhere")]
+    ) == 2
+    assert "pass --spec" in capsys.readouterr().err
