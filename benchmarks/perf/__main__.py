@@ -42,6 +42,7 @@ from repro.parallel import WorkerPool, get_pool  # noqa: E402
 
 from .golden import (  # noqa: E402
     GOLDEN_DATAFLOW_SHA256,
+    GOLDEN_LENET_POWER_SHA256,
     GOLDEN_LENET_SHA256,
     golden_model,
     span_stream_digest,
@@ -387,6 +388,88 @@ def bench_decode(workers: int, quick: bool, scale: str) -> dict:
     return entry
 
 
+# -- bench: power-proxy synthesis (reference vs vectorised PowerSink) ----------
+def bench_power(workers: int, quick: bool, scale: str) -> dict:
+    """Power samples/second through PowerSink, reference vs vectorised.
+
+    Replays materialised span streams through a fresh
+    :class:`~repro.power.PowerSink` under both energy engines — the
+    SWAR-vectorised :meth:`event_energy` and the per-event scalar
+    oracle — without a forward pass, so this isolates the power
+    accumulation hot path.  The two engines must produce bit-identical
+    traces (and LeNet must match the pinned golden power digest); the
+    vectorised engine must clear the 3x bar on at least one net.
+    Timings are medians over interleaved repetitions.  Single-process
+    bench — no single-CPU skip applies.
+    """
+    from repro.power import PowerSink
+
+    reps = 5 if quick else 11
+    nets = [
+        ("lenet", build_lenet),
+        ("alexnet", lambda: build_alexnet(width_scale=0.25,
+                                          num_classes=100)),
+    ]
+    per_net: dict[str, dict] = {}
+    identical = True
+    golden_match = True
+    best_speedup = 0.0
+    for name, make in nets:
+        staged = make()
+        sim = AcceleratorSim(staged)
+        x = np.zeros((1, *staged.network.input_shape))
+        sim.run(x)
+
+        def run(engine):
+            sink = PowerSink(sim.config.timing, engine=engine)
+            sim.replay(sink)
+            return sink
+
+        vec = run("vectorised")
+        ref = run("reference")
+        vec_trace, ref_trace = vec.trace(), ref.trace()
+        identical = identical and (
+            vec_trace.quantum == ref_trace.quantum
+            and np.array_equal(vec_trace.samples, ref_trace.samples)
+        )
+        if name == "lenet":
+            golden_match = vec_trace.digest() == GOLDEN_LENET_POWER_SHA256
+        ref_walls, vec_walls = [], []
+        for _ in range(reps):
+            ref_walls.append(_timed(lambda: run("reference"))[0])
+            vec_walls.append(_timed(lambda: run("vectorised"))[0])
+        ref_med = statistics.median(ref_walls)
+        vec_med = statistics.median(vec_walls)
+        speedup = ref_med / vec_med if vec_med else 0.0
+        best_speedup = max(best_speedup, speedup)
+        per_net[name] = {
+            "events": int(vec.events),
+            "samples": int(vec_trace.num_samples),
+            "quantum": int(vec_trace.quantum),
+            "total_energy": int(vec_trace.total_energy),
+            "reference_wall_s": round(ref_med, 5),
+            "vectorised_wall_s": round(vec_med, 5),
+            "speedup": round(speedup, 3),
+            "samples_per_second": round(vec_trace.num_samples / vec_med)
+            if vec_med else 0,
+            "events_per_second": round(vec.events / vec_med)
+            if vec_med else 0,
+        }
+    entry = _entry(
+        sum(n["reference_wall_s"] for n in per_net.values()),
+        sum(n["vectorised_wall_s"] for n in per_net.values()),
+        1, scale, identical and golden_match, multi_worker=False,
+    )
+    entry.update(
+        nets=per_net,
+        golden_match=golden_match,
+        threshold=3.0,
+        bounded=best_speedup >= 3.0,
+        reps=reps,
+    )
+    return entry
+
+
 # -- bench: dataflow identification --------------------------------------------
 def bench_dataflow_id(workers: int, quick: bool, scale: str) -> dict:
     """Dataflow identification accuracy + identifier throughput.
@@ -681,6 +764,7 @@ BENCHES = {
     "batching": bench_batching,
     "events_per_second": bench_throughput,
     "decode_events_per_second": bench_decode,
+    "power": bench_power,
     "dataflow_id": bench_dataflow_id,
     "memory": bench_memory,
     "channel": bench_channel,
@@ -701,6 +785,10 @@ def _throughput_figures(results: dict) -> dict[str, int]:
     decode = results.get("decode_events_per_second", {})
     if "events_per_second" in decode:
         figures["decode:alexnet"] = decode["events_per_second"]
+    power = results.get("power", {})
+    for net, stats in power.get("nets", {}).items():
+        if "samples_per_second" in stats:
+            figures[f"power:{net}"] = stats["samples_per_second"]
     campaign = results.get("campaign", {})
     if "jobs_per_minute" in campaign:
         figures["campaign:jobs_per_minute"] = campaign["jobs_per_minute"]

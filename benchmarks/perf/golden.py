@@ -17,9 +17,11 @@ import numpy as np
 
 __all__ = [
     "GOLDEN_LENET_SHA256",
+    "GOLDEN_LENET_POWER_SHA256",
     "GOLDEN_DATAFLOW_SHA256",
     "span_stream_digest",
     "lenet_span_digest",
+    "lenet_power_digest",
     "model_span_digest",
     "golden_model",
 ]
@@ -28,6 +30,15 @@ __all__ = [
 # addresses, is_write) of one LeNet inference's full trace.
 GOLDEN_LENET_SHA256 = (
     "77b5c882a1406791940c4794448e53d8f5d82010f26b2d198d0a540192de58c0"
+)
+
+# sha256 of the clean LeNet power-proxy trace (PowerTrace.digest():
+# quantum + little-endian int64 samples) under the default PowerModel.
+# The proxy is a pure integer function of the span stream plus public
+# timing parameters, so this pins the whole power pipeline — span
+# synthesis, per-event energy, cycle binning — in one digest.
+GOLDEN_LENET_POWER_SHA256 = (
+    "e4a518551b895bd1c80ea8dc2d19ca0cd1f44097166ec42fe4fd074e8c2f5f35"
 )
 
 # Per-(model, dataflow) digests of the same stream.  LeNet runs at full
@@ -94,6 +105,24 @@ def span_stream_digest(trace) -> str:
     h.update(np.ascontiguousarray(trace.addresses, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(trace.is_write, dtype=bool).tobytes())
     return h.hexdigest()
+
+
+def lenet_power_digest(engine: str = "vectorised") -> str:
+    """Digest of one clean LeNet inference's power-proxy trace.
+
+    Like :func:`lenet_span_digest`, a zero image keeps the fingerprint
+    free of any RNG dependency: the un-pruned trace (and therefore the
+    proxy derived from it) depends only on geometry and layout.
+    """
+    from repro.accel import AcceleratorSim
+    from repro.nn.zoo import build_lenet
+    from repro.power import PowerSink
+
+    sim = AcceleratorSim(build_lenet())
+    x = np.zeros((1, *sim.staged.network.input_shape))
+    sink = PowerSink(sim.config.timing, engine=engine)
+    sim.run(x, sink)
+    return sink.trace().digest()
 
 
 def lenet_span_digest(trace_synthesis: str = "vectorised") -> str:

@@ -23,6 +23,17 @@ guessing.  Everything here uses only the sanctioned session surface:
   separable from totals alone — both inflate dispersion the same way —
   so the estimate is reported as a single loss+dup rate, which is all
   the consensus estimators need to size their quorum.
+* **power noise** — repeat :meth:`observe_power` on one fixed input
+  and compare the traces bin by bin.  The clean proxy is
+  deterministic, so per-bin spread across runs is probe read-out
+  noise: the pooled residual std over *active* bins estimates
+  ``power_sigma`` (quiet bins are clipped at zero and would understate
+  it, same clip caveat as the counter) and the GCD of cross-run
+  deviations exposes ``power_quantum``.  The active-bin plateau level
+  is reported alongside because sigma alone says nothing — what the
+  fused estimator needs is the *ratio*: power segmentation is
+  trustworthy (and one fused run replaces the multi-run memory
+  consensus) only while sigma stays a small fraction of the plateau.
 
 The estimated sigma feeds :func:`~repro.attacks.robust.vote.required_repeats`
 to produce ``recommended_repeats``; sigma estimates are biased low when
@@ -57,8 +68,15 @@ class ChannelCalibration:
             1 when no quantisation was observed).
         event_dispersion: variance-to-mean ratio of per-run trace event
             totals, ``≈ drop_rate + dup_rate`` (None when not probed).
+        power_sigma: estimated std-dev of the power-proxy read-out on
+            active bins (None when the power channel was not probed).
+        power_quantum: estimated power read-out granularity (None when
+            not probed; 1 when no quantisation was observed).
+        power_plateau: median active-bin level of the probed trace —
+            the scale ``power_sigma`` must be compared against.
         counter_repeats: measurements spent probing the counter.
         trace_runs: observation runs spent probing the trace.
+        power_runs: observation runs spent probing the power channel.
         recommended_repeats: voting repeats sized for the estimated
             sigma at the default per-decision confidence (1 when the
             counter looks clean or was not probed).
@@ -67,14 +85,44 @@ class ChannelCalibration:
     counter_sigma: float | None = None
     counter_quantum: int | None = None
     event_dispersion: float | None = None
+    power_sigma: float | None = None
+    power_quantum: int | None = None
+    power_plateau: float | None = None
     counter_repeats: int = 0
     trace_runs: int = 0
+    power_runs: int = 0
 
     @property
     def recommended_repeats(self) -> int:
         if self.counter_sigma is None or self.counter_sigma <= 0.0:
             return 1
         return required_repeats(self.counter_sigma)
+
+    @property
+    def power_informative(self) -> bool:
+        """Whether power segmentation can be trusted at this SNR.
+
+        The active/quiet threshold sits at a quarter of the plateau
+        (see :func:`repro.attacks.fusion.segment.power_threshold`), so
+        the mask stays clean while sigma is at most ~an eighth of the
+        plateau — beyond that, noise crosses the threshold bin by bin
+        and the segmentation shatters.
+        """
+        return (
+            self.power_sigma is not None
+            and self.power_plateau is not None
+            and self.power_sigma <= self.power_plateau / 8.0
+        )
+
+    @property
+    def recommended_fusion_runs(self) -> int:
+        """Observation runs the fused estimator should budget.
+
+        One run suffices when the power channel is informative (the
+        power veto substitutes for cross-run consensus); otherwise
+        fall back to the memory-only consensus default of 3 runs.
+        """
+        return 1 if self.power_informative else 3
 
     def describe(self) -> str:
         parts = []
@@ -90,6 +138,15 @@ class ChannelCalibration:
                 f"trace loss+dup~{self.event_dispersion:.4f} "
                 f"({self.trace_runs} runs)"
             )
+        if self.power_sigma is not None:
+            parts.append(
+                f"power sigma~{self.power_sigma:.3f} "
+                f"quantum~{self.power_quantum} "
+                f"plateau~{self.power_plateau:.0f} "
+                f"({self.power_runs} runs, fusion "
+                f"{'informative' if self.power_informative else 'degraded'}: "
+                f"recommend {self.recommended_fusion_runs} run(s))"
+            )
         return "; ".join(parts) if parts else "channel not probed"
 
 
@@ -103,7 +160,10 @@ def _estimate_quantum(stack: np.ndarray) -> int:
 
 
 def calibrate_channel(
-    session: DeviceSession, repeats: int = 32, runs: int = 0
+    session: DeviceSession,
+    repeats: int = 32,
+    runs: int = 0,
+    power_runs: int = 0,
 ) -> ChannelCalibration:
     """Probe the channel with null measurements; see module docstring.
 
@@ -116,6 +176,10 @@ def calibrate_channel(
         repeats: counter reads of the null input (>= 2 to estimate a
             spread).
         runs: trace observation runs (0 skips the trace probe).
+        power_runs: power observation runs (0 skips the power probe;
+            >= 2 to estimate a spread).  The power probe has no
+            dense-write precondition — it listens to the rail, not
+            the bus.
 
     All probes are charged to the session ledger like any other query.
     """
@@ -123,6 +187,10 @@ def calibrate_channel(
         raise ConfigError(f"repeats must be >= 2, got {repeats}")
     if runs < 0:
         raise ConfigError(f"runs must be >= 0, got {runs}")
+    if power_runs == 1:
+        raise ConfigError("power_runs must be 0 or >= 2 to estimate a spread")
+    if power_runs < 0:
+        raise ConfigError(f"power_runs must be >= 0, got {power_runs}")
 
     counter_sigma: float | None = None
     counter_quantum: int | None = None
@@ -153,12 +221,42 @@ def calibrate_channel(
         mean = arr.mean()
         dispersion = float(arr.var(ddof=1) / mean) if mean > 0 else 0.0
 
+    power_sigma: float | None = None
+    power_quantum: int | None = None
+    power_plateau: float | None = None
+    power_probes = 0
+    if power_runs > 0:
+        stack = np.stack(
+            [
+                np.asarray(session.observe_power(seed=0).samples)
+                for _ in range(power_runs)
+            ]
+        )
+        power_probes = power_runs
+        mean = stack.mean(axis=0)
+        # Restrict to plateau bins: quiet bins are clipped at zero
+        # (one-sided noise) and would bias sigma low.
+        bar = max(1.0, float(np.quantile(mean, 0.75)) / 4.0)
+        active = mean > bar
+        if active.any():
+            resid = stack[:, active] - mean[active]
+            # Pooled residual variance; each active bin's mean eats one
+            # degree of freedom.
+            dof = max(1, resid.size - int(active.sum()))
+            power_sigma = float(np.sqrt(np.sum(resid**2) / dof))
+            power_quantum = _estimate_quantum(stack[:, active])
+            power_plateau = float(np.median(mean[active]))
+
     return ChannelCalibration(
         counter_sigma=counter_sigma,
         counter_quantum=counter_quantum,
         event_dispersion=dispersion,
+        power_sigma=power_sigma,
+        power_quantum=power_quantum,
+        power_plateau=power_plateau,
         counter_repeats=counter_reads,
         trace_runs=trace_runs,
+        power_runs=power_probes,
     )
 
 

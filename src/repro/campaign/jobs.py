@@ -24,6 +24,7 @@ import hashlib
 
 import numpy as np
 
+from repro.attacks.fusion import FusedBoundaryRecovery
 from repro.attacks.robust import (
     BoundaryRecovery,
     VotingChannel,
@@ -43,6 +44,7 @@ from repro.campaign.victims import build_device, build_victim, job_session
 from repro.channel import ChannelModel
 from repro.device import DeviceSession, QueryLedger, SharedQueryCache
 from repro.errors import ConfigError
+from repro.power import PowerModel
 
 __all__ = ["JOB_KINDS", "build_runner", "ledger_totals"]
 
@@ -62,6 +64,7 @@ def ledger_totals(ledgers: list[QueryLedger]) -> dict:
         "observations": sum(led.observations for led in ledgers),
         "trace_events": sum(led.trace_events for led in ledgers),
         "repeat_queries": sum(led.repeat_queries for led in ledgers),
+        "power_samples": sum(led.power_samples for led in ledgers),
     }
 
 
@@ -157,6 +160,122 @@ class BoundaryRecoveryJob:
             "min_truth_gap": int(np.min(gaps)),
             "quorum": int(result.quorum),
         }
+
+
+class PowerFusionJob:
+    """Single-channel vs fused boundary recovery at matched budgets.
+
+    ``mode`` selects the estimator on the *same* channel spec:
+    ``memory`` runs the consensus :class:`BoundaryRecovery` (the
+    memory bus alone), ``fused`` runs
+    :class:`~repro.attacks.fusion.FusedBoundaryRecovery` (one tee'd
+    inference per run observed on both the bus and the power rail).
+    Each run costs one inference either way, so cells with equal
+    ``runs`` are at a matched observation budget by construction.
+
+    Plan: ``truth`` (clean-channel observation of the same device),
+    optionally ``calibrate`` (``calibrate_runs`` metered power probes
+    whose sigma/quantum/plateau estimate and recommended fusion
+    budget land in the metrics — the attacker-side basis for choosing
+    ``runs``), then the selected recovery's ``run:k``/``consensus``
+    plan.
+    """
+
+    def __init__(
+        self,
+        params: dict,
+        shared_cache: SharedQueryCache | None,
+        budgets: dict,
+    ) -> None:
+        self.params = params
+        self.session = job_session(
+            params, shared_cache=shared_cache, **budgets
+        )
+        self._truth_session = DeviceSession(
+            self.session.device,
+            params.get("stage"),
+            channel=ChannelModel.ideal(),
+            ledger=self.session.ledger,
+            shared_cache=shared_cache,
+        )
+        self.mode = str(params.get("mode", "fused"))
+        if self.mode not in ("memory", "fused"):
+            raise ConfigError(f"unknown power_fusion mode {self.mode!r}")
+        self.calibrate_runs = int(params.get("calibrate_runs", 0))
+        runs = int(params.get("runs", 1))
+        device = dict(params.get("device") or {})
+        dataflow = str(
+            params.get(
+                "dataflow", device.get("dataflow", "output-stationary")
+            )
+        )
+        if self.mode == "memory":
+            self._recovery = BoundaryRecovery(
+                self.session, runs, dataflow=dataflow
+            )
+        else:
+            power = dict(params.get("power") or {})
+            self._recovery = FusedBoundaryRecovery(
+                self.session,
+                runs,
+                dataflow=dataflow,
+                power=PowerModel(**{k: int(v) for k, v in power.items()}),
+                augment_unmatched=bool(
+                    params.get("augment_unmatched", False)
+                ),
+            )
+
+    def ledgers(self) -> list[QueryLedger]:
+        return [self.session.ledger]
+
+    def steps(self) -> list[str]:
+        plan = ["truth"]
+        if self.calibrate_runs:
+            plan.append("calibrate")
+        return plan + self._recovery.steps()
+
+    def run_step(self, name: str, state: dict) -> dict:
+        state = dict(state)
+        if name == "truth":
+            obs = self._truth_session.observe_structure(seed=0)
+            state["truth"] = [
+                int(c) for c in boundary_cycles_from_trace(obs.trace)
+            ]
+            return state
+        if name == "calibrate":
+            cal = calibrate_channel(
+                self.session, power_runs=self.calibrate_runs
+            )
+            state["calibration"] = {
+                "power_sigma": cal.power_sigma,
+                "power_quantum": cal.power_quantum,
+                "power_plateau": cal.power_plateau,
+                "power_informative": cal.power_informative,
+                "recommended_fusion_runs": cal.recommended_fusion_runs,
+            }
+            return state
+        return self._recovery.run_step(name, state)
+
+    def metrics(self, state: dict) -> dict:
+        result = self._recovery.result(state)
+        truth = [int(c) for c in state["truth"]]
+        window = self.session.channel.latency_window
+        score = boundary_f1(result.boundaries, truth, tol=window + 50)
+        out = {
+            "mode": self.mode,
+            "runs": int(self._recovery.runs),
+            "boundaries": [int(b) for b in result.boundaries],
+            "truth_boundaries": len(truth),
+            "found_boundaries": len(result.boundaries),
+            "f1": float(score.f1),
+            "exact": result.boundaries == truth,
+            "latency_window": int(window),
+            "quorum": int(result.quorum),
+            "power_samples": int(self.session.ledger.power_samples),
+        }
+        if "calibration" in state:
+            out["calibration"] = dict(state["calibration"])
+        return out
 
 
 class WeightRecoveryJob:
@@ -465,6 +584,7 @@ class CloneJob:
 
 JOB_KINDS = {
     "boundary_recovery": BoundaryRecoveryJob,
+    "power_fusion": PowerFusionJob,
     "weight_recovery": WeightRecoveryJob,
     "structure": StructureJob,
     "clone": CloneJob,

@@ -45,6 +45,22 @@ SMOKE_SPEC = {
             },
         },
         {
+            "kind": "power_fusion",
+            "tenant": "structure",
+            "base": {
+                "victim": {"conv": {"w": 12, "c": 2, "d": 6, "seed": 7}},
+                "runs": 1,
+                "calibrate_runs": 2,
+            },
+            "grid": {
+                "mode": ["memory", "fused"],
+                "channel": [
+                    {"drop_rate": 0.02, "dup_rate": 0.01,
+                     "cycle_sigma": 8.0, "power_sigma": 4.0, "seed": 11},
+                ],
+            },
+        },
+        {
             "kind": "weight_recovery",
             "tenant": "weights",
             "base": {

@@ -122,6 +122,8 @@ def build_channel(channel_spec: dict | None) -> ChannelModel:
         cycle_sigma=float(spec.get("cycle_sigma", 0.0)),
         counter_sigma=float(spec.get("counter_sigma", 0.0)),
         counter_quantum=int(spec.get("counter_quantum", 1)),
+        power_sigma=float(spec.get("power_sigma", 0.0)),
+        power_quantum=int(spec.get("power_quantum", 1)),
         seed=int(spec.get("seed", 0)),
     )
 

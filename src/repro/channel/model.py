@@ -66,6 +66,11 @@ class ChannelModel:
             counter reads.
         counter_quantum: counter read-out resolution; observed counts
             are rounded to multiples of this (1 = exact resolution).
+        power_sigma: stddev of the additive Gaussian noise on each
+            power-proxy sample (energy units per bin); models the
+            measurement-amplifier noise floor of an EM/power probe.
+        power_quantum: power probe ADC resolution; observed samples are
+            rounded to multiples of this (1 = exact resolution).
         seed: root entropy for every noise stream of this channel.
         spawn_key: lineage of this model in a session fork tree; grown
             by :meth:`spawn`, consumed by per-run trace noise streams.
@@ -77,6 +82,8 @@ class ChannelModel:
     cycle_sigma: float = 0.0
     counter_sigma: float = 0.0
     counter_quantum: int = 1
+    power_sigma: float = 0.0
+    power_quantum: int = 1
     seed: int = 0
     spawn_key: tuple[int, ...] = ()
 
@@ -102,6 +109,14 @@ class ChannelModel:
             raise ConfigError(
                 f"counter_quantum must be >= 1, got {self.counter_quantum}"
             )
+        if self.power_sigma < 0:
+            raise ConfigError(
+                f"power_sigma must be >= 0, got {self.power_sigma}"
+            )
+        if self.power_quantum < 1:
+            raise ConfigError(
+                f"power_quantum must be >= 1, got {self.power_quantum}"
+            )
 
     # -- classification ----------------------------------------------------
     @classmethod
@@ -125,8 +140,13 @@ class ChannelModel:
         return self.counter_sigma > 0.0 or self.counter_quantum > 1
 
     @property
+    def power_noisy(self) -> bool:
+        """Whether the power side distorts anything at all."""
+        return self.power_sigma > 0.0 or self.power_quantum > 1
+
+    @property
     def is_ideal(self) -> bool:
-        return not (self.trace_noisy or self.counter_noisy)
+        return not (self.trace_noisy or self.counter_noisy or self.power_noisy)
 
     @property
     def latency_window(self) -> int:
@@ -179,6 +199,33 @@ class ChannelModel:
             observed = np.rint(observed / q).astype(np.int64) * q
         return np.maximum(observed, 0)
 
+    # -- power side --------------------------------------------------------
+    def observe_power(
+        self, samples: np.ndarray, run_index: int = 0
+    ) -> np.ndarray:
+        """One noisy read-out of a clean per-bin power-proxy trace.
+
+        Mirrors :meth:`observe_counts` on the third leak surface: the
+        draw comes from the dedicated ``"power"`` stream keyed by
+        ``(seed, spawn_key, run_index)`` — a pure function of the
+        channel configuration and the run, never of call order or of
+        how the underlying span stream was chunked.  Re-deriving the
+        power trace for the same run (e.g. from a spooled span replay)
+        therefore observes the *same* noise: noise-once semantics
+        without ever storing the noisy samples.
+        """
+        observed = np.asarray(samples, dtype=np.int64)
+        if not self.power_noisy:
+            return observed
+        if self.power_sigma > 0.0:
+            rng = self.run_rng("power", run_index)
+            noise = rng.normal(0.0, self.power_sigma, size=observed.shape)
+            observed = observed + np.rint(noise).astype(np.int64)
+        q = self.power_quantum
+        if q > 1:
+            observed = np.rint(observed / q).astype(np.int64) * q
+        return np.maximum(observed, 0)
+
     # -- reporting ---------------------------------------------------------
     def describe(self) -> str:
         if self.is_ideal:
@@ -196,4 +243,8 @@ class ChannelModel:
             parts.append(f"counterσ={self.counter_sigma:g}")
         if self.counter_quantum > 1:
             parts.append(f"quantum={self.counter_quantum}")
+        if self.power_sigma:
+            parts.append(f"powerσ={self.power_sigma:g}")
+        if self.power_quantum > 1:
+            parts.append(f"power-quantum={self.power_quantum}")
         return " ".join(parts)

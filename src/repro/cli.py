@@ -30,6 +30,7 @@ from repro.accel import (
     available_dataflows,
 )
 from repro.attacks.clone import clone_model, prediction_agreement
+from repro.attacks.fusion import fuse_boundaries, segment_power_trace
 from repro.attacks.robust import (
     VotingChannel,
     boundary_cycles_from_trace,
@@ -54,6 +55,7 @@ from repro.parallel import shutdown_pools
 from repro.nn.spec import LayerGeometry
 from repro.nn.stages import StagedNetworkBuilder
 from repro.nn.zoo import MODEL_BUILDERS, build_model
+from repro.power import PowerSink
 from repro.report import render_table
 from repro.report.traceviz import AccessPatternRaster, render_layer_timeline
 
@@ -91,7 +93,10 @@ def cmd_simulate(args) -> int:
     # two-pass renderer and export — never the whole trace in memory.
     stats = StatsSink()
     with SpoolSink() as spool:
-        result = sim.run(x, sink=TeeSink(spool, stats))
+        # Chain the power probe around the spool+stats tee: one pass
+        # computes trace stats, the replay spool, and the power proxy.
+        power = PowerSink(config.timing, inner=TeeSink(spool, stats))
+        result = sim.run(x, sink=power)
         print(f"model: {staged.name}  stages: {len(staged.stages)}  "
               f"parameters: {staged.network.num_parameters:,}  "
               f"dataflow: {config.dataflow}")
@@ -109,17 +114,75 @@ def cmd_simulate(args) -> int:
         )
         for span in spool.spans():
             raster.emit(span)
+        trace = power.trace()
+        raster.attach_power(trace)
         print(raster.render())
+        print(f"\npower proxy: {trace.num_samples:,} samples @ "
+              f"{trace.quantum} cycles/bin, total energy "
+              f"{trace.total_energy:,}")
         if args.save_trace:
             spool.trace().save(args.save_trace)
             print(f"\ntrace saved to {args.save_trace}")
     return 0
 
 
+def _clean_truth_boundaries(staged, dataflow: str) -> list[int]:
+    """Clean-tap ground-truth boundary cycles for CLI diagnostics."""
+    return boundary_cycles_from_trace(
+        DeviceSession(
+            AcceleratorSim(staged, AcceleratorConfig(dataflow=dataflow))
+        )
+        .observe_structure(seed=0).trace
+    )
+
+
 def cmd_structure(args) -> int:
     staged = _build_victim_model(args)
     sim = AcceleratorSim(staged, AcceleratorConfig(dataflow=args.dataflow))
     channel = _channel_from_args(args)
+    if args.fuse:
+        # Memory+power fusion: each run is one inference observed on
+        # both channels at once, so the default single run is the whole
+        # observation budget.
+        session = DeviceSession(sim, channel=channel)
+        if channel.power_noisy:
+            cal = calibrate_channel(session, power_runs=4)
+            print(f"calibration: {cal.describe()}")
+        result = fuse_boundaries(session, runs=args.runs, engine=args.engine)
+        print(f"channel: {channel.describe()}")
+        print(f"fused boundaries over {args.runs} run(s) "
+              f"(confirm tol {result.confirm_tol} cycles): "
+              f"{result.boundaries}")
+        print(f"layers detected: {result.num_layers}")
+        for k, (raw, edges) in enumerate(
+            zip(result.raw_runs, result.power_runs)
+        ):
+            print(f"  run {k}: {len(raw)} RAW candidates, "
+                  f"{len(edges)} power edges")
+        truth = _clean_truth_boundaries(staged, args.dataflow)
+        ftol = channel.latency_window + 50
+        score = boundary_f1(result.boundaries, truth, tol=ftol)
+        print(f"[diagnostic vs clean-tap ground truth] fused F1 "
+              f"{score.f1:.3f}")
+        _print_ledger(session.ledger)
+        return 0
+    if args.power:
+        # One-off power observation: report the power channel's own
+        # layer segmentation before the memory-channel attack runs.
+        psession = DeviceSession(
+            AcceleratorSim(staged, AcceleratorConfig(dataflow=args.dataflow)),
+            channel=channel,
+        )
+        trace = psession.observe_power(seed=0)
+        seg = segment_power_trace(
+            trace,
+            stage_overhead=psession.device.config.timing.stage_overhead,
+        )
+        print(f"power trace: {trace.num_samples:,} samples @ "
+              f"{trace.quantum} cycles/bin; {seg.num_layers} segments, "
+              f"edges at {seg.edges}")
+        _print_ledger(psession.ledger, "power probe")
+        print()
     if channel.trace_noisy:
         # The exact Section 3 pipeline assumes a perfect tap; under a
         # noisy channel run the consensus boundary recovery instead.
@@ -133,12 +196,7 @@ def cmd_structure(args) -> int:
               f"(quorum {result.quorum}, tol {result.tol} cycles): "
               f"{result.boundaries}")
         print(f"layers detected: {result.num_layers}")
-        truth = boundary_cycles_from_trace(
-            DeviceSession(
-                AcceleratorSim(staged, AcceleratorConfig(dataflow=args.dataflow))
-            )
-            .observe_structure(seed=0).trace
-        )
+        truth = _clean_truth_boundaries(staged, args.dataflow)
         ftol = channel.latency_window + 50
         score = boundary_f1(result.boundaries, truth, tol=ftol)
         naive = [
@@ -252,6 +310,28 @@ def cmd_clone(args) -> int:
         print("note: the clone pipeline's structure phase needs a clean "
               "tap; trace noise applies to the counter channel session "
               "only (use `structure` for noisy-trace recovery)")
+    if args.fuse or args.power:
+        # Pre-clone structure cross-check on the dense device: fused
+        # (or power-only) boundary recovery under the requested channel.
+        psession = DeviceSession(
+            AcceleratorSim(
+                victim, AcceleratorConfig(dataflow=args.dataflow)
+            ),
+            channel=channel,
+        )
+        if args.fuse:
+            fused = fuse_boundaries(psession, runs=1)
+            print(f"fused structure pre-check: {fused.num_layers} "
+                  f"layer(s) at {fused.boundaries}")
+        else:
+            trace = psession.observe_power(seed=args.seed)
+            seg = segment_power_trace(
+                trace,
+                stage_overhead=psession.device.config.timing.stage_overhead,
+            )
+            print(f"power pre-check: {seg.num_layers} segment(s), "
+                  f"edges at {seg.edges}")
+        _print_ledger(psession.ledger, "pre-check")
     dense = DeviceSession(
         AcceleratorSim(victim, AcceleratorConfig(dataflow=args.dataflow))
     )
@@ -358,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "oracle)")
     _add_workers_flag(st)
     _add_channel_flags(st)
+    _add_power_flags(st)
     st.set_defaults(func=cmd_structure)
 
     wt = sub.add_parser("weights", help="run the Section 4 attack (demo victim)")
@@ -386,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "query in the weights phase (0: auto)")
     _add_workers_flag(cl)
     _add_channel_flags(cl)
+    _add_power_flags(cl)
     cl.set_defaults(func=cmd_clone)
 
     cp = sub.add_parser(
@@ -436,8 +518,27 @@ def _add_channel_flags(sub_parser: argparse.ArgumentParser) -> None:
                      help="counter read-out noise std-dev")
     grp.add_argument("--channel-quantum", type=int, default=1,
                      help="counter read-out quantisation step")
+    grp.add_argument("--channel-power-sigma", type=float, default=0.0,
+                     help="power-probe read-out noise std-dev")
+    grp.add_argument("--channel-power-quantum", type=int, default=1,
+                     help="power-probe read-out quantisation step")
     grp.add_argument("--channel-seed", type=int, default=0,
                      help="noise stream seed")
+
+
+def _add_power_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Second-leak-surface knobs (see repro.power / repro.attacks.fusion)."""
+    grp = sub_parser.add_argument_group(
+        "power side channel",
+        "observe the device's power rail alongside the memory bus",
+    )
+    grp.add_argument("--power", action="store_true",
+                     help="observe a power-proxy trace and report its "
+                          "layer segmentation")
+    grp.add_argument("--fuse", action="store_true",
+                     help="recover boundaries by memory+power fusion "
+                          "(one tee'd inference per run; implies the "
+                          "power probe)")
 
 
 def _channel_from_args(args) -> ChannelModel:
@@ -448,6 +549,8 @@ def _channel_from_args(args) -> ChannelModel:
         cycle_sigma=args.channel_jitter,
         counter_sigma=args.channel_sigma,
         counter_quantum=args.channel_quantum,
+        power_sigma=args.channel_power_sigma,
+        power_quantum=args.channel_power_quantum,
         seed=args.channel_seed,
     )
 

@@ -36,6 +36,7 @@ class QueryLedger:
     repeat_queries: int = 0
     trace_events: int = 0
     trace_bytes: int = 0
+    power_samples: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     shared_hits: int = 0
@@ -104,6 +105,18 @@ class QueryLedger:
                 f"observed exceeds the budget of {self.max_trace_bytes}"
             )
 
+    def record_power(self, num_samples: int) -> None:
+        """Account the samples of one observed power-proxy trace.
+
+        Power samples ride the inference that produced them (the
+        probe listens while the device runs), so there is no separate
+        hard budget — the inference budget already gates the runs."""
+        if num_samples < 0:
+            raise ConfigError(
+                f"cannot record a negative sample count: {num_samples}"
+            )
+        self.power_samples += num_samples
+
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
         self.cache_hits += hits
         self.cache_misses += misses
@@ -144,6 +157,7 @@ class QueryLedger:
             self.repeat_queries += other.repeat_queries
             self.trace_events += other.trace_events
             self.trace_bytes += other.trace_bytes
+            self.power_samples += other.power_samples
             self.cache_hits += other.cache_hits
             self.cache_misses += other.cache_misses
             self.shared_hits += other.shared_hits
@@ -157,6 +171,7 @@ class QueryLedger:
         "repeat_queries",
         "trace_events",
         "trace_bytes",
+        "power_samples",
         "cache_hits",
         "cache_misses",
         "shared_hits",
@@ -234,6 +249,8 @@ class QueryLedger:
         ]
         if self.repeat_queries:
             parts.append(f"noise repeats={self.repeat_queries:,}")
+        if self.power_samples:
+            parts.append(f"power samples={self.power_samples:,}")
         if self.cached_inferences:
             parts.append(f"replayed observations={self.cached_inferences:,}")
         if self.shared_hits:

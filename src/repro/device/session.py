@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.accel.oracle import Pixel, StageOracle
 from repro.accel.simulator import AcceleratorConfig, SimulationResult
-from repro.accel.sinks import MaterializeSink
+from repro.accel.sinks import MaterializeSink, TeeSink
 from repro.accel.timing import TimingModel
 from repro.accel.trace import MemoryTrace, TraceSink, TraceSpan
 from repro.channel import ChannelModel, ChannelSink
@@ -48,6 +48,7 @@ from repro.device.shared_cache import (
 )
 from repro.errors import ConfigError, ThreatModelViolation
 from repro.nn.stages import StagedNetwork
+from repro.power import PowerModel, PowerSink, PowerTrace
 
 __all__ = ["VictimDevice", "DeviceSession"]
 
@@ -494,6 +495,74 @@ class DeviceSession:
             block_bytes=self.block_bytes,
             total_cycles=payload["total_cycles"],
         )
+
+    # -- power side (second leak surface) ---------------------------------
+    def observe_power(
+        self,
+        x: np.ndarray | None = None,
+        seed: int = 0,
+        sink: TraceSink | None = None,
+        run: int | None = None,
+        power: PowerModel | None = None,
+        engine: str = "vectorised",
+    ) -> PowerTrace:
+        """One metered inference observed through the power probe.
+
+        The probe listens while the device runs: a
+        :class:`~repro.power.PowerSink` taps the physical span stream
+        *before* the memory-bus channel (a power probe does not suffer
+        bus drop/dup — it has its own noise, ``power_sigma`` /
+        ``power_quantum`` on this session's channel, drawn from the
+        dedicated ``"power"`` stream keyed by the run index).
+
+        With ``sink``, the same single inference simultaneously feeds
+        the attacker's memory-trace sink through the usual
+        channel/metering path — the fusion estimators' cost model: one
+        device run, two leak surfaces, one charged inference.  ``run``
+        pins the observation run index exactly as in
+        :meth:`observe_structure`, so a resumed fusion attack
+        re-observes run ``k`` under run ``k``'s noise on *both*
+        channels, bit-identical to the uninterrupted run.
+
+        Power observations always run the device (the power tap is a
+        physical measurement; it is never served from the shared
+        observation cache), and every sample is accounted on the
+        ledger's ``power_samples`` counter.
+        """
+        if sink is not None and self.pruning_enabled:
+            raise ThreatModelViolation(
+                "the Section 3 structure attack is defined on a dense-write "
+                "accelerator; a pruned device leaks power only"
+            )
+        if x is None:
+            rng = np.random.default_rng(seed)
+            x = rng.normal(size=(1, *self.image_shape))
+        run_index = self._obs_runs if run is None else int(run)
+        self._obs_runs = max(self._obs_runs, run_index) + 1
+
+        self.ledger.charge_inference()
+        power_sink = PowerSink(
+            self.device.config.timing,
+            power,
+            channel=self.channel,
+            run_index=run_index,
+            engine=engine,
+        )
+        boundary: _MeteredBoundary | None = None
+        if sink is None:
+            run_sink: TraceSink = power_sink
+        else:
+            boundary = _MeteredBoundary(sink)
+            mem_path: TraceSink = boundary
+            if self.channel.trace_noisy:
+                mem_path = ChannelSink(boundary, self.channel, run_index)
+            run_sink = TeeSink(power_sink, mem_path)
+        self.device.run(x, sink=run_sink)
+        if boundary is not None:
+            self.ledger.record_trace(boundary.events)
+        trace = power_sink.trace()
+        self.ledger.record_power(trace.num_samples)
+        return trace
 
     def classify(self, x: np.ndarray) -> np.ndarray:
         """Submit an input batch and read the classification scores.

@@ -1,0 +1,22 @@
+"""``repro.power``: the power side-channel subsystem.
+
+The paper's leak surface is the memory bus; this package adds the
+second one the ROADMAP calls for — a per-cycle power proxy derived
+from the very same span stream (Hamming-weight switching activity over
+bus addresses plus MAC-activity cost from the public timing model),
+following Wei et al. (arXiv 1803.05847) and CSI-NN (arXiv 1810.09076).
+
+:class:`PowerModel` defines the integer proxy, :class:`PowerSink`
+computes it as a composable streaming trace sink, and
+:class:`PowerTrace` is the observed result.  Measurement noise rides
+the existing :class:`~repro.channel.ChannelModel` machinery through
+the dedicated ``"power"`` rng stream (``power_sigma`` /
+``power_quantum``).  The attack-side consumers — power-trace layer
+segmentation and memory+power fusion — live in
+:mod:`repro.attacks.fusion`.
+"""
+
+from repro.power.model import PowerModel, PowerTrace, popcount64
+from repro.power.sink import PowerSink
+
+__all__ = ["PowerModel", "PowerSink", "PowerTrace", "popcount64"]

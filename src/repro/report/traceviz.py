@@ -58,6 +58,7 @@ class AccessPatternRaster:
         self._read_hit = np.zeros((rows, cols), dtype=bool)
         self._write_hit = np.zeros((rows, cols), dtype=bool)
         self._events = 0
+        self._power: np.ndarray | None = None
 
     def _bin(self, cycles: np.ndarray, addresses: np.ndarray):
         r = (
@@ -88,6 +89,29 @@ class AccessPatternRaster:
         self._read_hit[r[~is_write], c[~is_write]] = True
         self._write_hit[r[is_write], c[is_write]] = True
         self._events += len(cycles)
+
+    def attach_power(self, trace) -> None:
+        """Attach a power-proxy strip sharing the raster's cycle axis.
+
+        ``trace`` is a :class:`~repro.power.PowerTrace` (duck-typed:
+        anything with int ``samples`` per ``quantum``-cycle bin).  Each
+        raster column averages the power bins whose start cycle maps to
+        it — the same binning rule the event grid uses, so the strip
+        lines up with the plot column for column.
+        """
+        samples = np.asarray(trace.samples, dtype=np.float64)
+        cycles = np.arange(len(samples), dtype=np.int64) * int(trace.quantum)
+        cols = (
+            (cycles - self._lo_c)
+            * (self.cols - 1)
+            // max(1, self._hi_c - self._lo_c - 1)
+        ).astype(int)
+        valid = (cols >= 0) & (cols < self.cols)
+        sums = np.bincount(
+            cols[valid], weights=samples[valid], minlength=self.cols
+        )
+        counts = np.bincount(cols[valid], minlength=self.cols)
+        self._power = sums / np.maximum(counts, 1)
 
     # -- sink protocol ----------------------------------------------------
     def emit(self, span) -> None:
@@ -126,6 +150,19 @@ class AccessPatternRaster:
                 else ")"
             )
         )
+        if self._power is not None:
+            levels = " .:-=+*#@"
+            peak = float(self._power.max())
+            if peak > 0.0:
+                idx = np.ceil(
+                    self._power / peak * (len(levels) - 1)
+                ).astype(int)
+            else:
+                idx = np.zeros(self.cols, dtype=int)
+            lines.append("".join(levels[i] for i in idx))
+            lines.append(
+                "(power proxy on the same time axis; ' '=idle '@'=peak)"
+            )
         return "\n".join(lines)
 
 

@@ -57,7 +57,7 @@ def test_campaign_runs_to_done_and_consolidates(tmp_path):
     for record in records:
         assert set(record["ledger"]) == {
             "probe_lookups", "observations", "trace_events",
-            "repeat_queries",
+            "repeat_queries", "power_samples",
         }
     # Canonical lines: re-serialising each record reproduces the file.
     from repro.campaign import canonical_json

@@ -1,0 +1,80 @@
+"""DeviceSession.observe_power: metering, run pinning, threat-model guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorSim, MaterializeSink
+from repro.channel import ChannelModel
+from repro.device import DeviceSession
+from repro.errors import ThreatModelViolation
+
+from tests.conftest import build_conv_stage, pruned_session
+
+
+def _session(channel=None):
+    staged, *_ = build_conv_stage(seed=5)
+    return DeviceSession(AcceleratorSim(staged), channel=channel)
+
+
+def test_observe_power_charges_inference_and_samples():
+    session = _session()
+    trace = session.observe_power(seed=0)
+    assert session.ledger.inferences == 1
+    assert session.ledger.power_samples == trace.num_samples > 0
+    session.observe_power(seed=0)
+    assert session.ledger.inferences == 2
+    assert session.ledger.power_samples == 2 * trace.num_samples
+
+
+def test_observe_power_never_cache_served():
+    """The power tap is a physical measurement: identical inputs still
+    run the device (no cached_inferences accounting)."""
+    session = _session()
+    session.observe_power(seed=0)
+    session.observe_power(seed=0)
+    assert session.ledger.inferences == 2
+    assert session.ledger.cached_inferences == 0
+
+
+def test_observe_power_tees_memory_sink_on_same_inference():
+    """One inference, two surfaces: sink sees the span stream, the
+    ledger charges a single inference plus the trace bytes."""
+    session = _session()
+    mat = MaterializeSink()
+    trace = session.observe_power(seed=0, sink=mat)
+    assert session.ledger.inferences == 1
+    assert session.ledger.power_samples == trace.num_samples
+    mem = mat.trace()
+    assert len(mem) > 0
+    # The power trace covers the same cycle span the memory trace does.
+    assert trace.num_samples == int(mem.cycles[-1]) // trace.quantum + 1
+
+
+def test_run_pinning_is_deterministic_under_noise():
+    channel = ChannelModel(power_sigma=4.0, seed=13)
+    a = _session(channel).observe_power(seed=1, run=3)
+    b = _session(channel).observe_power(seed=1, run=3)
+    c = _session(channel).observe_power(seed=1, run=4)
+    assert np.array_equal(a.samples, b.samples)
+    assert not np.array_equal(a.samples, c.samples)
+
+
+def test_auto_run_indices_advance():
+    channel = ChannelModel(power_sigma=4.0, seed=13)
+    session = _session(channel)
+    first = session.observe_power(seed=1)
+    second = session.observe_power(seed=1)
+    pinned0 = _session(channel).observe_power(seed=1, run=0)
+    assert np.array_equal(first.samples, pinned0.samples)
+    assert not np.array_equal(first.samples, second.samples)
+
+
+def test_pruned_device_rejects_memory_tee_but_allows_power_only():
+    staged, *_ = build_conv_stage(seed=5, bias_sign=-1.0)
+    session = pruned_session(staged)
+    with pytest.raises(ThreatModelViolation):
+        session.observe_power(seed=0, sink=MaterializeSink())
+    trace = session.observe_power(seed=0)
+    assert trace.num_samples > 0

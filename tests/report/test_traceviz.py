@@ -72,6 +72,35 @@ def test_streamed_raster_matches_batch_render():
     assert streamed == batch
 
 
+def test_power_strip_shares_the_time_axis():
+    from repro.device import DeviceSession
+
+    sim = AcceleratorSim(build_lenet())
+    obs = observe_structure(sim, seed=0)
+    trace = obs.trace
+    plain = render_access_pattern(trace, rows=10, cols=48)
+    raster = AccessPatternRaster(
+        int(trace.addresses.min()), int(trace.addresses.max()),
+        int(trace.cycles.min()), int(trace.cycles.max()),
+        rows=10, cols=48,
+    )
+    raster.add(trace.cycles, trace.addresses, trace.is_write)
+    power = DeviceSession(
+        AcceleratorSim(build_lenet())
+    ).observe_power(seed=0)
+    raster.attach_power(power)
+    text = raster.render()
+    lines = text.split("\n")
+    # Plot + legend, then the power strip and its legend.
+    assert len(lines) == len(plain.split("\n")) + 2
+    strip = lines[-2]
+    assert len(strip) == 48
+    assert "@" in strip  # the peak column saturates the scale
+    assert "power proxy" in lines[-1]
+    # The strip quiets where the layer gaps fall: it is not flat.
+    assert len(set(strip)) > 1
+
+
 def test_raster_refuses_empty_render():
     raster = AccessPatternRaster(0, 64, 0, 10, rows=4, cols=8)
     with pytest.raises(ConfigError):
